@@ -1,0 +1,31 @@
+//! # lc-baselines — the paper's competitor estimators
+//!
+//! Three baselines, matching §4 of the paper:
+//!
+//! * [`PostgresEstimator`] — a faithful re-implementation of the classical
+//!   statistics-based estimator PostgreSQL uses: per-column MCV lists and
+//!   equi-depth histograms, attribute-value independence across conjuncts,
+//!   and the Selinger join formula `|R||S| / max(ndv)` per join edge.
+//! * [`RandomSamplingEstimator`] — evaluates base-table predicates on
+//!   materialized per-table samples and **assumes independence across
+//!   joins**; falls back to per-conjunct evaluation and then to
+//!   `1/ndv` guesses when no sample tuple qualifies (§4, "Random Samp.").
+//! * [`IbjsEstimator`] — Index-Based Join Sampling [Leis et al., CIDR 2017]:
+//!   probes qualifying base-table sample tuples through join indexes with a
+//!   per-level budget; shares Random Sampling's fallback when the starting
+//!   sample is empty (§4, "IB Join Samp.").
+//!
+//! All three implement [`lc_query::CardinalityEstimator`] so the evaluation
+//! harness treats them interchangeably with MSCN.
+
+mod ibjs;
+mod joinsizes;
+mod postgres;
+mod rs;
+pub mod stats;
+
+pub use ibjs::IbjsEstimator;
+pub use joinsizes::FullJoinSizes;
+pub use postgres::PostgresEstimator;
+pub use rs::RandomSamplingEstimator;
+pub use stats::{ColumnDistribution, DbStatistics, TableStatistics};

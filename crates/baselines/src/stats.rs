@@ -1,0 +1,234 @@
+//! PostgreSQL-style per-column statistics: most-common-value (MCV) lists
+//! and equi-depth histograms, built with one sort per column on the
+//! immutable snapshot (the equivalent of `ANALYZE`).
+
+use lc_engine::{CmpOp, ColumnStats, Database, FxHashMap, TableId};
+
+/// Default number of MCV entries kept per column (PostgreSQL's
+/// `default_statistics_target` keeps 100; our domains are smaller).
+pub const DEFAULT_MCVS: usize = 50;
+/// Default number of equi-depth histogram buckets.
+pub const DEFAULT_BUCKETS: usize = 100;
+
+/// Distribution statistics for a single column.
+#[derive(Clone, Debug)]
+pub struct ColumnDistribution {
+    /// Basic exact statistics (min/max/ndv/null fraction).
+    pub stats: ColumnStats,
+    /// Most common values with their frequency as a fraction of *all* rows
+    /// (including NULLs), most frequent first.
+    pub mcvs: Vec<(i64, f64)>,
+    /// Equi-depth histogram bounds over the non-null values:
+    /// `bounds.len() == buckets + 1` (empty for all-NULL columns). Unlike
+    /// PostgreSQL we do not exclude MCVs from the histogram; range
+    /// selectivities remain consistent because the histogram covers all
+    /// non-null rows.
+    pub bounds: Vec<i64>,
+}
+
+impl ColumnDistribution {
+    /// Build from raw values (one sort).
+    pub fn build(values: impl Iterator<Item = i64>, stats: ColumnStats, mcv_k: usize, buckets: usize) -> Self {
+        let mut sorted: Vec<i64> = values.collect();
+        sorted.sort_unstable();
+        let n_valid = sorted.len();
+        let total_rows = stats.row_count.max(1) as f64;
+
+        // MCVs: frequency of each distinct run, keep top-k by frequency.
+        let mut freqs: Vec<(i64, usize)> = Vec::new();
+        let mut i = 0;
+        while i < n_valid {
+            let v = sorted[i];
+            let mut j = i + 1;
+            while j < n_valid && sorted[j] == v {
+                j += 1;
+            }
+            freqs.push((v, j - i));
+            i = j;
+        }
+        freqs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mcvs: Vec<(i64, f64)> =
+            freqs.iter().take(mcv_k).map(|&(v, c)| (v, c as f64 / total_rows)).collect();
+
+        // Equi-depth bounds.
+        let bounds = if n_valid == 0 {
+            Vec::new()
+        } else {
+            let b = buckets.min(n_valid).max(1);
+            let mut bounds = Vec::with_capacity(b + 1);
+            for k in 0..=b {
+                let pos = (k * (n_valid - 1)) / b;
+                bounds.push(sorted[pos]);
+            }
+            bounds
+        };
+        ColumnDistribution { stats, mcvs, bounds }
+    }
+
+    fn mcv_lookup(&self, v: i64) -> Option<f64> {
+        self.mcvs.iter().find(|(x, _)| *x == v).map(|(_, f)| *f)
+    }
+
+    /// Fraction of non-null values strictly below `v`, interpolated within
+    /// the equi-depth histogram.
+    fn fraction_below(&self, v: i64) -> f64 {
+        let b = self.bounds.len();
+        if b < 2 {
+            return 0.5;
+        }
+        if v <= self.bounds[0] {
+            return 0.0;
+        }
+        if v > *self.bounds.last().unwrap() {
+            return 1.0;
+        }
+        let buckets = (b - 1) as f64;
+        // First bucket whose upper bound reaches v.
+        let idx = self.bounds.partition_point(|&x| x < v).min(b - 1);
+        let lo = self.bounds[idx - 1];
+        let hi = self.bounds[idx];
+        let within = if hi > lo { (v - lo) as f64 / (hi - lo) as f64 } else { 0.5 };
+        (((idx - 1) as f64) + within) / buckets
+    }
+
+    /// Estimated selectivity of `op v` over all rows of the table
+    /// (NULLs never qualify), assuming nothing about other predicates.
+    pub fn selectivity(&self, op: CmpOp, v: i64) -> f64 {
+        let non_null = 1.0 - self.stats.null_frac();
+        if non_null <= 0.0 || self.stats.ndv == 0 {
+            return 0.0;
+        }
+        let sel = match op {
+            CmpOp::Eq => {
+                if let Some(f) = self.mcv_lookup(v) {
+                    f
+                } else if v < self.stats.min || v > self.stats.max {
+                    0.0
+                } else {
+                    let mcv_total: f64 = self.mcvs.iter().map(|(_, f)| f).sum();
+                    let rest_ndv = self.stats.ndv.saturating_sub(self.mcvs.len() as u64);
+                    if rest_ndv == 0 {
+                        0.0
+                    } else {
+                        (non_null - mcv_total).max(0.0) / rest_ndv as f64
+                    }
+                }
+            }
+            CmpOp::Lt => non_null * self.fraction_below(v),
+            CmpOp::Gt => {
+                let le = self.fraction_below(v) * non_null + self.selectivity(CmpOp::Eq, v);
+                (non_null - le).max(0.0)
+            }
+        };
+        sel.clamp(0.0, 1.0)
+    }
+}
+
+/// Statistics for every column of a table.
+#[derive(Clone, Debug)]
+pub struct TableStatistics {
+    /// Per-column distributions, indexed by column position.
+    pub columns: Vec<ColumnDistribution>,
+    /// Table row count.
+    pub row_count: u64,
+}
+
+/// Statistics for every table of a database — everything the
+/// PostgreSQL-style estimator consults at planning time.
+#[derive(Clone, Debug)]
+pub struct DbStatistics {
+    tables: FxHashMap<u16, TableStatistics>,
+}
+
+impl DbStatistics {
+    /// Run "ANALYZE": build MCVs and histograms for every column.
+    pub fn build(db: &Database, mcv_k: usize, buckets: usize) -> Self {
+        let mut tables = FxHashMap::default();
+        for ti in 0..db.schema().num_tables() {
+            let t = TableId(ti as u16);
+            let data = db.table(t);
+            let columns = (0..data.num_columns())
+                .map(|c| {
+                    let col = data.column(c);
+                    ColumnDistribution::build(
+                        col.iter_valid().map(|(_, v)| v),
+                        *db.column_stats(t, c),
+                        mcv_k,
+                        buckets,
+                    )
+                })
+                .collect();
+            tables.insert(t.0, TableStatistics { columns, row_count: data.num_rows() as u64 });
+        }
+        DbStatistics { tables }
+    }
+
+    /// Statistics of table `t`.
+    pub fn table(&self, t: TableId) -> &TableStatistics {
+        &self.tables[&t.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lc_engine::Column;
+
+    fn dist(values: Vec<i64>) -> ColumnDistribution {
+        let col = Column::from_values(values);
+        ColumnDistribution::build(col.iter_valid().map(|(_, v)| v), col.stats(), 3, 4)
+    }
+
+    #[test]
+    fn mcvs_capture_heavy_hitters() {
+        // 60x value 1, 30x value 2, 10 distinct singletons.
+        let mut v = vec![1i64; 60];
+        v.extend(vec![2i64; 30]);
+        v.extend(10..20);
+        let d = dist(v);
+        assert_eq!(d.mcvs[0].0, 1);
+        assert!((d.mcvs[0].1 - 0.6).abs() < 1e-9);
+        assert_eq!(d.mcvs[1].0, 2);
+        assert!((d.selectivity(CmpOp::Eq, 1) - 0.6).abs() < 1e-9);
+        // Non-MCV equality: remainder mass spread over remaining ndv.
+        let s = d.selectivity(CmpOp::Eq, 15);
+        assert!(s > 0.0 && s < 0.05, "got {s}");
+        // Out-of-domain equality.
+        assert_eq!(d.selectivity(CmpOp::Eq, 1000), 0.0);
+    }
+
+    #[test]
+    fn range_selectivity_tracks_histogram() {
+        let d = dist((0..1000).collect());
+        let s = d.selectivity(CmpOp::Lt, 250);
+        assert!((s - 0.25).abs() < 0.05, "got {s}");
+        let s = d.selectivity(CmpOp::Gt, 900);
+        assert!((s - 0.1).abs() < 0.05, "got {s}");
+        assert_eq!(d.selectivity(CmpOp::Lt, 0), 0.0);
+        assert!(d.selectivity(CmpOp::Lt, 10_000) > 0.99);
+        assert!(d.selectivity(CmpOp::Gt, 10_000) == 0.0);
+    }
+
+    #[test]
+    fn nulls_reduce_selectivity() {
+        let col = Column::from_nullable(
+            (0..100).map(|i| if i % 2 == 0 { Some(i) } else { None }).collect(),
+        );
+        let d = ColumnDistribution::build(col.iter_valid().map(|(_, v)| v), col.stats(), 3, 4);
+        // Half the rows are NULL; `< huge` selects only the non-null half.
+        let s = d.selectivity(CmpOp::Lt, 1_000);
+        assert!((s - 0.5).abs() < 0.02, "got {s}");
+    }
+
+    #[test]
+    fn db_statistics_cover_all_tables() {
+        let db = lc_imdb::generate(&lc_imdb::ImdbConfig::tiny());
+        let stats = DbStatistics::build(&db, DEFAULT_MCVS, DEFAULT_BUCKETS);
+        for ti in 0..db.schema().num_tables() {
+            let t = TableId(ti as u16);
+            let ts = stats.table(t);
+            assert_eq!(ts.row_count, db.table(t).num_rows() as u64);
+            assert_eq!(ts.columns.len(), db.table(t).num_columns());
+        }
+    }
+}

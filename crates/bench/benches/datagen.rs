@@ -1,0 +1,54 @@
+//! Dataset and workload generation throughput (the §3.3/§3.5 pipeline:
+//! generate random queries, execute them, annotate with samples).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lc_engine::SampleSet;
+use lc_imdb::ImdbConfig;
+use lc_query::{workloads, GeneratorConfig, QueryGenerator};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_datagen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datagen");
+    group.sample_size(10);
+    group.bench_function("imdb/8k_titles", |b| {
+        b.iter(|| {
+            lc_imdb::generate(&ImdbConfig {
+                num_titles: 8_000,
+                num_companies: 800,
+                num_persons: 6_000,
+                num_keywords: 1_200,
+                seed: 5,
+            })
+        })
+    });
+
+    let db = lc_imdb::generate(&ImdbConfig::tiny());
+    group.bench_function("querygen/1000_unique", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            QueryGenerator::new(&db, GeneratorConfig { max_joins: 2, seed }).generate_unique(1000)
+        })
+    });
+
+    let mut rng = SmallRng::seed_from_u64(3);
+    let samples = SampleSet::draw(&db, 50, &mut rng);
+    group.bench_function("label/200_queries", |b| {
+        let mut seed = 1000u64;
+        b.iter(|| {
+            seed += 1;
+            workloads::synthetic(&db, &samples, 200, 2, seed)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(6))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_datagen
+}
+criterion_main!(benches);

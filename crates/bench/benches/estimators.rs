@@ -1,0 +1,50 @@
+//! Estimation latency of the three baselines (per query). The paper notes
+//! that sampling-based estimators pay per-query sampling cost while MSCN's
+//! inference cost is constant in training-set size (§3.5, §4.7).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lc_baselines::{FullJoinSizes, IbjsEstimator, PostgresEstimator, RandomSamplingEstimator};
+use lc_bench::BenchFixture;
+use lc_query::CardinalityEstimator;
+
+fn bench_estimators(c: &mut Criterion) {
+    let f = BenchFixture::small();
+    let join_sizes = FullJoinSizes::build(&f.db);
+    let pg = PostgresEstimator::new(&f.db);
+    let rs = RandomSamplingEstimator::new(&f.db, &f.samples, &join_sizes);
+    let ibjs = IbjsEstimator::new(&f.db, &f.samples, &f.indexes, &join_sizes);
+    let queries = f.queries();
+
+    let mut group = c.benchmark_group("estimators");
+    for (name, est) in [
+        ("postgres", &pg as &dyn CardinalityEstimator),
+        ("random_sampling", &rs),
+        ("ibjs", &ibjs),
+    ] {
+        group.bench_function(format!("{name}/per_query"), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                est.estimate(q)
+            })
+        });
+    }
+    group.finish();
+
+    // Statistics construction (the "ANALYZE" cost of the PostgreSQL
+    // baseline).
+    c.bench_function("estimators/postgres_analyze", |b| {
+        b.iter(|| PostgresEstimator::new(&f.db))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_estimators
+}
+criterion_main!(benches);

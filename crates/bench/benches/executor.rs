@@ -1,0 +1,42 @@
+//! Throughput of the exact star-join executor — the label oracle whose
+//! speed bounds training-data generation (§3.5 step ii).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lc_bench::BenchFixture;
+use lc_engine::count_star;
+
+fn bench_executor(c: &mut Criterion) {
+    let f = BenchFixture::small();
+    let mut group = c.benchmark_group("executor");
+    for joins in 0..=2usize {
+        let queries: Vec<_> = f
+            .queries()
+            .iter()
+            .filter(|q| q.query.num_joins() == joins)
+            .take(16)
+            .cloned()
+            .collect();
+        if queries.is_empty() {
+            continue;
+        }
+        group.bench_function(format!("count_star/{joins}_joins"), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                count_star(&f.db, &q.query.spec())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_executor
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! MSCN featurization and inference latency (§4.7: "the prediction time of
+//! our model is in the order of a few milliseconds" on a GPU through
+//! PyTorch; a tuned implementation should be far below that).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lc_bench::BenchFixture;
+use lc_core::{train, FeatureMode, TrainConfig};
+
+fn bench_inference(c: &mut Criterion) {
+    let f = BenchFixture::small();
+    let cfg = TrainConfig { epochs: 3, hidden: 64, mode: FeatureMode::Bitmaps, ..TrainConfig::default() };
+    let trained = train(&f.db, f.samples.sample_size, f.queries(), cfg);
+    let est = trained.estimator;
+    let queries = f.queries();
+
+    let mut group = c.benchmark_group("mscn");
+    group.bench_function("featurize/per_query", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            est.featurizer().featurize(q)
+        })
+    });
+    group.bench_function("inference/single_query", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = queries[i % queries.len()].clone();
+            i += 1;
+            est.estimate_cards(std::slice::from_ref(&q))
+        })
+    });
+    group.bench_function("inference/batch_256", |b| b.iter(|| est.estimate_cards(queries)));
+    group.bench_function("serialize/to_bytes", |b| b.iter(|| est.to_bytes()));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_inference
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Cost of one training epoch (the unit behind §4.7's 39-minute /
+//! 100-epoch GPU training run).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lc_bench::BenchFixture;
+use lc_core::{train, FeatureMode, TrainConfig};
+use lc_nn::LossKind;
+
+fn bench_training(c: &mut Criterion) {
+    let f = BenchFixture::small();
+    let mut group = c.benchmark_group("training");
+    group.sample_size(10);
+    for (name, mode) in [
+        ("epoch/no_samples", FeatureMode::NoSamples),
+        ("epoch/bitmaps", FeatureMode::Bitmaps),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let cfg = TrainConfig {
+                    epochs: 1,
+                    hidden: 64,
+                    batch_size: 128,
+                    mode,
+                    loss: LossKind::MeanQError,
+                    ..TrainConfig::default()
+                };
+                train(&f.db, f.samples.sample_size, f.queries(), cfg)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(6))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_training
+}
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Regenerates every table and figure of the paper's evaluation (§4).
+//!
+//! ```text
+//! experiments [--all] [--exp id,id,...] [--fast|--tiny] [--out PATH] [--list]
+//! ```
+//!
+//! * `--all` (default) runs the full suite in paper order;
+//! * `--exp table2,fig6` runs a subset (see `--list` for ids);
+//! * `--fast` / `--tiny` shrink the dataset and training budget;
+//! * `--out PATH` additionally writes the report to a file.
+
+use std::io::Write;
+
+use lc_eval::experiments::registry;
+use lc_eval::{ExperimentConfig, Harness};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments [--all] [--exp id,id,...] [--fast|--tiny] [--out PATH] [--list]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut selected: Option<Vec<String>> = None;
+    let mut cfg = ExperimentConfig::standard();
+    let mut scale_name = "standard";
+    let mut out_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--all" => selected = None,
+            "--exp" => {
+                i += 1;
+                let list = args.get(i).unwrap_or_else(|| usage());
+                selected = Some(list.split(',').map(|s| s.trim().to_string()).collect());
+            }
+            "--fast" => {
+                cfg = ExperimentConfig::fast();
+                scale_name = "fast";
+            }
+            "--tiny" => {
+                cfg = ExperimentConfig::tiny();
+                scale_name = "tiny";
+            }
+            "--out" => {
+                i += 1;
+                out_path = Some(args.get(i).unwrap_or_else(|| usage()).clone());
+            }
+            "--list" => {
+                for (id, title, _) in registry() {
+                    println!("{id:12} {title}");
+                }
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+
+    let reg = registry();
+    if let Some(sel) = &selected {
+        for id in sel {
+            if !reg.iter().any(|(rid, _, _)| rid == id) {
+                eprintln!("unknown experiment id: {id} (try --list)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let started = std::time::Instant::now();
+    let mut h = Harness::new(cfg);
+    let mut report = String::new();
+    report.push_str(&format!(
+        "# Experiment report ({} scale)\n\n\
+         Dataset: {} titles / {} total rows · {} materialized samples per table · \
+         {} training queries · training: {} epochs, batch {}, {} hidden units, lr {}.\n\n",
+        scale_name,
+        h.cfg.imdb.num_titles,
+        h.db.total_rows(),
+        h.cfg.sample_size,
+        h.training.len(),
+        h.cfg.train.epochs,
+        h.cfg.train.batch_size,
+        h.cfg.train.hidden,
+        h.cfg.train.learning_rate,
+    ));
+    for (id, title, f) in reg {
+        if let Some(sel) = &selected {
+            if !sel.iter().any(|s| s == id) {
+                continue;
+            }
+        }
+        eprintln!("[experiments] running {id}: {title}");
+        let t = std::time::Instant::now();
+        let section = f(&mut h);
+        eprintln!("[experiments] {id} finished in {:.1?}", t.elapsed());
+        report.push_str(&section);
+        report.push('\n');
+    }
+    report.push_str(&format!(
+        "\n_Total experiment wall-clock time: {:.1} s (single core)._\n",
+        started.elapsed().as_secs_f64()
+    ));
+
+    print!("{report}");
+    if let Some(path) = out_path {
+        let mut f = std::fs::File::create(&path).expect("create output file");
+        f.write_all(report.as_bytes()).expect("write report");
+        eprintln!("[experiments] wrote {path}");
+    }
+}

@@ -1,0 +1,52 @@
+//! # lc-bench — criterion micro-benchmarks and the experiments binary
+//!
+//! * `cargo run --release -p lc-bench --bin experiments -- --all` rebuilds
+//!   every table and figure of the paper (see `lc-eval::experiments`).
+//! * `cargo bench` runs the criterion micro-benchmarks: executor
+//!   throughput, baseline estimation latency, MSCN featurization +
+//!   inference latency (§4.7), one training epoch, and data generation.
+//!
+//! This crate also hosts small shared fixtures for the benches.
+
+use lc_engine::{Database, JoinIndexes, SampleSet};
+use lc_imdb::ImdbConfig;
+use lc_query::workloads::Workload;
+use lc_query::{workloads, LabeledQuery};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A compact fixture shared by the criterion benches: a small database,
+/// samples, indexes, and a labeled workload.
+pub struct BenchFixture {
+    /// The database snapshot.
+    pub db: Database,
+    /// Materialized samples (64 per table).
+    pub samples: SampleSet,
+    /// Join indexes.
+    pub indexes: JoinIndexes,
+    /// 256 labeled queries with 0–2 joins.
+    pub workload: Workload,
+}
+
+impl BenchFixture {
+    /// Build the fixture (deterministic).
+    pub fn small() -> Self {
+        let db = lc_imdb::generate(&ImdbConfig {
+            num_titles: 8_000,
+            num_companies: 800,
+            num_persons: 6_000,
+            num_keywords: 1_200,
+            seed: 99,
+        });
+        let mut rng = SmallRng::seed_from_u64(1);
+        let samples = SampleSet::draw(&db, 64, &mut rng);
+        let indexes = JoinIndexes::build(&db);
+        let workload = workloads::synthetic(&db, &samples, 256, 2, 7);
+        BenchFixture { db, samples, indexes, workload }
+    }
+
+    /// The labeled queries of the fixture workload.
+    pub fn queries(&self) -> &[LabeledQuery] {
+        &self.workload.queries
+    }
+}

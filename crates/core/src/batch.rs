@@ -1,0 +1,207 @@
+//! Ragged mini-batches and masked segment-mean pooling.
+//!
+//! The paper zero-pads every query to the maximum set size in the batch and
+//! masks the dummy elements out of the average (§3.2). We store the same
+//! information without padding: all set elements of a batch are stacked
+//! into one dense matrix per module, plus per-query `(offset, len)`
+//! segments. `segment_mean` then computes exactly the paper's masked
+//! average — an empty set yields the zero vector, matching the all-masked
+//! behaviour of the reference implementation.
+
+use lc_nn::Matrix;
+
+use crate::featurize::FeaturizedQuery;
+
+/// A mini-batch of featurized queries in ragged layout.
+#[derive(Clone, Debug)]
+pub struct RaggedBatch {
+    /// Stacked table feature rows of all queries.
+    pub tables: Matrix,
+    /// `(offset, len)` into `tables` per query.
+    pub table_segs: Vec<(u32, u32)>,
+    /// Stacked join feature rows.
+    pub joins: Matrix,
+    /// `(offset, len)` into `joins` per query.
+    pub join_segs: Vec<(u32, u32)>,
+    /// Stacked predicate feature rows.
+    pub preds: Matrix,
+    /// `(offset, len)` into `preds` per query.
+    pub pred_segs: Vec<(u32, u32)>,
+    /// Normalized targets, one per query.
+    pub targets: Vec<f32>,
+}
+
+impl RaggedBatch {
+    /// Assemble a batch from featurized queries (in the given order).
+    ///
+    /// `table_dim`, `join_dim`, `pred_dim` fix the matrix widths even when
+    /// a module receives zero rows across the whole batch.
+    pub fn assemble(
+        queries: &[&FeaturizedQuery],
+        table_dim: usize,
+        join_dim: usize,
+        pred_dim: usize,
+    ) -> Self {
+        fn stack(
+            rows: impl Iterator<Item = usize>,
+            queries: &[&FeaturizedQuery],
+            pick: impl Fn(&FeaturizedQuery) -> &Vec<Vec<f32>>,
+            dim: usize,
+        ) -> (Matrix, Vec<(u32, u32)>) {
+            let total: usize = rows.sum();
+            let mut data = Vec::with_capacity(total * dim);
+            let mut segs = Vec::with_capacity(queries.len());
+            let mut offset = 0u32;
+            for q in queries {
+                let rs = pick(q);
+                for r in rs {
+                    debug_assert_eq!(r.len(), dim);
+                    data.extend_from_slice(r);
+                }
+                segs.push((offset, rs.len() as u32));
+                offset += rs.len() as u32;
+            }
+            (Matrix::from_vec(total, dim, data), segs)
+        }
+        let (tables, table_segs) = stack(
+            queries.iter().map(|q| q.table_rows.len()),
+            queries,
+            |q| &q.table_rows,
+            table_dim,
+        );
+        let (joins, join_segs) =
+            stack(queries.iter().map(|q| q.join_rows.len()), queries, |q| &q.join_rows, join_dim);
+        let (preds, pred_segs) =
+            stack(queries.iter().map(|q| q.pred_rows.len()), queries, |q| &q.pred_rows, pred_dim);
+        let targets = queries.iter().map(|q| q.target).collect();
+        RaggedBatch { tables, table_segs, joins, join_segs, preds, pred_segs, targets }
+    }
+
+    /// Number of queries in the batch.
+    pub fn len(&self) -> usize {
+        self.table_segs.len()
+    }
+
+    /// True if the batch holds no queries.
+    pub fn is_empty(&self) -> bool {
+        self.table_segs.is_empty()
+    }
+}
+
+/// Masked average pooling: `out[q] = mean(elems[offset..offset+len])`, the
+/// zero vector for empty segments.
+pub fn segment_mean(elems: &Matrix, segs: &[(u32, u32)]) -> Matrix {
+    let d = elems.cols();
+    let mut out = Matrix::zeros(segs.len(), d);
+    for (qi, &(offset, len)) in segs.iter().enumerate() {
+        if len == 0 {
+            continue;
+        }
+        let inv = 1.0 / len as f32;
+        let out_row = out.row_mut(qi);
+        for e in offset..offset + len {
+            for (o, &v) in out_row.iter_mut().zip(elems.row(e as usize)) {
+                *o += v;
+            }
+        }
+        for o in out_row {
+            *o *= inv;
+        }
+    }
+    out
+}
+
+/// Backward of [`segment_mean`]: each element of segment `q` receives
+/// `grad_pooled[q] / len`; rows of empty segments receive nothing.
+pub fn segment_mean_backward(
+    grad_pooled: &Matrix,
+    segs: &[(u32, u32)],
+    num_elems: usize,
+) -> Matrix {
+    let d = grad_pooled.cols();
+    let mut out = Matrix::zeros(num_elems, d);
+    for (qi, &(offset, len)) in segs.iter().enumerate() {
+        if len == 0 {
+            continue;
+        }
+        let inv = 1.0 / len as f32;
+        let g_row: Vec<f32> = grad_pooled.row(qi).iter().map(|&g| g * inv).collect();
+        for e in offset..offset + len {
+            for (o, &g) in out.row_mut(e as usize).iter_mut().zip(&g_row) {
+                *o += g;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_mean_averages_and_zeroes_empty() {
+        let elems = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0]);
+        let segs = vec![(0u32, 2u32), (2, 1), (3, 0)];
+        let pooled = segment_mean(&elems, &segs);
+        assert_eq!(pooled.row(0), &[2.0, 3.0]);
+        assert_eq!(pooled.row(1), &[10.0, 20.0]);
+        assert_eq!(pooled.row(2), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn segment_mean_backward_distributes_evenly() {
+        let segs = vec![(0u32, 2u32), (2, 1), (3, 0)];
+        let grad = Matrix::from_vec(3, 2, vec![4.0, 8.0, 5.0, 6.0, 9.0, 9.0]);
+        let g = segment_mean_backward(&grad, &segs, 3);
+        assert_eq!(g.row(0), &[2.0, 4.0]);
+        assert_eq!(g.row(1), &[2.0, 4.0]);
+        assert_eq!(g.row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn mean_then_backward_is_consistent_with_finite_differences() {
+        // d(mean)/d(elem) check through a scalar loss = sum(pooled).
+        let elems = Matrix::from_vec(4, 3, (0..12).map(|i| i as f32 * 0.5).collect());
+        let segs = vec![(0u32, 3u32), (3, 1)];
+        let ones = Matrix::from_vec(2, 3, vec![1.0; 6]);
+        let g = segment_mean_backward(&ones, &segs, 4);
+        let eps = 1e-3f32;
+        for (i, j) in [(0usize, 0usize), (2, 2), (3, 1)] {
+            let mut up = elems.clone();
+            up.set(i, j, elems.get(i, j) + eps);
+            let mut down = elems.clone();
+            down.set(i, j, elems.get(i, j) - eps);
+            let lu: f32 = segment_mean(&up, &segs).data().iter().sum();
+            let ld: f32 = segment_mean(&down, &segs).data().iter().sum();
+            let numeric = (lu - ld) / (2.0 * eps);
+            assert!((g.get(i, j) - numeric).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn assemble_concatenates_in_order() {
+        let q1 = FeaturizedQuery {
+            table_rows: vec![vec![1.0, 0.0]],
+            join_rows: vec![],
+            pred_rows: vec![vec![0.5, 0.5, 0.0]],
+            target: 0.25,
+        };
+        let q2 = FeaturizedQuery {
+            table_rows: vec![vec![0.0, 1.0], vec![1.0, 1.0]],
+            join_rows: vec![vec![1.0]],
+            pred_rows: vec![],
+            target: 0.75,
+        };
+        let b = RaggedBatch::assemble(&[&q1, &q2], 2, 1, 3);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.tables.shape(), (3, 2));
+        assert_eq!(b.table_segs, vec![(0, 1), (1, 2)]);
+        assert_eq!(b.joins.shape(), (1, 1));
+        assert_eq!(b.join_segs, vec![(0, 0), (0, 1)]);
+        assert_eq!(b.preds.shape(), (1, 3));
+        assert_eq!(b.pred_segs, vec![(0, 1), (1, 0)]);
+        assert_eq!(b.targets, vec![0.25, 0.75]);
+        assert_eq!(b.tables.row(2), &[1.0, 1.0]);
+    }
+}

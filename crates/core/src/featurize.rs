@@ -1,0 +1,398 @@
+//! Query featurization (§3.1) and sample enrichment (§3.4).
+//!
+//! * table element: one-hot table id ‖ sample feature (per
+//!   [`FeatureMode`]);
+//! * join element: one-hot join id;
+//! * predicate element: one-hot column id ‖ one-hot operator ‖ literal
+//!   normalized into `[0,1]` by the column's min/max;
+//! * target: `log(cardinality)` min/max-normalized to `[0,1]` over the
+//!   training set ([`LabelNorm`]).
+
+use lc_engine::{Database, TableId};
+use lc_query::LabeledQuery;
+
+/// Which §3.4 sample information enriches the table features — the three
+/// model variants of Fig. 4.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FeatureMode {
+    /// Query features only ("MSCN (no samples)").
+    NoSamples,
+    /// One qualifying-sample cardinality per base table
+    /// ("MSCN (#samples)").
+    SampleCounts,
+    /// One qualifying-sample bitmap per base table ("MSCN (bitmaps)") —
+    /// the paper's full model.
+    Bitmaps,
+    /// The §5 "More bitmaps" extension: the per-table conjunction bitmap
+    /// *plus* one bitmap per individual predicate, attached to that
+    /// predicate's feature vector. Increases the chance that some bitmap
+    /// carries signal under selective conjunctions.
+    PredicateBitmaps,
+}
+
+impl FeatureMode {
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FeatureMode::NoSamples => "MSCN (no samples)",
+            FeatureMode::SampleCounts => "MSCN (#samples)",
+            FeatureMode::Bitmaps => "MSCN (bitmaps)",
+            FeatureMode::PredicateBitmaps => "MSCN (predicate bitmaps)",
+        }
+    }
+}
+
+/// Invertible log-min/max normalization of cardinalities (§3.2).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LabelNorm {
+    min_log: f64,
+    max_log: f64,
+}
+
+impl LabelNorm {
+    /// Fit on the training cardinalities.
+    ///
+    /// # Panics
+    /// If `cards` is empty or contains a zero (the training pipeline skips
+    /// empty results, §3.3).
+    pub fn fit(cards: impl IntoIterator<Item = u64>) -> Self {
+        let mut min_log = f64::INFINITY;
+        let mut max_log = f64::NEG_INFINITY;
+        let mut any = false;
+        for c in cards {
+            assert!(c > 0, "cardinality 0 cannot be log-normalized");
+            let l = (c as f64).ln();
+            min_log = min_log.min(l);
+            max_log = max_log.max(l);
+            any = true;
+        }
+        assert!(any, "cannot fit LabelNorm on an empty training set");
+        if max_log <= min_log {
+            max_log = min_log + 1.0;
+        }
+        LabelNorm { min_log, max_log }
+    }
+
+    /// Normalize a cardinality into `[0,1]` (clamped).
+    pub fn normalize(&self, card: u64) -> f32 {
+        let l = (card.max(1) as f64).ln();
+        (((l - self.min_log) / (self.max_log - self.min_log)).clamp(0.0, 1.0)) as f32
+    }
+
+    /// Invert the normalization.
+    pub fn denormalize(&self, y: f32) -> f64 {
+        (y as f64 * (self.max_log - self.min_log) + self.min_log).exp()
+    }
+
+    /// `log(c_max) − log(c_min)`: the q-error loss scale.
+    pub fn scale(&self) -> f32 {
+        (self.max_log - self.min_log) as f32
+    }
+
+    /// Largest cardinality seen during training (used by §4.4/§4.5 to
+    /// identify out-of-range evaluation queries).
+    pub fn max_card(&self) -> f64 {
+        self.max_log.exp()
+    }
+}
+
+/// One featurized query: ragged rows for the three set modules plus the
+/// normalized target.
+#[derive(Clone, Debug, Default)]
+pub struct FeaturizedQuery {
+    /// One row of width [`Featurizer::table_dim`] per participating table.
+    pub table_rows: Vec<Vec<f32>>,
+    /// One row of width [`Featurizer::join_dim`] per join edge (empty for
+    /// base-table queries).
+    pub join_rows: Vec<Vec<f32>>,
+    /// One row of width [`Featurizer::pred_dim`] per predicate (possibly
+    /// empty).
+    pub pred_rows: Vec<Vec<f32>>,
+    /// Normalized target, if the query is labeled for training.
+    pub target: f32,
+}
+
+/// Encoder from [`LabeledQuery`] to model inputs, bound to a database
+/// snapshot (for schema layout and value normalization) and a training-set
+/// label normalization.
+#[derive(Clone, Debug)]
+pub struct Featurizer {
+    mode: FeatureMode,
+    num_tables: usize,
+    num_joins: usize,
+    num_columns: usize,
+    sample_size: usize,
+    /// Per (table, column): global data-column index, or usize::MAX for keys.
+    column_index: Vec<Vec<usize>>,
+    /// Per global data column: (min, max) for value normalization.
+    value_range: Vec<(i64, i64)>,
+    label_norm: LabelNorm,
+}
+
+impl Featurizer {
+    /// Build the encoder. `sample_size` must match the [`lc_engine::SampleSet`]
+    /// used to annotate queries; `training_cards` fits the label
+    /// normalization (use the training split only).
+    pub fn fit(
+        db: &Database,
+        mode: FeatureMode,
+        sample_size: usize,
+        training_cards: impl IntoIterator<Item = u64>,
+    ) -> Self {
+        let schema = db.schema();
+        let num_tables = schema.num_tables();
+        let num_joins = schema.num_joins();
+        let num_columns = schema.total_data_columns();
+        let mut column_index = Vec::with_capacity(num_tables);
+        let mut value_range = vec![(0i64, 0i64); num_columns];
+        for ti in 0..num_tables {
+            let t = TableId(ti as u16);
+            let def = schema.table(t);
+            let mut per_col = vec![usize::MAX; def.columns.len()];
+            for ci in 0..def.columns.len() {
+                if let Some(g) = schema.global_data_column_index(t, ci) {
+                    per_col[ci] = g;
+                    let s = db.column_stats(t, ci);
+                    value_range[g] = (s.min, s.max);
+                }
+            }
+            column_index.push(per_col);
+        }
+        Featurizer {
+            mode,
+            num_tables,
+            num_joins,
+            num_columns,
+            sample_size,
+            column_index,
+            value_range,
+            label_norm: LabelNorm::fit(training_cards),
+        }
+    }
+
+    /// The sample feature mode.
+    pub fn mode(&self) -> FeatureMode {
+        self.mode
+    }
+
+    /// Label normalization fitted on the training set.
+    pub fn label_norm(&self) -> &LabelNorm {
+        &self.label_norm
+    }
+
+    /// Width of a table feature row.
+    pub fn table_dim(&self) -> usize {
+        self.num_tables
+            + match self.mode {
+                FeatureMode::NoSamples => 0,
+                FeatureMode::SampleCounts => 1,
+                FeatureMode::Bitmaps | FeatureMode::PredicateBitmaps => self.sample_size,
+            }
+    }
+
+    /// Width of a join feature row.
+    pub fn join_dim(&self) -> usize {
+        self.num_joins
+    }
+
+    /// Width of a predicate feature row.
+    pub fn pred_dim(&self) -> usize {
+        self.num_columns
+            + 3
+            + 1
+            + if self.mode == FeatureMode::PredicateBitmaps { self.sample_size } else { 0 }
+    }
+
+    /// Normalize a literal by its column's min/max (§3.1).
+    fn normalize_value(&self, global_col: usize, v: i64) -> f32 {
+        let (min, max) = self.value_range[global_col];
+        if max <= min {
+            return 0.0;
+        }
+        (((v - min) as f64 / (max - min) as f64).clamp(0.0, 1.0)) as f32
+    }
+
+    /// Encode one annotated query.
+    pub fn featurize(&self, q: &LabeledQuery) -> FeaturizedQuery {
+        let mut out = FeaturizedQuery {
+            table_rows: Vec::with_capacity(q.query.tables().len()),
+            join_rows: Vec::with_capacity(q.query.joins().len()),
+            pred_rows: Vec::with_capacity(q.query.predicates().len()),
+            target: self.label_norm.normalize(q.cardinality.max(1)),
+        };
+        for (i, &t) in q.query.tables().iter().enumerate() {
+            let mut row = vec![0.0f32; self.table_dim()];
+            row[t.index()] = 1.0;
+            match self.mode {
+                FeatureMode::NoSamples => {}
+                FeatureMode::SampleCounts => {
+                    row[self.num_tables] = q.sample_counts[i] as f32 / self.sample_size as f32;
+                }
+                FeatureMode::Bitmaps | FeatureMode::PredicateBitmaps => {
+                    for pos in q.bitmaps[i].iter_ones() {
+                        row[self.num_tables + pos] = 1.0;
+                    }
+                }
+            }
+            out.table_rows.push(row);
+        }
+        for &j in q.query.joins() {
+            let mut row = vec![0.0f32; self.join_dim()];
+            row[j.index()] = 1.0;
+            out.join_rows.push(row);
+        }
+        for (pi, p) in q.query.predicates().iter().enumerate() {
+            let g = self.column_index[p.table.index()][p.column];
+            debug_assert_ne!(g, usize::MAX, "predicate on key column");
+            let mut row = vec![0.0f32; self.pred_dim()];
+            row[g] = 1.0;
+            row[self.num_columns + p.op.index()] = 1.0;
+            row[self.num_columns + 3] = self.normalize_value(g, p.value);
+            if self.mode == FeatureMode::PredicateBitmaps {
+                let base = self.num_columns + 4;
+                for pos in q.pred_bitmaps[pi].iter_ones() {
+                    row[base + pos] = 1.0;
+                }
+            }
+            out.pred_rows.push(row);
+        }
+        out
+    }
+
+    /// Raw pieces for (de)serialization.
+    pub(crate) fn to_parts(&self) -> FeaturizerParts {
+        FeaturizerParts {
+            mode: self.mode,
+            num_tables: self.num_tables,
+            num_joins: self.num_joins,
+            num_columns: self.num_columns,
+            sample_size: self.sample_size,
+            column_index: self.column_index.clone(),
+            value_range: self.value_range.clone(),
+            min_log: self.label_norm.min_log,
+            max_log: self.label_norm.max_log,
+        }
+    }
+
+    pub(crate) fn from_parts(p: FeaturizerParts) -> Self {
+        Featurizer {
+            mode: p.mode,
+            num_tables: p.num_tables,
+            num_joins: p.num_joins,
+            num_columns: p.num_columns,
+            sample_size: p.sample_size,
+            column_index: p.column_index,
+            value_range: p.value_range,
+            label_norm: LabelNorm { min_log: p.min_log, max_log: p.max_log },
+        }
+    }
+}
+
+/// Flattened featurizer state for serialization.
+pub(crate) struct FeaturizerParts {
+    pub mode: FeatureMode,
+    pub num_tables: usize,
+    pub num_joins: usize,
+    pub num_columns: usize,
+    pub sample_size: usize,
+    pub column_index: Vec<Vec<usize>>,
+    pub value_range: Vec<(i64, i64)>,
+    pub min_log: f64,
+    pub max_log: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lc_engine::{CmpOp, JoinId, Predicate, SampleSet};
+    use lc_imdb::{generate, ImdbConfig};
+    use lc_query::Query;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn fixture() -> (Database, SampleSet) {
+        let db = generate(&ImdbConfig::tiny());
+        let mut rng = SmallRng::seed_from_u64(5);
+        let samples = SampleSet::draw(&db, 40, &mut rng);
+        (db, samples)
+    }
+
+    #[test]
+    fn label_norm_roundtrip_and_clamp() {
+        let norm = LabelNorm::fit([1u64, 10, 100, 100_000]);
+        for c in [1u64, 10, 5_000, 100_000] {
+            let y = norm.normalize(c);
+            assert!((0.0..=1.0).contains(&y));
+            let back = norm.denormalize(y);
+            assert!((back - c as f64).abs() / (c as f64) < 1e-4, "{c} -> {back}");
+        }
+        // Out-of-range cardinalities clamp to the boundary.
+        assert_eq!(norm.normalize(10_000_000), 1.0);
+        assert!((norm.max_card() - 100_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dims_depend_on_mode() {
+        let (db, samples) = fixture();
+        for (mode, extra) in [
+            (FeatureMode::NoSamples, 0),
+            (FeatureMode::SampleCounts, 1),
+            (FeatureMode::Bitmaps, samples.sample_size),
+        ] {
+            let f = Featurizer::fit(&db, mode, samples.sample_size, [1u64, 100]);
+            assert_eq!(f.table_dim(), 6 + extra, "{mode:?}");
+            assert_eq!(f.join_dim(), 5);
+            assert_eq!(f.pred_dim(), 10 + 3 + 1);
+        }
+    }
+
+    #[test]
+    fn encodes_one_hots_and_values() {
+        let (db, samples) = fixture();
+        let f = Featurizer::fit(&db, FeatureMode::Bitmaps, samples.sample_size, [1u64, 1000]);
+        let year_col = db.schema().table(TableId(0)).column_index("production_year").unwrap();
+        let stats = db.column_stats(TableId(0), year_col);
+        let mid = (stats.min + stats.max) / 2;
+        let q = Query::new(
+            vec![TableId(0), TableId(1)],
+            vec![JoinId(0)],
+            vec![Predicate { table: TableId(0), column: year_col, op: CmpOp::Gt, value: mid }],
+        );
+        let labeled = LabeledQuery::compute(&db, &samples, q);
+        let fq = f.featurize(&labeled);
+        assert_eq!(fq.table_rows.len(), 2);
+        assert_eq!(fq.join_rows.len(), 1);
+        assert_eq!(fq.pred_rows.len(), 1);
+        // Table one-hots: first row is title (index 0), second mc (index 1).
+        assert_eq!(fq.table_rows[0][0], 1.0);
+        assert_eq!(fq.table_rows[1][1], 1.0);
+        assert_eq!(fq.table_rows[1][0], 0.0);
+        // Join one-hot.
+        assert_eq!(fq.join_rows[0][0], 1.0);
+        assert_eq!(fq.join_rows[0].iter().sum::<f32>(), 1.0);
+        // Predicate row: global col one-hot (title.production_year = 1),
+        // operator Gt (index 2 of 3), value ~0.5.
+        let p = &fq.pred_rows[0];
+        assert_eq!(p[1], 1.0);
+        assert_eq!(p[10 + 2], 1.0);
+        let v = p[13];
+        assert!((0.3..0.7).contains(&v), "normalized mid-value {v}");
+        // Bitmap bits mirror the labeled bitmaps.
+        let bits: f32 = fq.table_rows[0][6..].iter().sum();
+        assert_eq!(bits, labeled.sample_counts[0] as f32);
+    }
+
+    #[test]
+    fn base_table_query_has_empty_join_set() {
+        let (db, samples) = fixture();
+        let f = Featurizer::fit(&db, FeatureMode::SampleCounts, samples.sample_size, [1u64, 10]);
+        let q = Query::new(vec![TableId(3)], vec![], vec![]);
+        let labeled = LabeledQuery::compute(&db, &samples, q);
+        let fq = f.featurize(&labeled);
+        assert_eq!(fq.table_rows.len(), 1);
+        assert!(fq.join_rows.is_empty());
+        assert!(fq.pred_rows.is_empty());
+        // No predicates -> all samples qualify -> count feature = 1.0.
+        assert_eq!(fq.table_rows[0][6], 1.0);
+    }
+}

@@ -1,0 +1,261 @@
+//! The MSCN network (§3.2, Fig. 1): three per-element set MLPs with shared
+//! weights, masked average pooling, concatenation, and an output MLP with a
+//! sigmoid scalar head.
+
+use lc_nn::{FinalActivation, Matrix, Mlp, MlpCache};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::batch::{segment_mean, segment_mean_backward, RaggedBatch};
+
+/// Forward-pass intermediates kept for the backward pass.
+pub struct ForwardCache {
+    table_cache: MlpCache,
+    join_cache: MlpCache,
+    pred_cache: MlpCache,
+    concat: Matrix,
+    out_cache: MlpCache,
+}
+
+/// The multi-set convolutional network.
+#[derive(Clone, Debug)]
+pub struct MscnModel {
+    table_mlp: Mlp,
+    join_mlp: Mlp,
+    pred_mlp: Mlp,
+    out_mlp: Mlp,
+    hidden: usize,
+}
+
+impl MscnModel {
+    /// Construct with hidden width `hidden` (the paper's `d`,
+    /// hyperparameter of §4.6) and Xavier init from `seed`.
+    pub fn new(table_dim: usize, join_dim: usize, pred_dim: usize, hidden: usize, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        MscnModel {
+            table_mlp: Mlp::new(table_dim, hidden, hidden, FinalActivation::Relu, &mut rng),
+            join_mlp: Mlp::new(join_dim, hidden, hidden, FinalActivation::Relu, &mut rng),
+            pred_mlp: Mlp::new(pred_dim, hidden, hidden, FinalActivation::Relu, &mut rng),
+            out_mlp: Mlp::new(3 * hidden, hidden, 1, FinalActivation::Sigmoid, &mut rng),
+            hidden,
+        }
+    }
+
+    /// Hidden width `d`.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Expected feature widths `(table, join, predicate)`.
+    pub fn input_dims(&self) -> (usize, usize, usize) {
+        (self.table_mlp.input_dim(), self.join_mlp.input_dim(), self.pred_mlp.input_dim())
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_params(&self) -> usize {
+        self.table_mlp.num_params()
+            + self.join_mlp.num_params()
+            + self.pred_mlp.num_params()
+            + self.out_mlp.num_params()
+    }
+
+    /// Forward a batch; returns the normalized predictions `w_out ∈ [0,1]`
+    /// (one per query) and the cache for [`MscnModel::backward`].
+    pub fn forward(&self, batch: &RaggedBatch) -> (Vec<f32>, ForwardCache) {
+        let table_cache = self.table_mlp.forward(&batch.tables);
+        let join_cache = self.join_mlp.forward(&batch.joins);
+        let pred_cache = self.pred_mlp.forward(&batch.preds);
+        let w_t = segment_mean(&table_cache.output, &batch.table_segs);
+        let w_j = segment_mean(&join_cache.output, &batch.join_segs);
+        let w_p = segment_mean(&pred_cache.output, &batch.pred_segs);
+        let n = batch.len();
+        let d = self.hidden;
+        let mut concat = Matrix::zeros(n, 3 * d);
+        for q in 0..n {
+            let row = concat.row_mut(q);
+            row[..d].copy_from_slice(w_t.row(q));
+            row[d..2 * d].copy_from_slice(w_j.row(q));
+            row[2 * d..].copy_from_slice(w_p.row(q));
+        }
+        let out_cache = self.out_mlp.forward(&concat);
+        let preds = (0..n).map(|q| out_cache.output.get(q, 0)).collect();
+        (preds, ForwardCache { table_cache, join_cache, pred_cache, concat, out_cache })
+    }
+
+    /// Predictions only (inference path).
+    pub fn predict(&self, batch: &RaggedBatch) -> Vec<f32> {
+        self.forward(batch).0
+    }
+
+    /// Backward pass: `grad_pred[q] = ∂L/∂w_out[q]`. Accumulates parameter
+    /// gradients in all four MLPs.
+    pub fn backward(&mut self, batch: &RaggedBatch, cache: &ForwardCache, grad_pred: &[f32]) {
+        let n = batch.len();
+        debug_assert_eq!(grad_pred.len(), n);
+        let d = self.hidden;
+        let grad_out = Matrix::from_vec(n, 1, grad_pred.to_vec());
+        let grad_concat = self.out_mlp.backward(&cache.concat, &cache.out_cache, grad_out);
+        // Split the concatenated gradient back into the three modules.
+        let mut g_t = Matrix::zeros(n, d);
+        let mut g_j = Matrix::zeros(n, d);
+        let mut g_p = Matrix::zeros(n, d);
+        for q in 0..n {
+            let row = grad_concat.row(q);
+            g_t.row_mut(q).copy_from_slice(&row[..d]);
+            g_j.row_mut(q).copy_from_slice(&row[d..2 * d]);
+            g_p.row_mut(q).copy_from_slice(&row[2 * d..]);
+        }
+        let g_t = segment_mean_backward(&g_t, &batch.table_segs, batch.tables.rows());
+        let g_j = segment_mean_backward(&g_j, &batch.join_segs, batch.joins.rows());
+        let g_p = segment_mean_backward(&g_p, &batch.pred_segs, batch.preds.rows());
+        self.table_mlp.backward(&batch.tables, &cache.table_cache, g_t);
+        self.join_mlp.backward(&batch.joins, &cache.join_cache, g_j);
+        self.pred_mlp.backward(&batch.preds, &cache.pred_cache, g_p);
+    }
+
+    /// Clear accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.table_mlp.zero_grad();
+        self.join_mlp.zero_grad();
+        self.pred_mlp.zero_grad();
+        self.out_mlp.zero_grad();
+    }
+
+    /// All MLPs in canonical order (table, join, predicate, output) — the
+    /// order the optimizer registration and the serializer use.
+    pub fn mlps_mut(&mut self) -> [&mut Mlp; 4] {
+        [&mut self.table_mlp, &mut self.join_mlp, &mut self.pred_mlp, &mut self.out_mlp]
+    }
+
+    /// Read-only MLP access in canonical order.
+    pub fn mlps(&self) -> [&Mlp; 4] {
+        [&self.table_mlp, &self.join_mlp, &self.pred_mlp, &self.out_mlp]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::featurize::FeaturizedQuery;
+    use lc_nn::LossKind;
+    use rand::seq::SliceRandom;
+    use rand::Rng;
+
+    fn random_query(rng: &mut SmallRng, dims: (usize, usize, usize)) -> FeaturizedQuery {
+        let (td, jd, pd) = dims;
+        let row = |d: usize, rng: &mut SmallRng| (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        FeaturizedQuery {
+            table_rows: (0..rng.gen_range(1..4)).map(|_| row(td, rng)).collect(),
+            join_rows: (0..rng.gen_range(0..3)).map(|_| row(jd, rng)).collect(),
+            pred_rows: (0..rng.gen_range(0..4)).map(|_| row(pd, rng)).collect(),
+            target: rng.gen_range(0.0..1.0),
+        }
+    }
+
+    #[test]
+    fn output_is_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let model = MscnModel::new(8, 4, 6, 16, 3);
+        let qs: Vec<_> = (0..10).map(|_| random_query(&mut rng, (8, 4, 6))).collect();
+        let refs: Vec<&FeaturizedQuery> = qs.iter().collect();
+        let batch = RaggedBatch::assemble(&refs, 8, 4, 6);
+        let preds = model.predict(&batch);
+        assert_eq!(preds.len(), 10);
+        assert!(preds.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    /// The paper's architectural claim: predictions are invariant to the
+    /// order of elements within each set.
+    #[test]
+    fn permutation_invariance() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let model = MscnModel::new(8, 4, 6, 16, 4);
+        let q = random_query(&mut rng, (8, 4, 6));
+        let base = {
+            let batch = RaggedBatch::assemble(&[&q], 8, 4, 6);
+            model.predict(&batch)[0]
+        };
+        for _ in 0..5 {
+            let mut shuffled = q.clone();
+            shuffled.table_rows.shuffle(&mut rng);
+            shuffled.join_rows.shuffle(&mut rng);
+            shuffled.pred_rows.shuffle(&mut rng);
+            let batch = RaggedBatch::assemble(&[&shuffled], 8, 4, 6);
+            let p = model.predict(&batch)[0];
+            assert!((p - base).abs() < 1e-5, "permutation changed prediction: {p} vs {base}");
+        }
+    }
+
+    /// Batch composition must not change per-query results (masked pooling
+    /// correctness).
+    #[test]
+    fn batching_is_transparent() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let model = MscnModel::new(8, 4, 6, 16, 5);
+        let qs: Vec<_> = (0..6).map(|_| random_query(&mut rng, (8, 4, 6))).collect();
+        let refs: Vec<&FeaturizedQuery> = qs.iter().collect();
+        let together = model.predict(&RaggedBatch::assemble(&refs, 8, 4, 6));
+        for (i, q) in qs.iter().enumerate() {
+            let alone = model.predict(&RaggedBatch::assemble(&[q], 8, 4, 6))[0];
+            assert!((alone - together[i]).abs() < 1e-5);
+        }
+    }
+
+    /// End-to-end gradient check: perturb one weight deep inside the table
+    /// module and compare the loss delta with the analytic gradient.
+    #[test]
+    fn end_to_end_gradient_check() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut model = MscnModel::new(5, 3, 4, 8, 6);
+        let qs: Vec<_> = (0..4).map(|_| random_query(&mut rng, (5, 3, 4))).collect();
+        let refs: Vec<&FeaturizedQuery> = qs.iter().collect();
+        let batch = RaggedBatch::assemble(&refs, 5, 3, 4);
+        let loss_of = |m: &MscnModel| -> f32 {
+            let preds = m.predict(&batch);
+            let mut grad = vec![0.0f32; preds.len()];
+            LossKind::Mse.loss_and_grad(&preds, &batch.targets, 1.0, &mut grad) as f32
+        };
+        // Analytic gradients.
+        model.zero_grad();
+        let (preds, cache) = model.forward(&batch);
+        let mut grad = vec![0.0f32; preds.len()];
+        LossKind::Mse.loss_and_grad(&preds, &batch.targets, 1.0, &mut grad);
+        model.backward(&batch, &cache, &grad);
+        // Pick a few weights across modules.
+        for (mlp_idx, layer_idx, w_idx) in
+            [(0usize, 0usize, 3usize), (1, 1, 2), (2, 0, 5), (3, 0, 7), (3, 1, 0)]
+        {
+            let analytic = {
+                let mut m = model.clone();
+                let pg = m.mlps_mut()[mlp_idx].layers_mut()[layer_idx].params_and_grads();
+                pg[0].1[w_idx]
+            };
+            let eps = 1e-2f32;
+            let perturbed = |delta: f32| {
+                let mut m = model.clone();
+                {
+                    let layer = &mut m.mlps_mut()[mlp_idx].layers_mut()[layer_idx];
+                    let mut w = layer.weights().data().to_vec();
+                    w[w_idx] += delta;
+                    let b = layer.bias().to_vec();
+                    layer.load(w, b);
+                }
+                m
+            };
+            let numeric = (loss_of(&perturbed(eps)) - loss_of(&perturbed(-eps))) / (2.0 * eps);
+            assert!(
+                (numeric - analytic).abs() < 2e-3,
+                "mlp {mlp_idx} layer {layer_idx} w {w_idx}: numeric {numeric} analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn param_count_matches_architecture() {
+        let model = MscnModel::new(10, 5, 14, 16, 7);
+        let expect = |i: usize, h: usize, o: usize| i * h + h + h * o + o;
+        let total = expect(10, 16, 16) + expect(5, 16, 16) + expect(14, 16, 16)
+            + expect(48, 16, 1);
+        assert_eq!(model.num_params(), total);
+    }
+}

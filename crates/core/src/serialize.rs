@@ -1,0 +1,242 @@
+//! Versioned binary model persistence.
+//!
+//! The paper reports the footprint of MSCN "when serialized to disk"
+//! (§4.7: 1.6–2.6 MiB at paper scale); this module provides that
+//! serialization. The format is a little-endian byte layout written with
+//! the `bytes` crate — no external serde format is needed for a flat
+//! struct of `f32` tensors, and the explicit layout keeps the file format
+//! stable and auditable.
+
+use bytes::{Buf, BufMut};
+
+use crate::featurize::{FeatureMode, Featurizer, FeaturizerParts};
+use crate::model::MscnModel;
+use crate::train::MscnEstimator;
+
+const MAGIC: u32 = 0x4D53_434E; // "MSCN"
+const VERSION: u32 = 1;
+
+/// Error raised by [`MscnEstimator::from_bytes`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "model decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn mode_tag(mode: FeatureMode) -> u8 {
+    match mode {
+        FeatureMode::NoSamples => 0,
+        FeatureMode::SampleCounts => 1,
+        FeatureMode::Bitmaps => 2,
+        FeatureMode::PredicateBitmaps => 3,
+    }
+}
+
+fn mode_from_tag(tag: u8) -> Result<FeatureMode, DecodeError> {
+    match tag {
+        0 => Ok(FeatureMode::NoSamples),
+        1 => Ok(FeatureMode::SampleCounts),
+        2 => Ok(FeatureMode::Bitmaps),
+        3 => Ok(FeatureMode::PredicateBitmaps),
+        t => Err(DecodeError(format!("unknown feature mode tag {t}"))),
+    }
+}
+
+impl MscnEstimator {
+    /// Serialize the trained estimator (network + featurization state) to
+    /// a self-contained byte buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.model().num_params() * 4 + 1024);
+        buf.put_u32_le(MAGIC);
+        buf.put_u32_le(VERSION);
+        // Featurizer.
+        let p = self.featurizer().to_parts();
+        buf.put_u8(mode_tag(p.mode));
+        buf.put_u32_le(p.num_tables as u32);
+        buf.put_u32_le(p.num_joins as u32);
+        buf.put_u32_le(p.num_columns as u32);
+        buf.put_u32_le(p.sample_size as u32);
+        buf.put_u32_le(p.column_index.len() as u32);
+        for cols in &p.column_index {
+            buf.put_u32_le(cols.len() as u32);
+            for &g in cols {
+                buf.put_u32_le(if g == usize::MAX { u32::MAX } else { g as u32 });
+            }
+        }
+        buf.put_u32_le(p.value_range.len() as u32);
+        for &(lo, hi) in &p.value_range {
+            buf.put_i64_le(lo);
+            buf.put_i64_le(hi);
+        }
+        buf.put_f64_le(p.min_log);
+        buf.put_f64_le(p.max_log);
+        // Network.
+        buf.put_u32_le(self.model().hidden() as u32);
+        for mlp in self.model().mlps() {
+            for layer in mlp.layers() {
+                buf.put_u32_le(layer.input_dim() as u32);
+                buf.put_u32_le(layer.output_dim() as u32);
+                for &w in layer.weights().data() {
+                    buf.put_f32_le(w);
+                }
+                for &b in layer.bias() {
+                    buf.put_f32_le(b);
+                }
+            }
+        }
+        buf
+    }
+
+    /// Deserialize an estimator written by [`MscnEstimator::to_bytes`].
+    pub fn from_bytes(mut data: &[u8]) -> Result<Self, DecodeError> {
+        fn need(data: &[u8], n: usize) -> Result<(), DecodeError> {
+            if data.remaining() < n {
+                return Err(DecodeError("truncated buffer".into()));
+            }
+            Ok(())
+        }
+        need(data, 8)?;
+        if data.get_u32_le() != MAGIC {
+            return Err(DecodeError("bad magic".into()));
+        }
+        let version = data.get_u32_le();
+        if version != VERSION {
+            return Err(DecodeError(format!("unsupported version {version}")));
+        }
+        need(data, 1 + 5 * 4)?;
+        let mode = mode_from_tag(data.get_u8())?;
+        let num_tables = data.get_u32_le() as usize;
+        let num_joins = data.get_u32_le() as usize;
+        let num_columns = data.get_u32_le() as usize;
+        let sample_size = data.get_u32_le() as usize;
+        let n_tables = data.get_u32_le() as usize;
+        let mut column_index = Vec::with_capacity(n_tables);
+        for _ in 0..n_tables {
+            need(data, 4)?;
+            let n = data.get_u32_le() as usize;
+            need(data, 4 * n)?;
+            let cols = (0..n)
+                .map(|_| {
+                    let v = data.get_u32_le();
+                    if v == u32::MAX {
+                        usize::MAX
+                    } else {
+                        v as usize
+                    }
+                })
+                .collect();
+            column_index.push(cols);
+        }
+        need(data, 4)?;
+        let n_ranges = data.get_u32_le() as usize;
+        need(data, 16 * n_ranges + 16 + 4)?;
+        let value_range = (0..n_ranges).map(|_| (data.get_i64_le(), data.get_i64_le())).collect();
+        let min_log = data.get_f64_le();
+        let max_log = data.get_f64_le();
+        let featurizer = Featurizer::from_parts(FeaturizerParts {
+            mode,
+            num_tables,
+            num_joins,
+            num_columns,
+            sample_size,
+            column_index,
+            value_range,
+            min_log,
+            max_log,
+        });
+
+        let hidden = data.get_u32_le() as usize;
+        let mut model = MscnModel::new(
+            featurizer.table_dim(),
+            featurizer.join_dim(),
+            featurizer.pred_dim(),
+            hidden,
+            0,
+        );
+        for mlp in model.mlps_mut() {
+            for layer in mlp.layers_mut() {
+                need(data, 8)?;
+                let input = data.get_u32_le() as usize;
+                let output = data.get_u32_le() as usize;
+                if input != layer.input_dim() || output != layer.output_dim() {
+                    return Err(DecodeError(format!(
+                        "layer shape mismatch: file {input}x{output}, expected {}x{}",
+                        layer.input_dim(),
+                        layer.output_dim()
+                    )));
+                }
+                need(data, 4 * (input * output + output))?;
+                let w = (0..input * output).map(|_| data.get_f32_le()).collect();
+                let b = (0..output).map(|_| data.get_f32_le()).collect();
+                layer.load(w, b);
+            }
+        }
+        Ok(MscnEstimator::from_parts(model, featurizer))
+    }
+
+    /// Size in bytes of the serialized estimator (§4.7's footprint metric).
+    pub fn serialized_size(&self) -> usize {
+        self.to_bytes().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::{train, TrainConfig};
+    use lc_engine::SampleSet;
+    use lc_imdb::{generate, ImdbConfig};
+    use lc_query::workloads;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn trained(mode: FeatureMode) -> (crate::train::TrainedModel, Vec<lc_query::LabeledQuery>) {
+        let db = generate(&ImdbConfig::tiny());
+        let mut rng = SmallRng::seed_from_u64(31);
+        let samples = SampleSet::draw(&db, 24, &mut rng);
+        let data = workloads::synthetic(&db, &samples, 120, 2, 23).queries;
+        let cfg = TrainConfig { epochs: 2, hidden: 16, mode, ..TrainConfig::default() };
+        (train(&db, 24, &data, cfg), data)
+    }
+
+    #[test]
+    fn roundtrip_preserves_predictions() {
+        for mode in [FeatureMode::NoSamples, FeatureMode::SampleCounts, FeatureMode::Bitmaps] {
+            let (t, data) = trained(mode);
+            let bytes = t.estimator.to_bytes();
+            let restored = MscnEstimator::from_bytes(&bytes).expect("decode");
+            let a = t.estimator.estimate_cards(&data[..20]);
+            let b = restored.estimate_cards(&data[..20]);
+            assert_eq!(a, b, "{mode:?}: predictions changed after roundtrip");
+        }
+    }
+
+    #[test]
+    fn size_tracks_parameter_count() {
+        let (t, _) = trained(FeatureMode::Bitmaps);
+        let size = t.estimator.serialized_size();
+        let params = t.estimator.model().num_params();
+        assert!(size >= params * 4, "size {size} < 4*params {}", params * 4);
+        assert!(size < params * 4 + 4096, "metadata overhead too large: {size}");
+    }
+
+    #[test]
+    fn rejects_corrupt_buffers() {
+        let (t, _) = trained(FeatureMode::SampleCounts);
+        let mut bytes = t.estimator.to_bytes();
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(MscnEstimator::from_bytes(&bad).is_err());
+        // Truncation.
+        bytes.truncate(bytes.len() / 2);
+        assert!(MscnEstimator::from_bytes(&bytes).is_err());
+        // Empty.
+        assert!(MscnEstimator::from_bytes(&[]).is_err());
+    }
+}

@@ -1,0 +1,442 @@
+//! Training and inference (§3.5): 90/10 split, mini-batch Adam on the mean
+//! q-error, per-epoch validation error (the convergence curve of Fig. 6),
+//! and a [`lc_query::CardinalityEstimator`] implementation for the trained
+//! model.
+
+use std::time::Instant;
+
+use lc_engine::Database;
+use lc_nn::{Adam, LossKind};
+use lc_query::{CardinalityEstimator, LabeledQuery};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::batch::RaggedBatch;
+use crate::featurize::{FeatureMode, FeaturizedQuery, Featurizer};
+use crate::model::MscnModel;
+
+/// Training hyperparameters (§4.6). The defaults are the paper's tuned
+/// configuration scaled for a single CPU core: the paper settles on 100
+/// epochs, batch size 1024, 256 hidden units, lr 0.001 for 90k training
+/// queries; we default to the same epochs/lr with batch 256 and 64 hidden
+/// units, which reach the same relative behaviour on the scaled corpus.
+#[derive(Clone, Copy, Debug)]
+pub struct TrainConfig {
+    /// Passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Hidden width `d` of every MLP.
+    pub hidden: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Training objective (§4.8).
+    pub loss: LossKind,
+    /// Sample-feature variant (Fig. 4).
+    pub mode: FeatureMode,
+    /// Fraction of the corpus held out for validation (paper: 10%).
+    pub validation_fraction: f64,
+    /// Seed for weight init and epoch shuffling.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 100,
+            batch_size: 256,
+            hidden: 64,
+            learning_rate: 1e-3,
+            loss: LossKind::MeanQError,
+            mode: FeatureMode::Bitmaps,
+            validation_fraction: 0.1,
+            seed: 7,
+        }
+    }
+}
+
+/// What training measured (the raw material of Fig. 6 and §4.7).
+#[derive(Clone, Debug, Default)]
+pub struct TrainReport {
+    /// Mean q-error on the validation split after each epoch.
+    pub epoch_val_mean_qerror: Vec<f64>,
+    /// Mean training loss per epoch.
+    pub epoch_train_loss: Vec<f64>,
+    /// Wall-clock training time in seconds.
+    pub train_seconds: f64,
+    /// Number of training queries.
+    pub num_train: usize,
+    /// Number of validation queries.
+    pub num_val: usize,
+}
+
+/// A trained, self-contained estimator: network weights plus the
+/// featurization/normalization state required at inference time.
+#[derive(Clone, Debug)]
+pub struct MscnEstimator {
+    pub(crate) model: MscnModel,
+    pub(crate) featurizer: Featurizer,
+}
+
+impl MscnEstimator {
+    /// Assemble from parts (used by deserialization).
+    pub(crate) fn from_parts(model: MscnModel, featurizer: Featurizer) -> Self {
+        MscnEstimator { model, featurizer }
+    }
+
+    /// The featurizer (exposes label normalization, e.g. for the
+    /// out-of-range analyses of §4.4/§4.5).
+    pub fn featurizer(&self) -> &Featurizer {
+        &self.featurizer
+    }
+
+    /// The network.
+    pub fn model(&self) -> &MscnModel {
+        &self.model
+    }
+
+    /// Batched inference: estimated cardinalities (≥ 1) for `queries`.
+    pub fn estimate_cards(&self, queries: &[LabeledQuery]) -> Vec<f64> {
+        let feats: Vec<FeaturizedQuery> = queries.iter().map(|q| self.featurizer.featurize(q)).collect();
+        self.estimate_featurized(&feats)
+    }
+
+    /// Raw normalized predictions `w_out ∈ [0,1]` (before denormalization).
+    /// Values pinned at the boundaries signal that the query's cardinality
+    /// is at or beyond the edge of the trained range — the saturation
+    /// check used by the §5 uncertainty extension.
+    pub fn estimate_normalized(&self, queries: &[LabeledQuery]) -> Vec<f32> {
+        let (td, jd, pd) = self.model.input_dims();
+        let mut out = Vec::with_capacity(queries.len());
+        for chunk in queries.chunks(1024) {
+            let feats: Vec<FeaturizedQuery> =
+                chunk.iter().map(|q| self.featurizer.featurize(q)).collect();
+            let refs: Vec<&FeaturizedQuery> = feats.iter().collect();
+            let batch = RaggedBatch::assemble(&refs, td, jd, pd);
+            out.extend(self.model.predict(&batch));
+        }
+        out
+    }
+
+    fn estimate_featurized(&self, feats: &[FeaturizedQuery]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(feats.len());
+        let (td, jd, pd) = self.model.input_dims();
+        for chunk in feats.chunks(1024) {
+            let refs: Vec<&FeaturizedQuery> = chunk.iter().collect();
+            let batch = RaggedBatch::assemble(&refs, td, jd, pd);
+            for p in self.model.predict(&batch) {
+                out.push(self.featurizer.label_norm().denormalize(p).max(1.0));
+            }
+        }
+        out
+    }
+}
+
+impl CardinalityEstimator for MscnEstimator {
+    fn name(&self) -> &str {
+        self.featurizer.mode().name()
+    }
+
+    fn estimate(&self, q: &LabeledQuery) -> f64 {
+        self.estimate_cards(std::slice::from_ref(q))[0]
+    }
+
+    fn estimate_all(&self, qs: &[LabeledQuery]) -> Vec<f64> {
+        self.estimate_cards(qs)
+    }
+}
+
+/// The result of [`train`].
+#[derive(Clone, Debug)]
+pub struct TrainedModel {
+    /// The inference artifact.
+    pub estimator: MscnEstimator,
+    /// Configuration used.
+    pub config: TrainConfig,
+    /// Per-epoch measurements.
+    pub report: TrainReport,
+}
+
+/// Continue training an existing model on new data (§5 "Updates",
+/// incremental training): the network weights are reused, only the new
+/// samples are seen, and the data encoding — one-hot layouts, value
+/// normalization, and label normalization — is kept frozen, exactly the
+/// constraint the paper describes for incremental updates.
+///
+/// Fresh Adam state is used (the original moments are not serialized);
+/// `epochs` replaces the original epoch count. Note that the paper
+/// predicts — and `lc-eval`'s incremental experiment demonstrates —
+/// **catastrophic forgetting** when the new data's distribution shifts.
+pub fn train_incremental(
+    prev: &MscnEstimator,
+    new_data: &[LabeledQuery],
+    epochs: usize,
+    seed: u64,
+) -> MscnEstimator {
+    assert!(!new_data.is_empty(), "incremental training needs data");
+    let featurizer = prev.featurizer.clone();
+    let mut model = prev.model.clone();
+    let scale = featurizer.label_norm().scale();
+    let (td, jd, pd) = (featurizer.table_dim(), featurizer.join_dim(), featurizer.pred_dim());
+    let feats: Vec<FeaturizedQuery> = new_data.iter().map(|q| featurizer.featurize(q)).collect();
+
+    let mut adam = Adam::new(1e-3);
+    let mut slots = Vec::new();
+    for mlp in model.mlps_mut() {
+        for layer in mlp.layers_mut() {
+            for (params, _) in layer.params_and_grads() {
+                slots.push(adam.register(params.len()));
+            }
+        }
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..feats.len()).collect();
+    for _ in 0..epochs {
+        order.shuffle(&mut rng);
+        for chunk in order.chunks(256) {
+            let refs: Vec<&FeaturizedQuery> = chunk.iter().map(|&i| &feats[i]).collect();
+            let batch = RaggedBatch::assemble(&refs, td, jd, pd);
+            model.zero_grad();
+            let (preds, cache) = model.forward(&batch);
+            let mut grad = vec![0.0f32; preds.len()];
+            LossKind::MeanQError.loss_and_grad(&preds, &batch.targets, scale, &mut grad);
+            model.backward(&batch, &cache, &grad);
+            adam.begin_step();
+            let mut slot_iter = slots.iter();
+            for mlp in model.mlps_mut() {
+                for layer in mlp.layers_mut() {
+                    for (params, grads) in layer.params_and_grads() {
+                        adam.step_slot(*slot_iter.next().unwrap(), params, grads);
+                    }
+                }
+            }
+        }
+    }
+    MscnEstimator { model, featurizer }
+}
+
+/// Train MSCN on labeled queries (§3.5): split, featurize, optimize.
+///
+/// `sample_size` must match the sample set used to annotate `data`.
+///
+/// # Panics
+/// If `data` has fewer than 10 queries or any query has cardinality 0.
+pub fn train(db: &Database, sample_size: usize, data: &[LabeledQuery], config: TrainConfig) -> TrainedModel {
+    assert!(data.len() >= 10, "need at least 10 training queries");
+    let start = Instant::now();
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+
+    // 90/10 split on a shuffled index permutation.
+    let mut indices: Vec<usize> = (0..data.len()).collect();
+    indices.shuffle(&mut rng);
+    let num_val = ((data.len() as f64 * config.validation_fraction) as usize).max(1);
+    let (val_idx, train_idx) = indices.split_at(num_val);
+
+    // Label normalization is fit on the training split only (§3.2).
+    let featurizer = Featurizer::fit(
+        db,
+        config.mode,
+        sample_size,
+        train_idx.iter().map(|&i| data[i].cardinality),
+    );
+    let scale = featurizer.label_norm().scale();
+    let feats: Vec<FeaturizedQuery> = data.iter().map(|q| featurizer.featurize(q)).collect();
+    let val_truth: Vec<f64> = val_idx.iter().map(|&i| data[i].cardinality as f64).collect();
+
+    let (td, jd, pd) = (featurizer.table_dim(), featurizer.join_dim(), featurizer.pred_dim());
+    let mut model = MscnModel::new(td, jd, pd, config.hidden, config.seed ^ 0x5eed);
+
+    // One Adam slot per parameter tensor, in canonical order.
+    let mut adam = Adam::new(config.learning_rate);
+    let mut slots = Vec::new();
+    for mlp in model.mlps_mut() {
+        for layer in mlp.layers_mut() {
+            for (params, _) in layer.params_and_grads() {
+                slots.push(adam.register(params.len()));
+            }
+        }
+    }
+
+    let mut report = TrainReport {
+        num_train: train_idx.len(),
+        num_val: val_idx.len(),
+        ..TrainReport::default()
+    };
+    let mut order: Vec<usize> = train_idx.to_vec();
+    for _epoch in 0..config.epochs {
+        order.shuffle(&mut rng);
+        let mut epoch_loss = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in order.chunks(config.batch_size) {
+            let refs: Vec<&FeaturizedQuery> = chunk.iter().map(|&i| &feats[i]).collect();
+            let batch = RaggedBatch::assemble(&refs, td, jd, pd);
+            model.zero_grad();
+            let (preds, cache) = model.forward(&batch);
+            let mut grad = vec![0.0f32; preds.len()];
+            epoch_loss += config.loss.loss_and_grad(&preds, &batch.targets, scale, &mut grad);
+            batches += 1;
+            model.backward(&batch, &cache, &grad);
+            adam.begin_step();
+            let mut slot_iter = slots.iter();
+            for mlp in model.mlps_mut() {
+                for layer in mlp.layers_mut() {
+                    for (params, grads) in layer.params_and_grads() {
+                        adam.step_slot(*slot_iter.next().unwrap(), params, grads);
+                    }
+                }
+            }
+        }
+        report.epoch_train_loss.push(epoch_loss / batches.max(1) as f64);
+
+        // Validation mean q-error in cardinality space (Fig. 6's metric).
+        let est = MscnEstimator { model: model.clone(), featurizer: featurizer.clone() };
+        let val_feats: Vec<FeaturizedQuery> = val_idx.iter().map(|&i| feats[i].clone()).collect();
+        let val_preds = est.estimate_featurized(&val_feats);
+        let mean_q = val_preds
+            .iter()
+            .zip(&val_truth)
+            .map(|(&e, &t)| (e / t).max(t / e))
+            .sum::<f64>()
+            / val_truth.len().max(1) as f64;
+        report.epoch_val_mean_qerror.push(mean_q);
+    }
+    report.train_seconds = start.elapsed().as_secs_f64();
+    TrainedModel { estimator: MscnEstimator { model, featurizer }, config, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lc_engine::SampleSet;
+    use lc_imdb::{generate, ImdbConfig};
+    use lc_query::workloads;
+
+    fn mean_qerror(est: &dyn CardinalityEstimator, qs: &[LabeledQuery]) -> f64 {
+        let preds = est.estimate_all(qs);
+        preds
+            .iter()
+            .zip(qs)
+            .map(|(&e, q)| {
+                let t = q.cardinality as f64;
+                (e / t).max(t / e)
+            })
+            .sum::<f64>()
+            / qs.len() as f64
+    }
+
+    #[test]
+    fn training_improves_validation_error() {
+        let db = generate(&ImdbConfig::tiny());
+        let mut rng = SmallRng::seed_from_u64(1);
+        let samples = SampleSet::draw(&db, 32, &mut rng);
+        let data = workloads::synthetic(&db, &samples, 600, 2, 11).queries;
+        let cfg = TrainConfig { epochs: 12, hidden: 32, batch_size: 64, ..TrainConfig::default() };
+        let trained = train(&db, 32, &data, cfg);
+        let curve = &trained.report.epoch_val_mean_qerror;
+        assert_eq!(curve.len(), 12);
+        let first = curve[0];
+        let last = *curve.last().unwrap();
+        assert!(last < first, "validation q-error should improve: {first} -> {last}");
+        assert!(last < 20.0, "final val mean q-error too high: {last}");
+        assert!(trained.report.train_seconds > 0.0);
+        assert_eq!(trained.report.num_train + trained.report.num_val, 600);
+    }
+
+    #[test]
+    fn can_overfit_a_small_corpus() {
+        // Capacity sanity check: 50 queries, many epochs, near-perfect fit.
+        let db = generate(&ImdbConfig::tiny());
+        let mut rng = SmallRng::seed_from_u64(2);
+        let samples = SampleSet::draw(&db, 32, &mut rng);
+        let data = workloads::synthetic(&db, &samples, 50, 2, 13).queries;
+        let cfg = TrainConfig {
+            epochs: 150,
+            hidden: 32,
+            batch_size: 16,
+            validation_fraction: 0.05,
+            ..TrainConfig::default()
+        };
+        let trained = train(&db, 32, &data, cfg);
+        let q = mean_qerror(&trained.estimator, &data);
+        assert!(q < 3.0, "should overfit 50 queries, got mean q-error {q}");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let db = generate(&ImdbConfig::tiny());
+        let mut rng = SmallRng::seed_from_u64(3);
+        let samples = SampleSet::draw(&db, 16, &mut rng);
+        let data = workloads::synthetic(&db, &samples, 120, 2, 17).queries;
+        let cfg = TrainConfig { epochs: 3, hidden: 16, ..TrainConfig::default() };
+        let a = train(&db, 16, &data, cfg);
+        let b = train(&db, 16, &data, cfg);
+        assert_eq!(a.report.epoch_val_mean_qerror, b.report.epoch_val_mean_qerror);
+        let pa = a.estimator.estimate_cards(&data[..10]);
+        let pb = b.estimator.estimate_cards(&data[..10]);
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn incremental_training_learns_new_data_with_frozen_encoding() {
+        let db = generate(&ImdbConfig::tiny());
+        let mut rng = SmallRng::seed_from_u64(5);
+        let samples = SampleSet::draw(&db, 24, &mut rng);
+        let base_data = workloads::synthetic(&db, &samples, 400, 2, 29).queries;
+        let cfg = TrainConfig { epochs: 8, hidden: 24, batch_size: 64, ..TrainConfig::default() };
+        let base = train(&db, 24, &base_data, cfg);
+
+        // New data from a shifted distribution (JOB-light style).
+        let new_data = workloads::job_light(&db, &samples, 30).queries;
+        let before = mean_qerror(&base.estimator, &new_data);
+        let updated = train_incremental(&base.estimator, &new_data, 20, 99);
+        let after = mean_qerror(&updated, &new_data);
+        assert!(
+            after < before,
+            "incremental training should improve on the new data: {before} -> {after}"
+        );
+        // The encoding is frozen: same feature dims, same label scale.
+        assert_eq!(updated.featurizer().table_dim(), base.estimator.featurizer().table_dim());
+        assert_eq!(
+            updated.featurizer().label_norm().scale(),
+            base.estimator.featurizer().label_norm().scale()
+        );
+    }
+
+    #[test]
+    fn predicate_bitmaps_mode_trains_and_widens_predicates() {
+        let db = generate(&ImdbConfig::tiny());
+        let mut rng = SmallRng::seed_from_u64(6);
+        let samples = SampleSet::draw(&db, 24, &mut rng);
+        let data = workloads::synthetic(&db, &samples, 300, 2, 37).queries;
+        let cfg = TrainConfig {
+            epochs: 3,
+            hidden: 16,
+            mode: FeatureMode::PredicateBitmaps,
+            ..TrainConfig::default()
+        };
+        let trained = train(&db, 24, &data, cfg);
+        let f = trained.estimator.featurizer();
+        assert_eq!(f.pred_dim(), 10 + 3 + 1 + 24);
+        assert_eq!(f.table_dim(), 6 + 24);
+        assert!(trained.estimator.estimate_cards(&data[..10]).iter().all(|&e| e >= 1.0));
+        // Serialization round-trips the new mode.
+        let bytes = trained.estimator.to_bytes();
+        let restored = MscnEstimator::from_bytes(&bytes).unwrap();
+        assert_eq!(
+            trained.estimator.estimate_cards(&data[..10]),
+            restored.estimate_cards(&data[..10])
+        );
+    }
+
+    #[test]
+    fn estimates_are_at_least_one_row() {
+        let db = generate(&ImdbConfig::tiny());
+        let mut rng = SmallRng::seed_from_u64(4);
+        let samples = SampleSet::draw(&db, 16, &mut rng);
+        let data = workloads::synthetic(&db, &samples, 100, 2, 19).queries;
+        let cfg = TrainConfig { epochs: 2, hidden: 16, ..TrainConfig::default() };
+        let trained = train(&db, 16, &data, cfg);
+        assert!(trained.estimator.estimate_cards(&data).iter().all(|&e| e >= 1.0));
+    }
+}

@@ -1,0 +1,220 @@
+//! Columnar storage: a column is a dense `Vec<i64>` with an optional validity
+//! mask. All IMDb attributes the paper filters on are integers (ids, years,
+//! type codes), so a single physical type keeps the engine simple without
+//! giving up any of the paper's query space.
+
+use crate::fx::FxHashSet;
+
+/// A single column of `i64` values with optional NULLs.
+#[derive(Clone, Debug, Default)]
+pub struct Column {
+    data: Vec<i64>,
+    /// `None` means all rows are valid. Otherwise `validity[i] == false`
+    /// marks row `i` as NULL (its `data` slot is 0 and must not be read).
+    validity: Option<Vec<bool>>,
+}
+
+impl Column {
+    /// A column where every row is valid.
+    pub fn from_values(data: Vec<i64>) -> Self {
+        Column { data, validity: None }
+    }
+
+    /// A column built from optional values; `None` becomes NULL.
+    pub fn from_nullable(values: Vec<Option<i64>>) -> Self {
+        let mut data = Vec::with_capacity(values.len());
+        let mut validity = Vec::with_capacity(values.len());
+        let mut any_null = false;
+        for v in values {
+            match v {
+                Some(x) => {
+                    data.push(x);
+                    validity.push(true);
+                }
+                None => {
+                    data.push(0);
+                    validity.push(false);
+                    any_null = true;
+                }
+            }
+        }
+        Column { data, validity: if any_null { Some(validity) } else { None } }
+    }
+
+    /// Number of rows (including NULLs).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the column has no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Whether row `row` holds a non-NULL value.
+    #[inline]
+    pub fn is_valid(&self, row: usize) -> bool {
+        match &self.validity {
+            None => true,
+            Some(v) => v[row],
+        }
+    }
+
+    /// The value at `row`, or `None` if NULL.
+    #[inline]
+    pub fn value(&self, row: usize) -> Option<i64> {
+        if self.is_valid(row) {
+            Some(self.data[row])
+        } else {
+            None
+        }
+    }
+
+    /// The raw value slot at `row`. Only meaningful when `is_valid(row)`;
+    /// NULL slots read as 0.
+    #[inline]
+    pub fn raw(&self, row: usize) -> i64 {
+        self.data[row]
+    }
+
+    /// The raw value buffer. NULL slots read as 0; consult
+    /// [`Column::is_valid`] before interpreting them.
+    #[inline]
+    pub fn raw_slice(&self) -> &[i64] {
+        &self.data
+    }
+
+    /// The validity mask, if any row is NULL.
+    #[inline]
+    pub fn validity(&self) -> Option<&[bool]> {
+        self.validity.as_deref()
+    }
+
+    /// Iterator over non-NULL `(row, value)` pairs.
+    pub fn iter_valid(&self) -> impl Iterator<Item = (usize, i64)> + '_ {
+        self.data
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.is_valid(*i))
+            .map(|(i, v)| (i, *v))
+    }
+
+    /// Exact statistics for this column (one full scan plus a hash set for
+    /// the distinct count — fine at the dataset scales this engine targets).
+    pub fn stats(&self) -> ColumnStats {
+        let mut min = i64::MAX;
+        let mut max = i64::MIN;
+        let mut distinct: FxHashSet<i64> = FxHashSet::default();
+        let mut null_count = 0u64;
+        for row in 0..self.len() {
+            match self.value(row) {
+                Some(v) => {
+                    min = min.min(v);
+                    max = max.max(v);
+                    distinct.insert(v);
+                }
+                None => null_count += 1,
+            }
+        }
+        let ndv = distinct.len() as u64;
+        if ndv == 0 {
+            min = 0;
+            max = 0;
+        }
+        ColumnStats { min, max, ndv, null_count, row_count: self.len() as u64 }
+    }
+}
+
+/// Exact per-column statistics: the minimal information the featurizer
+/// (value normalization, §3.1) and the PostgreSQL-style baseline need.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ColumnStats {
+    /// Minimum non-NULL value (0 if the column is all-NULL or empty).
+    pub min: i64,
+    /// Maximum non-NULL value (0 if the column is all-NULL or empty).
+    pub max: i64,
+    /// Number of distinct non-NULL values.
+    pub ndv: u64,
+    /// Number of NULL rows.
+    pub null_count: u64,
+    /// Total number of rows.
+    pub row_count: u64,
+}
+
+impl ColumnStats {
+    /// Fraction of rows that are NULL.
+    pub fn null_frac(&self) -> f64 {
+        if self.row_count == 0 {
+            0.0
+        } else {
+            self.null_count as f64 / self.row_count as f64
+        }
+    }
+
+    /// Normalize `v` into `[0,1]` by this column's min/max (the paper's
+    /// literal encoding). Degenerate ranges map to 0.
+    pub fn normalize(&self, v: i64) -> f64 {
+        if self.max <= self.min {
+            return 0.0;
+        }
+        let x = (v - self.min) as f64 / (self.max - self.min) as f64;
+        x.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nullable_roundtrip() {
+        let c = Column::from_nullable(vec![Some(3), None, Some(-1), None, Some(3)]);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.value(0), Some(3));
+        assert_eq!(c.value(1), None);
+        assert_eq!(c.value(2), Some(-1));
+        assert!(!c.is_valid(3));
+        let valid: Vec<_> = c.iter_valid().collect();
+        assert_eq!(valid, vec![(0, 3), (2, -1), (4, 3)]);
+    }
+
+    #[test]
+    fn all_valid_has_no_mask() {
+        let c = Column::from_nullable(vec![Some(1), Some(2)]);
+        assert!(c.validity().is_none());
+    }
+
+    #[test]
+    fn stats_exact() {
+        let c = Column::from_nullable(vec![Some(10), None, Some(-5), Some(10), Some(7)]);
+        let s = c.stats();
+        assert_eq!(s.min, -5);
+        assert_eq!(s.max, 10);
+        assert_eq!(s.ndv, 3);
+        assert_eq!(s.null_count, 1);
+        assert_eq!(s.row_count, 5);
+        assert!((s.null_frac() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_empty_and_all_null() {
+        let s = Column::from_values(vec![]).stats();
+        assert_eq!((s.min, s.max, s.ndv), (0, 0, 0));
+        let s = Column::from_nullable(vec![None, None]).stats();
+        assert_eq!((s.min, s.max, s.ndv, s.null_count), (0, 0, 0, 2));
+    }
+
+    #[test]
+    fn normalization_clamps_and_inverts_range() {
+        let s = ColumnStats { min: 10, max: 20, ndv: 11, null_count: 0, row_count: 11 };
+        assert_eq!(s.normalize(10), 0.0);
+        assert_eq!(s.normalize(20), 1.0);
+        assert_eq!(s.normalize(15), 0.5);
+        assert_eq!(s.normalize(0), 0.0);
+        assert_eq!(s.normalize(100), 1.0);
+        let degenerate = ColumnStats { min: 5, max: 5, ndv: 1, null_count: 0, row_count: 1 };
+        assert_eq!(degenerate.normalize(5), 0.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! The database: a schema plus columnar table data and exact per-column
+//! statistics, validated against the star-schema invariants the exact
+//! executor relies on.
+
+use crate::column::{Column, ColumnStats};
+use crate::schema::{ColumnRole, Schema, TableId};
+
+/// Columnar data for one table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    columns: Vec<Column>,
+    num_rows: usize,
+}
+
+impl Table {
+    /// Build a table from equal-length columns.
+    ///
+    /// # Panics
+    /// If the columns differ in length.
+    pub fn new(columns: Vec<Column>) -> Self {
+        let num_rows = columns.first().map_or(0, Column::len);
+        for (i, c) in columns.iter().enumerate() {
+            assert_eq!(c.len(), num_rows, "column {i} length mismatch");
+        }
+        Table { columns, num_rows }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column `i`.
+    #[inline]
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+}
+
+/// An immutable database snapshot: schema, data, statistics.
+///
+/// The paper trains and estimates on "an immutable snapshot of the database"
+/// (§3.5); this type is that snapshot.
+#[derive(Clone, Debug)]
+pub struct Database {
+    schema: Schema,
+    tables: Vec<Table>,
+    stats: Vec<Vec<ColumnStats>>,
+}
+
+impl Database {
+    /// Assemble and validate a database.
+    ///
+    /// Invariants checked (the exact executor depends on them):
+    /// * one `Table` per schema table;
+    /// * every primary-key column is the dense sequence `0..n_rows`;
+    /// * every foreign-key value lands in `0..n_rows` of the referenced
+    ///   table;
+    /// * non-nullable columns contain no NULLs.
+    ///
+    /// # Panics
+    /// If any invariant is violated.
+    pub fn new(schema: Schema, tables: Vec<Table>) -> Self {
+        assert_eq!(schema.num_tables(), tables.len(), "table count mismatch");
+        for (ti, (def, data)) in schema.tables.iter().zip(&tables).enumerate() {
+            assert_eq!(def.columns.len(), data.num_columns(), "table {ti}: column count mismatch");
+            for (ci, cdef) in def.columns.iter().enumerate() {
+                let col = data.column(ci);
+                if !cdef.nullable {
+                    assert!(col.validity().is_none(), "table {ti} column {ci}: unexpected NULLs");
+                }
+                match cdef.role {
+                    ColumnRole::PrimaryKey => {
+                        for row in 0..data.num_rows() {
+                            assert_eq!(
+                                col.raw(row),
+                                row as i64,
+                                "table {ti}: primary key must be dense 0..n"
+                            );
+                        }
+                    }
+                    ColumnRole::ForeignKey(target) => {
+                        let target_rows = tables[target.index()].num_rows() as i64;
+                        for row in 0..data.num_rows() {
+                            let v = col.raw(row);
+                            assert!(
+                                (0..target_rows).contains(&v),
+                                "table {ti} row {row}: dangling foreign key {v}"
+                            );
+                        }
+                    }
+                    ColumnRole::Data => {}
+                }
+            }
+        }
+        let stats = tables
+            .iter()
+            .map(|t| (0..t.num_columns()).map(|c| t.column(c).stats()).collect())
+            .collect();
+        Database { schema, tables, stats }
+    }
+
+    /// The schema.
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Data of table `t`.
+    #[inline]
+    pub fn table(&self, t: TableId) -> &Table {
+        &self.tables[t.index()]
+    }
+
+    /// Exact statistics of column `column` of table `t`.
+    #[inline]
+    pub fn column_stats(&self, t: TableId, column: usize) -> &ColumnStats {
+        &self.stats[t.index()][column]
+    }
+
+    /// Total number of rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.iter().map(Table::num_rows).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, JoinEdge, TableDef};
+
+    pub(crate) fn tiny_schema() -> Schema {
+        let title = TableDef {
+            name: "title".into(),
+            columns: vec![ColumnDef::primary_key("id"), ColumnDef::nullable_data("year")],
+        };
+        let mc = TableDef {
+            name: "mc".into(),
+            columns: vec![ColumnDef::foreign_key("movie_id", TableId(0)), ColumnDef::data("company")],
+        };
+        Schema::new(
+            vec![title, mc],
+            vec![JoinEdge { fact: TableId(1), fact_col: 0, center: TableId(0), center_col: 0 }],
+            TableId(0),
+        )
+    }
+
+    fn tiny_db() -> Database {
+        let title = Table::new(vec![
+            Column::from_values(vec![0, 1, 2]),
+            Column::from_nullable(vec![Some(1990), None, Some(2005)]),
+        ]);
+        let mc = Table::new(vec![
+            Column::from_values(vec![0, 0, 2, 2, 2]),
+            Column::from_values(vec![7, 8, 7, 9, 9]),
+        ]);
+        Database::new(tiny_schema(), vec![title, mc])
+    }
+
+    #[test]
+    fn construction_and_stats() {
+        let db = tiny_db();
+        assert_eq!(db.total_rows(), 8);
+        let ys = db.column_stats(TableId(0), 1);
+        assert_eq!((ys.min, ys.max, ys.ndv, ys.null_count), (1990, 2005, 2, 1));
+        let cs = db.column_stats(TableId(1), 1);
+        assert_eq!((cs.min, cs.max, cs.ndv), (7, 9, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "dangling foreign key")]
+    fn rejects_dangling_fk() {
+        let title = Table::new(vec![
+            Column::from_values(vec![0, 1]),
+            Column::from_nullable(vec![Some(1990), Some(1991)]),
+        ]);
+        let mc = Table::new(vec![Column::from_values(vec![0, 5]), Column::from_values(vec![7, 8])]);
+        Database::new(tiny_schema(), vec![title, mc]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense 0..n")]
+    fn rejects_sparse_pk() {
+        let title = Table::new(vec![
+            Column::from_values(vec![0, 2]),
+            Column::from_nullable(vec![Some(1990), Some(1991)]),
+        ]);
+        let mc = Table::new(vec![Column::from_values(vec![0]), Column::from_values(vec![7])]);
+        Database::new(tiny_schema(), vec![title, mc]);
+    }
+}

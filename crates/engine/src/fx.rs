@@ -1,0 +1,115 @@
+//! FxHash-style hashing: a fast, non-cryptographic multiply-xor hasher for
+//! integer-keyed maps on the hot path (join-key buckets, distinct counting).
+//!
+//! This is the algorithm used by rustc (`rustc-hash`); we inline it here to
+//! stay within the approved offline dependency set. It is *not* HashDoS
+//! resistant and must only be used on trusted, internally generated keys.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Fast multiply-xor hasher (FxHash). Suitable for integer keys only in the
+/// sense that quality degrades gracefully; we hash `i64` join keys and small
+/// tuples with it.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Process 8 bytes at a time; the tail is zero-padded. Good enough for
+        // the short keys we hash.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, n: i64) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<i64, u32> = FxHashMap::default();
+        for k in -500..500 {
+            m.insert(k, (k * 2) as u32);
+        }
+        assert_eq!(m.len(), 1000);
+        for k in -500..500 {
+            assert_eq!(m[&k], (k * 2) as u32);
+        }
+    }
+
+    #[test]
+    fn distinct_hashes_for_small_ints() {
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..10_000u64 {
+            let mut h = FxHasher::default();
+            h.write_u64(k);
+            seen.insert(h.finish());
+        }
+        // No collisions expected on consecutive small integers.
+        assert_eq!(seen.len(), 10_000);
+    }
+
+    #[test]
+    fn byte_writes_match_padding_semantics() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3]);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = FxHasher::default();
+        c.write(&[1, 2, 4]);
+        assert_ne!(a.finish(), c.finish());
+    }
+}

@@ -1,0 +1,140 @@
+//! Join indexes: for every join edge, a CSR (compressed sparse row) index
+//! from center primary-key value to the fact rows carrying that key.
+//!
+//! These play the role of the "existing index structures" that Index-Based
+//! Join Sampling probes. Because center primary keys are dense `0..n`, the
+//! index is two flat arrays — `offsets` and `rows` — and a probe is two loads.
+
+use crate::database::Database;
+use crate::schema::{JoinId, TableId};
+
+/// CSR index for one join edge: `rows[offsets[k]..offsets[k+1]]` are the
+/// fact-table row ids whose foreign key equals `k`.
+#[derive(Clone, Debug)]
+pub struct FactIndex {
+    offsets: Vec<u32>,
+    rows: Vec<u32>,
+}
+
+impl FactIndex {
+    /// Build the index for foreign-key column `fact_col` of `fact`, whose
+    /// values reference the dense keys `0..center_rows`.
+    pub fn build(db: &Database, fact: TableId, fact_col: usize, center_rows: usize) -> Self {
+        let col = db.table(fact).column(fact_col);
+        let keys = col.raw_slice();
+        let mut counts = vec![0u32; center_rows + 1];
+        for &k in keys {
+            counts[k as usize + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let offsets = counts;
+        let mut cursor = offsets.clone();
+        let mut rows = vec![0u32; keys.len()];
+        for (row, &k) in keys.iter().enumerate() {
+            let slot = cursor[k as usize];
+            rows[slot as usize] = row as u32;
+            cursor[k as usize] += 1;
+        }
+        FactIndex { offsets, rows }
+    }
+
+    /// Fact rows whose join key equals `key`. Keys outside `0..center_rows`
+    /// return the empty slice.
+    #[inline]
+    pub fn probe(&self, key: i64) -> &[u32] {
+        if key < 0 || key as usize + 1 >= self.offsets.len() {
+            return &[];
+        }
+        let k = key as usize;
+        &self.rows[self.offsets[k] as usize..self.offsets[k + 1] as usize]
+    }
+
+    /// Number of fact rows matching `key` (the join fan-out of that key).
+    #[inline]
+    pub fn fanout(&self, key: i64) -> usize {
+        self.probe(key).len()
+    }
+
+    /// Total number of indexed rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+/// One [`FactIndex`] per join edge of the schema.
+#[derive(Clone, Debug)]
+pub struct JoinIndexes {
+    per_edge: Vec<FactIndex>,
+}
+
+impl JoinIndexes {
+    /// Build indexes for every join edge.
+    pub fn build(db: &Database) -> Self {
+        let center_rows = db.table(db.schema().center).num_rows();
+        let per_edge = db
+            .schema()
+            .joins
+            .iter()
+            .map(|e| FactIndex::build(db, e.fact, e.fact_col, center_rows))
+            .collect();
+        JoinIndexes { per_edge }
+    }
+
+    /// Index of join edge `j`.
+    #[inline]
+    pub fn edge(&self, j: JoinId) -> &FactIndex {
+        &self.per_edge[j.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::database::{Database, Table};
+    use crate::schema::{ColumnDef, JoinEdge, Schema, TableDef};
+
+    fn db() -> Database {
+        let title = TableDef {
+            name: "title".into(),
+            columns: vec![ColumnDef::primary_key("id")],
+        };
+        let mc = TableDef {
+            name: "mc".into(),
+            columns: vec![ColumnDef::foreign_key("movie_id", TableId(0)), ColumnDef::data("c")],
+        };
+        let schema = Schema::new(
+            vec![title, mc],
+            vec![JoinEdge { fact: TableId(1), fact_col: 0, center: TableId(0), center_col: 0 }],
+            TableId(0),
+        );
+        let t0 = Table::new(vec![Column::from_values(vec![0, 1, 2, 3])]);
+        let t1 = Table::new(vec![
+            Column::from_values(vec![2, 0, 2, 2, 1]),
+            Column::from_values(vec![9, 9, 9, 9, 9]),
+        ]);
+        Database::new(schema, vec![t0, t1])
+    }
+
+    #[test]
+    fn csr_probe_returns_exact_row_sets() {
+        let idx = JoinIndexes::build(&db());
+        let e = idx.edge(JoinId(0));
+        assert_eq!(e.probe(0), &[1]);
+        assert_eq!(e.probe(1), &[4]);
+        assert_eq!(e.probe(2), &[0, 2, 3]);
+        assert_eq!(e.probe(3), &[] as &[u32]);
+        assert_eq!(e.fanout(2), 3);
+        assert_eq!(e.num_rows(), 5);
+    }
+
+    #[test]
+    fn out_of_range_keys_are_empty() {
+        let idx = JoinIndexes::build(&db());
+        let e = idx.edge(JoinId(0));
+        assert_eq!(e.probe(-1), &[] as &[u32]);
+        assert_eq!(e.probe(100), &[] as &[u32]);
+    }
+}

@@ -1,0 +1,231 @@
+//! Materialized base-table samples and qualifying-sample bitmaps (§3.4).
+//!
+//! For each table the engine keeps a uniform random sample of up to
+//! `sample_size` rows, drawn once on the immutable snapshot. Evaluating a
+//! query's base-table predicates on the sample yields (a) the number of
+//! qualifying sample tuples and (b) a [`Bitmap`] of their positions — the two
+//! sampling features the paper feeds into MSCN, and the raw material of the
+//! Random Sampling / IBJS baselines.
+
+use rand::seq::index::sample as index_sample;
+use rand::Rng;
+
+use crate::database::Database;
+use crate::predicate::{row_matches_all, Predicate};
+use crate::schema::TableId;
+
+/// A fixed-length bitmap over sample positions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// All-zero bitmap of length `len`.
+    pub fn new(len: usize) -> Self {
+        Bitmap { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Number of positions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the bitmap has zero length.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Set position `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Whether position `i` is set.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Number of set positions.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// True if no position is set (a "0-tuple situation" for this table).
+    pub fn all_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterate over set positions in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let tz = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(wi * 64 + tz)
+            })
+        })
+    }
+
+    /// Append the bitmap as 0.0/1.0 floats to `out` (featurization helper).
+    pub fn extend_f32(&self, out: &mut Vec<f32>) {
+        out.reserve(self.len);
+        for i in 0..self.len {
+            out.push(if self.get(i) { 1.0 } else { 0.0 });
+        }
+    }
+}
+
+/// The sampled row ids of one table (ascending order).
+#[derive(Clone, Debug)]
+pub struct TableSample {
+    /// Row ids included in the sample.
+    pub row_ids: Vec<u32>,
+}
+
+/// Materialized samples for every table of a database.
+#[derive(Clone, Debug)]
+pub struct SampleSet {
+    /// Nominal sample size; tables smaller than this are fully sampled.
+    pub sample_size: usize,
+    per_table: Vec<TableSample>,
+}
+
+impl SampleSet {
+    /// Draw a uniform sample of up to `sample_size` rows per table.
+    pub fn draw<R: Rng>(db: &Database, sample_size: usize, rng: &mut R) -> Self {
+        let per_table = (0..db.schema().num_tables())
+            .map(|ti| {
+                let n = db.table(TableId(ti as u16)).num_rows();
+                let take = sample_size.min(n);
+                let mut row_ids: Vec<u32> =
+                    index_sample(rng, n, take).into_iter().map(|i| i as u32).collect();
+                row_ids.sort_unstable();
+                TableSample { row_ids }
+            })
+            .collect();
+        SampleSet { sample_size, per_table }
+    }
+
+    /// The sample of table `t`.
+    pub fn table(&self, t: TableId) -> &TableSample {
+        &self.per_table[t.index()]
+    }
+
+    /// Evaluate `preds` (all on table `t`) over the sample, producing the
+    /// qualifying-positions bitmap. The bitmap length is always
+    /// `sample_size` (positions beyond the actual sample stay zero), so the
+    /// featurization width is constant.
+    pub fn bitmap(&self, db: &Database, t: TableId, preds: &[Predicate]) -> Bitmap {
+        let mut bm = Bitmap::new(self.sample_size);
+        let data = db.table(t);
+        for (pos, &row) in self.per_table[t.index()].row_ids.iter().enumerate() {
+            if row_matches_all(data, preds, row as usize) {
+                bm.set(pos);
+            }
+        }
+        bm
+    }
+
+    /// Number of qualifying sample tuples for `preds` on table `t`.
+    pub fn qualifying_count(&self, db: &Database, t: TableId, preds: &[Predicate]) -> u32 {
+        let data = db.table(t);
+        self.per_table[t.index()]
+            .row_ids
+            .iter()
+            .filter(|&&row| row_matches_all(data, preds, row as usize))
+            .count() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::database::{Database, Table};
+    use crate::predicate::CmpOp;
+    use crate::schema::{ColumnDef, JoinEdge, Schema, TableDef};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bitmap_basics() {
+        let mut b = Bitmap::new(130);
+        assert_eq!(b.len(), 130);
+        assert!(b.all_zero());
+        for i in [0, 63, 64, 129] {
+            b.set(i);
+        }
+        assert_eq!(b.count_ones(), 4);
+        assert!(b.get(63) && b.get(64) && !b.get(65));
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![0, 63, 64, 129]);
+        let mut f = Vec::new();
+        b.extend_f32(&mut f);
+        assert_eq!(f.len(), 130);
+        assert_eq!(f.iter().filter(|&&x| x == 1.0).count(), 4);
+    }
+
+    fn single_table_db(n: usize) -> Database {
+        let title = TableDef {
+            name: "title".into(),
+            columns: vec![ColumnDef::primary_key("id"), ColumnDef::data("v")],
+        };
+        let mc = TableDef {
+            name: "mc".into(),
+            columns: vec![ColumnDef::foreign_key("movie_id", TableId(0))],
+        };
+        let schema = Schema::new(
+            vec![title, mc],
+            vec![JoinEdge { fact: TableId(1), fact_col: 0, center: TableId(0), center_col: 0 }],
+            TableId(0),
+        );
+        let t0 = Table::new(vec![
+            Column::from_values((0..n as i64).collect()),
+            Column::from_values((0..n as i64).map(|i| i % 10).collect()),
+        ]);
+        let t1 = Table::new(vec![Column::from_values(vec![0; 3])]);
+        Database::new(schema, vec![t0, t1])
+    }
+
+    #[test]
+    fn sample_is_uniform_subset_and_deterministic() {
+        let db = single_table_db(1000);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let s1 = SampleSet::draw(&db, 50, &mut rng);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let s2 = SampleSet::draw(&db, 50, &mut rng);
+        assert_eq!(s1.table(TableId(0)).row_ids, s2.table(TableId(0)).row_ids);
+        assert_eq!(s1.table(TableId(0)).row_ids.len(), 50);
+        assert!(s1.table(TableId(0)).row_ids.iter().all(|&r| (r as usize) < 1000));
+        // Small table: fully sampled.
+        assert_eq!(s1.table(TableId(1)).row_ids.len(), 3);
+    }
+
+    #[test]
+    fn bitmap_matches_qualifying_count_and_selectivity() {
+        let db = single_table_db(1000);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let s = SampleSet::draw(&db, 200, &mut rng);
+        // v == 3 selects 10% of rows.
+        let p = Predicate { table: TableId(0), column: 1, op: CmpOp::Eq, value: 3 };
+        let bm = s.bitmap(&db, TableId(0), &[p]);
+        let cnt = s.qualifying_count(&db, TableId(0), &[p]);
+        assert_eq!(bm.count_ones(), cnt);
+        // Uniform 10% selectivity: expect roughly 20 of 200 qualifying.
+        assert!((5..=45).contains(&cnt), "count {cnt} wildly off");
+        // Impossible predicate -> all-zero bitmap (0-tuple situation).
+        let none = Predicate { table: TableId(0), column: 1, op: CmpOp::Eq, value: 99 };
+        assert!(s.bitmap(&db, TableId(0), &[none]).all_zero());
+    }
+}

@@ -1,0 +1,293 @@
+//! Relational schema with a star-shaped PK/FK join graph.
+//!
+//! The paper's evaluation schema (six IMDb tables used by JOB-light) is a
+//! star: every fact table joins the center table `title` via
+//! `fact.movie_id = title.id`. The engine encodes exactly this shape — a
+//! single center table plus any number of fact tables — which keeps the
+//! exact executor linear-time while covering the paper's entire query space.
+
+/// Identifies a table inside a [`Schema`]; the value is the index into
+/// `Schema::tables`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct TableId(pub u16);
+
+impl TableId {
+    /// The index into `Schema::tables`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifies a join edge inside a [`Schema`]; the value is the index into
+/// `Schema::joins`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct JoinId(pub u16);
+
+impl JoinId {
+    /// The index into `Schema::joins`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The role a column plays in the schema. Only [`ColumnRole::Data`] columns
+/// are eligible for generated predicates (the paper restricts predicates to
+/// non-key columns, §3.3).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ColumnRole {
+    /// Dense primary key `0..n_rows` (asserted by [`crate::Database::new`]).
+    PrimaryKey,
+    /// Foreign key referencing the primary key of another table.
+    ForeignKey(TableId),
+    /// Regular data column; predicate-eligible.
+    Data,
+}
+
+/// A column definition: name, role, and nullability.
+#[derive(Clone, Debug)]
+pub struct ColumnDef {
+    /// Column name, unique within its table.
+    pub name: String,
+    /// Key/data role.
+    pub role: ColumnRole,
+    /// Whether the column may contain NULLs. Predicates never match NULL.
+    pub nullable: bool,
+}
+
+impl ColumnDef {
+    /// A non-nullable data column.
+    pub fn data(name: &str) -> Self {
+        ColumnDef { name: name.to_string(), role: ColumnRole::Data, nullable: false }
+    }
+
+    /// A nullable data column.
+    pub fn nullable_data(name: &str) -> Self {
+        ColumnDef { name: name.to_string(), role: ColumnRole::Data, nullable: true }
+    }
+
+    /// A dense primary-key column.
+    pub fn primary_key(name: &str) -> Self {
+        ColumnDef { name: name.to_string(), role: ColumnRole::PrimaryKey, nullable: false }
+    }
+
+    /// A foreign-key column referencing `references`.
+    pub fn foreign_key(name: &str, references: TableId) -> Self {
+        ColumnDef { name: name.to_string(), role: ColumnRole::ForeignKey(references), nullable: false }
+    }
+}
+
+/// A table definition.
+#[derive(Clone, Debug)]
+pub struct TableDef {
+    /// Table name, unique within the schema.
+    pub name: String,
+    /// Ordered column definitions.
+    pub columns: Vec<ColumnDef>,
+}
+
+impl TableDef {
+    /// Index of the column called `name`, if any.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Indexes of all predicate-eligible (non-key) columns.
+    pub fn data_columns(&self) -> Vec<usize> {
+        self.columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.role == ColumnRole::Data)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// A PK/FK join edge `fact.fact_col = center.center_col`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JoinEdge {
+    /// The fact-side table (holds the foreign key).
+    pub fact: TableId,
+    /// Foreign-key column index in `fact`.
+    pub fact_col: usize,
+    /// The center (dimension) table.
+    pub center: TableId,
+    /// Primary-key column index in `center`.
+    pub center_col: usize,
+}
+
+/// A star schema: tables, join edges, and the center table every edge
+/// attaches to.
+#[derive(Clone, Debug)]
+pub struct Schema {
+    /// Table definitions; `TableId(i)` indexes this vector.
+    pub tables: Vec<TableDef>,
+    /// Join edges; `JoinId(i)` indexes this vector. Every edge's `center`
+    /// equals [`Schema::center`].
+    pub joins: Vec<JoinEdge>,
+    /// The center of the star.
+    pub center: TableId,
+}
+
+impl Schema {
+    /// Build a schema, checking star-shape invariants.
+    ///
+    /// # Panics
+    /// If a join edge references an unknown table/column, does not attach to
+    /// `center`, or a fact table carries more than one edge.
+    pub fn new(tables: Vec<TableDef>, joins: Vec<JoinEdge>, center: TableId) -> Self {
+        assert!(center.index() < tables.len(), "center table out of range");
+        let mut seen_fact = vec![false; tables.len()];
+        for (i, j) in joins.iter().enumerate() {
+            assert_eq!(j.center, center, "join {i} does not attach to the center table");
+            assert!(j.fact.index() < tables.len(), "join {i}: fact table out of range");
+            assert_ne!(j.fact, center, "join {i}: fact table cannot be the center");
+            let fact_def = &tables[j.fact.index()];
+            assert!(j.fact_col < fact_def.columns.len(), "join {i}: fact column out of range");
+            assert!(
+                matches!(fact_def.columns[j.fact_col].role, ColumnRole::ForeignKey(t) if t == center),
+                "join {i}: fact column must be a foreign key to the center"
+            );
+            let center_def = &tables[center.index()];
+            assert!(j.center_col < center_def.columns.len(), "join {i}: center column out of range");
+            assert_eq!(
+                center_def.columns[j.center_col].role,
+                ColumnRole::PrimaryKey,
+                "join {i}: center column must be the primary key"
+            );
+            assert!(!seen_fact[j.fact.index()], "fact table {} has multiple join edges", j.fact.0);
+            seen_fact[j.fact.index()] = true;
+        }
+        Schema { tables, joins, center }
+    }
+
+    /// Number of tables.
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Number of join edges.
+    pub fn num_joins(&self) -> usize {
+        self.joins.len()
+    }
+
+    /// The table called `name`, if any.
+    pub fn table_id(&self, name: &str) -> Option<TableId> {
+        self.tables.iter().position(|t| t.name == name).map(|i| TableId(i as u16))
+    }
+
+    /// Definition of table `t`.
+    pub fn table(&self, t: TableId) -> &TableDef {
+        &self.tables[t.index()]
+    }
+
+    /// The join edge whose fact side is `fact`, if any.
+    pub fn join_of_fact(&self, fact: TableId) -> Option<JoinId> {
+        self.joins.iter().position(|j| j.fact == fact).map(|i| JoinId(i as u16))
+    }
+
+    /// The join edge `j`.
+    pub fn join(&self, j: JoinId) -> &JoinEdge {
+        &self.joins[j.index()]
+    }
+
+    /// All tables participating in at least one join edge (the center plus
+    /// all fact tables that have an edge). These are the tables the query
+    /// generator may start from when `|J_q| > 0`.
+    pub fn joinable_tables(&self) -> Vec<TableId> {
+        let mut out = vec![self.center];
+        out.extend(self.joins.iter().map(|j| j.fact));
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Total number of predicate-eligible columns across all tables. This is
+    /// the width of the one-hot column encoding used by MSCN featurization.
+    pub fn total_data_columns(&self) -> usize {
+        self.tables.iter().map(|t| t.data_columns().len()).sum()
+    }
+
+    /// Global index of a data column in the flattened
+    /// (table-major) enumeration of all data columns, used for one-hot
+    /// encoding. Returns `None` for key columns.
+    pub fn global_data_column_index(&self, table: TableId, column: usize) -> Option<usize> {
+        if self.tables[table.index()].columns[column].role != ColumnRole::Data {
+            return None;
+        }
+        let mut idx = 0;
+        for (ti, t) in self.tables.iter().enumerate() {
+            for (ci, c) in t.columns.iter().enumerate() {
+                if c.role == ColumnRole::Data {
+                    if ti == table.index() && ci == column {
+                        return Some(idx);
+                    }
+                    idx += 1;
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Schema {
+        let title = TableDef {
+            name: "title".into(),
+            columns: vec![ColumnDef::primary_key("id"), ColumnDef::data("kind"), ColumnDef::nullable_data("year")],
+        };
+        let mc = TableDef {
+            name: "mc".into(),
+            columns: vec![ColumnDef::foreign_key("movie_id", TableId(0)), ColumnDef::data("company")],
+        };
+        Schema::new(
+            vec![title, mc],
+            vec![JoinEdge { fact: TableId(1), fact_col: 0, center: TableId(0), center_col: 0 }],
+            TableId(0),
+        )
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let s = tiny();
+        assert_eq!(s.table_id("title"), Some(TableId(0)));
+        assert_eq!(s.table_id("mc"), Some(TableId(1)));
+        assert_eq!(s.table_id("nope"), None);
+        assert_eq!(s.table(TableId(0)).column_index("year"), Some(2));
+        assert_eq!(s.join_of_fact(TableId(1)), Some(JoinId(0)));
+        assert_eq!(s.join_of_fact(TableId(0)), None);
+        assert_eq!(s.joinable_tables(), vec![TableId(0), TableId(1)]);
+    }
+
+    #[test]
+    fn data_column_enumeration() {
+        let s = tiny();
+        assert_eq!(s.total_data_columns(), 3);
+        // title.kind -> 0, title.year -> 1, mc.company -> 2
+        assert_eq!(s.global_data_column_index(TableId(0), 1), Some(0));
+        assert_eq!(s.global_data_column_index(TableId(0), 2), Some(1));
+        assert_eq!(s.global_data_column_index(TableId(1), 1), Some(2));
+        // keys are not data columns
+        assert_eq!(s.global_data_column_index(TableId(0), 0), None);
+        assert_eq!(s.global_data_column_index(TableId(1), 0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a foreign key")]
+    fn rejects_non_fk_join() {
+        let title = TableDef {
+            name: "title".into(),
+            columns: vec![ColumnDef::primary_key("id"), ColumnDef::data("kind")],
+        };
+        let mc = TableDef { name: "mc".into(), columns: vec![ColumnDef::data("movie_id")] };
+        Schema::new(
+            vec![title, mc],
+            vec![JoinEdge { fact: TableId(1), fact_col: 0, center: TableId(0), center_col: 0 }],
+            TableId(0),
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Markdown table formatting for the experiment reports.
+
+use crate::metrics::QErrorStats;
+
+/// Format a float the way the paper's tables do: 3 significant digits,
+/// switching to integer formatting for large values.
+pub fn fmt_q(v: f64) -> String {
+    if !v.is_finite() {
+        return "inf".into();
+    }
+    if v >= 1000.0 {
+        format!("{:.0}", v)
+    } else if v >= 100.0 {
+        format!("{:.0}", v)
+    } else if v >= 10.0 {
+        format!("{:.1}", v)
+    } else {
+        format!("{:.2}", v)
+    }
+}
+
+/// A markdown table builder.
+#[derive(Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Append a q-error summary row: `name | median | 90th | 95th | 99th |
+    /// max | mean`.
+    pub fn qerror_row(&mut self, name: &str, s: &QErrorStats) -> &mut Self {
+        self.row(vec![
+            name.to_string(),
+            fmt_q(s.median),
+            fmt_q(s.p90),
+            fmt_q(s.p95),
+            fmt_q(s.p99),
+            fmt_q(s.max),
+            fmt_q(s.mean),
+        ])
+    }
+
+    /// Render as GitHub-flavored markdown.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("| {} |\n", self.header.join(" | ")));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.header.len())));
+        for r in &self.rows {
+            out.push_str(&format!("| {} |\n", r.join(" | ")));
+        }
+        out
+    }
+}
+
+/// Header used by the q-error summary tables (Tables 2–4).
+pub const QERROR_HEADER: [&str; 7] = ["estimator", "median", "90th", "95th", "99th", "max", "mean"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_follow_magnitude() {
+        assert_eq!(fmt_q(1.687), "1.69");
+        assert_eq!(fmt_q(23.94), "23.9");
+        assert_eq!(fmt_q(465.2), "465");
+        assert_eq!(fmt_q(373901.4), "373901");
+        assert_eq!(fmt_q(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let md = t.render();
+        assert!(md.starts_with("| a | b |\n|---|---|\n| 1 | 2 |\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn wrong_width_panics() {
+        Table::new(&["a"]).row(vec!["1".into(), "2".into()]);
+    }
+}

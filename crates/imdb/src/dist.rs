@@ -1,0 +1,211 @@
+//! Sampling distributions used by the generator: Zipf over ranked domains,
+//! weighted pools with cumulative-sum sampling, and era-bucketed pools that
+//! implement the join-crossing correlations.
+
+use rand::Rng;
+
+/// Zipf(α) over ranks `0..n`: rank `r` is drawn with probability
+/// proportional to `1/(r+1)^alpha`. Backed by a precomputed cumulative
+/// table and a binary search per draw.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a Zipf distribution over `n` ranks with exponent `alpha`.
+    ///
+    /// # Panics
+    /// If `n == 0` or `alpha < 0`.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf needs a non-empty domain");
+        assert!(alpha >= 0.0, "Zipf exponent must be non-negative");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for r in 0..n {
+            total += 1.0 / ((r + 1) as f64).powf(alpha);
+            cumulative.push(total);
+        }
+        Zipf { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True if the domain is empty (never: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draw a rank in `0..n`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().unwrap();
+        let x = rng.gen_range(0.0..total);
+        self.cumulative.partition_point(|&c| c <= x).min(self.len() - 1)
+    }
+
+    /// Probability of rank `r`.
+    pub fn pmf(&self, r: usize) -> f64 {
+        let total = *self.cumulative.last().unwrap();
+        let prev = if r == 0 { 0.0 } else { self.cumulative[r - 1] };
+        (self.cumulative[r] - prev) / total
+    }
+}
+
+/// A weighted pool of items sampled by cumulative weight.
+#[derive(Clone, Debug)]
+pub struct WeightedPool<T: Copy> {
+    items: Vec<T>,
+    cumulative: Vec<f64>,
+}
+
+impl<T: Copy> WeightedPool<T> {
+    /// Build from `(item, weight)` pairs; zero/negative weights are dropped.
+    pub fn new(pairs: impl IntoIterator<Item = (T, f64)>) -> Self {
+        let mut items = Vec::new();
+        let mut cumulative = Vec::new();
+        let mut total = 0.0;
+        for (item, w) in pairs {
+            if w > 0.0 {
+                total += w;
+                items.push(item);
+                cumulative.push(total);
+            }
+        }
+        WeightedPool { items, cumulative }
+    }
+
+    /// Number of items with positive weight.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if no item has positive weight.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Draw an item. Returns `None` on an empty pool.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Option<T> {
+        if self.items.is_empty() {
+            return None;
+        }
+        let total = *self.cumulative.last().unwrap();
+        let x = rng.gen_range(0.0..total);
+        let idx = self.cumulative.partition_point(|&c| c <= x).min(self.items.len() - 1);
+        Some(self.items[idx])
+    }
+}
+
+/// Geometric-ish count: `1 + Geometric(p)` truncated at `max`, giving
+/// small skewed fan-outs (most movies have one company record, a few have
+/// many).
+pub fn skewed_count<R: Rng>(rng: &mut R, mean: f64, max: usize) -> usize {
+    debug_assert!(mean >= 1.0);
+    // Geometric with success probability 1/mean over {1, 2, ...}.
+    let p = (1.0 / mean).clamp(0.05, 1.0);
+    let mut n = 1;
+    while n < max && rng.gen::<f64>() > p {
+        n += 1;
+    }
+    n
+}
+
+/// Triangular distribution on `[lo, hi)` with mode at `hi` (mass increasing
+/// linearly towards recent values) — the shape of IMDb's production-year
+/// histogram.
+pub fn recency_skewed_year<R: Rng>(rng: &mut R, lo: i64, hi: i64) -> i64 {
+    let span = (hi - lo) as f64;
+    let u: f64 = rng.gen();
+    lo + (span * u.sqrt()) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut counts = [0u32; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10], "rank 0 should dominate rank 10");
+        assert!(counts[0] > 5 * counts[50].max(1), "heavy head expected");
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = Zipf::new(50, 1.3);
+        let sum: f64 = (0..50).map(|r| z.pmf(r)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_alpha_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.pmf(r) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weighted_pool_respects_weights() {
+        let pool = WeightedPool::new(vec![(1, 0.0), (2, 1.0), (3, 3.0)]);
+        assert_eq!(pool.len(), 2); // zero-weight item dropped
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut twos = 0;
+        let mut threes = 0;
+        for _ in 0..10_000 {
+            match pool.sample(&mut rng).unwrap() {
+                2 => twos += 1,
+                3 => threes += 1,
+                _ => panic!("dropped item sampled"),
+            }
+        }
+        let ratio = threes as f64 / twos as f64;
+        assert!((2.0..4.5).contains(&ratio), "expected ~3x, got {ratio}");
+    }
+
+    #[test]
+    fn empty_pool_returns_none() {
+        let pool: WeightedPool<u8> = WeightedPool::new(vec![]);
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert!(pool.sample(&mut rng).is_none());
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn skewed_count_bounds_and_mean() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut total = 0usize;
+        for _ in 0..10_000 {
+            let c = skewed_count(&mut rng, 3.0, 20);
+            assert!((1..=20).contains(&c));
+            total += c;
+        }
+        let mean = total as f64 / 10_000.0;
+        assert!((2.0..4.0).contains(&mean), "mean {mean} far from 3");
+    }
+
+    #[test]
+    fn recency_years_in_range_and_skewed() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut recent = 0;
+        for _ in 0..10_000 {
+            let y = recency_skewed_year(&mut rng, 1900, 2020);
+            assert!((1900..2020).contains(&y));
+            if y >= 1990 {
+                recent += 1;
+            }
+        }
+        // Triangular towards hi: P(y >= 1990) = 1 - (90/120)^2 = 0.4375
+        assert!((3000..5800).contains(&recent), "recent count {recent}");
+    }
+}

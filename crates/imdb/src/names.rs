@@ -1,0 +1,53 @@
+//! Canonical table/column names of the JOB-light schema, shared by the
+//! generator, the workloads, and the examples so typos fail at compile time.
+
+/// `title` — the center (dimension) table of the star.
+pub const TITLE: &str = "title";
+/// `movie_companies` fact table.
+pub const MOVIE_COMPANIES: &str = "movie_companies";
+/// `cast_info` fact table.
+pub const CAST_INFO: &str = "cast_info";
+/// `movie_info` fact table.
+pub const MOVIE_INFO: &str = "movie_info";
+/// `movie_info_idx` fact table.
+pub const MOVIE_INFO_IDX: &str = "movie_info_idx";
+/// `movie_keyword` fact table.
+pub const MOVIE_KEYWORD: &str = "movie_keyword";
+
+/// `title.id` primary key.
+pub const ID: &str = "id";
+/// Foreign key `*.movie_id`.
+pub const MOVIE_ID: &str = "movie_id";
+/// `title.kind_id` (movie / tv series / episode / ...).
+pub const KIND_ID: &str = "kind_id";
+/// `title.production_year` (nullable).
+pub const PRODUCTION_YEAR: &str = "production_year";
+/// `title.episode_nr` (nullable; only episodes have one).
+pub const EPISODE_NR: &str = "episode_nr";
+/// `movie_companies.company_id`.
+pub const COMPANY_ID: &str = "company_id";
+/// `movie_companies.company_type_id`.
+pub const COMPANY_TYPE_ID: &str = "company_type_id";
+/// `cast_info.person_id`.
+pub const PERSON_ID: &str = "person_id";
+/// `cast_info.role_id`.
+pub const ROLE_ID: &str = "role_id";
+/// `movie_info.info_type_id` / `movie_info_idx.info_type_id`.
+pub const INFO_TYPE_ID: &str = "info_type_id";
+/// `movie_keyword.keyword_id`.
+pub const KEYWORD_ID: &str = "keyword_id";
+
+/// Number of `kind_id` values (1..=7, as in IMDb's `kind_type`).
+pub const NUM_KINDS: i64 = 7;
+/// Number of `role_id` values (1..=11, as in IMDb's `role_type`).
+pub const NUM_ROLES: i64 = 11;
+/// `movie_info` info-type domain (1..=110).
+pub const NUM_INFO_TYPES: i64 = 110;
+/// `movie_info_idx` info types (99..=113, the rating/votes block).
+pub const INFO_IDX_LO: i64 = 99;
+/// Upper bound (inclusive) of the `movie_info_idx` info-type domain.
+pub const INFO_IDX_HI: i64 = 113;
+/// Production-year domain lower bound.
+pub const YEAR_LO: i64 = 1895;
+/// Production-year domain upper bound (inclusive).
+pub const YEAR_HI: i64 = 2018;

@@ -1,0 +1,207 @@
+//! Fully-connected layer with Xavier initialization and accumulated
+//! gradients.
+
+use rand::Rng;
+
+use crate::matrix::Matrix;
+
+/// A dense layer `y = x·W + b` with `W: [in × out]`.
+///
+/// Gradients accumulate across [`Linear::backward`] calls until
+/// [`Linear::zero_grad`]; this is what lets the MSCN set modules process
+/// several ragged segments per mini-batch with shared parameters.
+#[derive(Clone, Debug)]
+pub struct Linear {
+    w: Matrix,
+    b: Vec<f32>,
+    grad_w: Matrix,
+    grad_b: Vec<f32>,
+}
+
+impl Linear {
+    /// Xavier-uniform initialized layer.
+    pub fn new<R: Rng>(input: usize, output: usize, rng: &mut R) -> Self {
+        let bound = (6.0 / (input + output) as f32).sqrt();
+        let data = (0..input * output).map(|_| rng.gen_range(-bound..bound)).collect();
+        Linear {
+            w: Matrix::from_vec(input, output, data),
+            b: vec![0.0; output],
+            grad_w: Matrix::zeros(input, output),
+            grad_b: vec![0.0; output],
+        }
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output width.
+    pub fn output_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Number of scalar parameters (`in·out + out`).
+    pub fn num_params(&self) -> usize {
+        self.w.rows() * self.w.cols() + self.b.len()
+    }
+
+    /// `x·W + b` for a batch `x: [n × in]`.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut out = x.matmul(&self.w);
+        out.add_bias(&self.b);
+        out
+    }
+
+    /// Backward pass: given the forward input `x` and `∂L/∂y`, accumulate
+    /// `∂L/∂W`, `∂L/∂b` and return `∂L/∂x`.
+    pub fn backward(&mut self, x: &Matrix, grad_out: &Matrix) -> Matrix {
+        debug_assert_eq!(grad_out.cols(), self.output_dim());
+        debug_assert_eq!(x.cols(), self.input_dim());
+        debug_assert_eq!(x.rows(), grad_out.rows());
+        x.matmul_transa_into(grad_out, &mut self.grad_w);
+        for i in 0..grad_out.rows() {
+            for (gb, &g) in self.grad_b.iter_mut().zip(grad_out.row(i)) {
+                *gb += g;
+            }
+        }
+        grad_out.matmul_transb(&self.w)
+    }
+
+    /// Clear accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.grad_w.fill_zero();
+        self.grad_b.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Parameter/gradient pairs, weights first then bias — the order the
+    /// optimizer and the serializer rely on.
+    pub fn params_and_grads(&mut self) -> [(&mut [f32], &[f32]); 2] {
+        let Linear { w, b, grad_w, grad_b } = self;
+        [(w.data_mut(), grad_w.data()), (b.as_mut_slice(), grad_b.as_slice())]
+    }
+
+    /// Read-only view of the weight matrix.
+    pub fn weights(&self) -> &Matrix {
+        &self.w
+    }
+
+    /// Read-only view of the bias.
+    pub fn bias(&self) -> &[f32] {
+        &self.b
+    }
+
+    /// Overwrite parameters (deserialization).
+    ///
+    /// # Panics
+    /// If the shapes do not match.
+    pub fn load(&mut self, w: Vec<f32>, b: Vec<f32>) {
+        assert_eq!(w.len(), self.w.rows() * self.w.cols(), "weight size mismatch");
+        assert_eq!(b.len(), self.b.len(), "bias size mismatch");
+        self.w = Matrix::from_vec(self.w.rows(), self.w.cols(), w);
+        self.b = b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Scalar loss used in gradient checks: sum of all outputs.
+    fn loss(layer: &Linear, x: &Matrix) -> f32 {
+        layer.forward(x).data().iter().sum()
+    }
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut l = Linear::new(3, 2, &mut rng);
+        l.load(vec![0.0; 6], vec![7.0, -1.0]);
+        let x = Matrix::from_vec(2, 3, vec![1.0; 6]);
+        let y = l.forward(&x);
+        assert_eq!(y.shape(), (2, 2));
+        assert_eq!(y.row(0), &[7.0, -1.0]);
+    }
+
+    #[test]
+    fn gradient_check_weights_and_bias() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut layer = Linear::new(4, 3, &mut rng);
+        let x = Matrix::from_vec(2, 4, (0..8).map(|i| (i as f32 - 4.0) * 0.3).collect());
+        // Analytic gradients with dL/dy = 1.
+        layer.zero_grad();
+        let ones = Matrix::from_vec(2, 3, vec![1.0; 6]);
+        let grad_x = layer.backward(&x, &ones);
+
+        let eps = 1e-2f32;
+        // Check dL/dW numerically for a few entries.
+        for &(i, j) in &[(0usize, 0usize), (1, 2), (3, 1)] {
+            let orig = layer.weights().get(i, j);
+            let mut wp = layer.clone();
+            let mut buf = wp.weights().clone();
+            buf.set(i, j, orig + eps);
+            wp.load(buf.data().to_vec(), wp.bias().to_vec());
+            let up = loss(&wp, &x);
+            let mut wm = layer.clone();
+            let mut buf = wm.weights().clone();
+            buf.set(i, j, orig - eps);
+            wm.load(buf.data().to_vec(), wm.bias().to_vec());
+            let down = loss(&wm, &x);
+            let numeric = (up - down) / (2.0 * eps);
+            let analytic = layer.grad_w_entry(i, j);
+            assert!(
+                (numeric - analytic).abs() < 1e-2,
+                "dW[{i},{j}]: numeric {numeric} analytic {analytic}"
+            );
+        }
+        // dL/db = column count of rows = 2 for each output.
+        let (_, grads) = {
+            let mut l2 = layer.clone();
+            let pg = l2.params_and_grads();
+            (pg[1].0.to_vec(), pg[1].1.to_vec())
+        };
+        assert!(grads.iter().all(|&g| (g - 2.0).abs() < 1e-5));
+        // dL/dx = row sums of W.
+        for r in 0..2 {
+            for k in 0..4 {
+                let expected: f32 = (0..3).map(|j| layer.weights().get(k, j)).sum();
+                assert!((grad_x.get(r, k) - expected).abs() < 1e-4);
+            }
+        }
+    }
+
+    impl Linear {
+        fn grad_w_entry(&self, i: usize, j: usize) -> f32 {
+            self.grad_w.get(i, j)
+        }
+    }
+
+    #[test]
+    fn gradients_accumulate_until_cleared() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut l = Linear::new(2, 2, &mut rng);
+        let x = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let g = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        l.zero_grad();
+        l.backward(&x, &g);
+        let once = l.grad_w_entry(1, 0);
+        l.backward(&x, &g);
+        assert!((l.grad_w_entry(1, 0) - 2.0 * once).abs() < 1e-6);
+        l.zero_grad();
+        assert_eq!(l.grad_w_entry(1, 0), 0.0);
+    }
+
+    #[test]
+    fn xavier_init_is_bounded_and_seeded() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let a = Linear::new(10, 10, &mut rng);
+        let bound = (6.0f32 / 20.0).sqrt();
+        assert!(a.weights().data().iter().all(|v| v.abs() <= bound));
+        let mut rng = SmallRng::seed_from_u64(4);
+        let b = Linear::new(10, 10, &mut rng);
+        assert_eq!(a.weights().data(), b.weights().data());
+        assert_eq!(a.num_params(), 110);
+    }
+}

@@ -1,0 +1,184 @@
+//! Training objectives (§3.2 and §4.8).
+//!
+//! MSCN predicts a normalized log-cardinality `ŷ ∈ [0,1]`; with
+//! `s = log(c_max) − log(c_min)` (the normalization scale from the training
+//! set), the q-error of a prediction is
+//!
+//! ```text
+//! q = max(ĉ/c, c/ĉ) = exp(s · |ŷ − y|)
+//! ```
+//!
+//! so all three objectives can be expressed — and differentiated — directly
+//! in normalized space:
+//!
+//! * **mean q-error** (the paper's default): `L = exp(s·|Δ|)`,
+//!   `∂L/∂ŷ = s·sign(Δ)·exp(s·|Δ|)`;
+//! * **MSE**: `L = Δ²`, `∂L/∂ŷ = 2Δ` — optimizing squared differences of
+//!   (log-normalized) cardinalities;
+//! * **geometric-mean q-error**: minimizing `(Π q_i)^{1/n}` is equivalent
+//!   to minimizing `mean log q = s·mean|Δ|`, an L1 objective that
+//!   de-emphasizes heavy outliers (§4.8).
+//!
+//! The exponent in the q-error loss is clamped to avoid `f32` overflow in
+//! the first epochs; Adam's per-parameter normalization makes training
+//! insensitive to the clamp value.
+
+/// Exponent clamp for the q-error objective (`e^30 ≈ 1e13` stays well
+/// inside `f32` range even after batch summation).
+const MAX_EXPONENT: f32 = 30.0;
+
+/// The training objective.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LossKind {
+    /// Mean q-error — the paper's default objective.
+    MeanQError,
+    /// Mean squared error in normalized log space.
+    Mse,
+    /// Geometric mean of the q-error (mean log-q, an L1 objective).
+    GeometricQError,
+}
+
+impl LossKind {
+    /// Display name used in the §4.8 ablation report.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LossKind::MeanQError => "mean q-error",
+            LossKind::Mse => "MSE",
+            LossKind::GeometricQError => "geometric mean q-error",
+        }
+    }
+
+    /// Mean loss over the batch and `∂L/∂ŷ` per element (already divided
+    /// by the batch size, ready to feed the backward pass).
+    ///
+    /// `scale` is `log(c_max) − log(c_min)` from label normalization.
+    ///
+    /// # Panics
+    /// If slices disagree in length or the batch is empty.
+    pub fn loss_and_grad(
+        &self,
+        pred: &[f32],
+        target: &[f32],
+        scale: f32,
+        grad: &mut [f32],
+    ) -> f64 {
+        assert_eq!(pred.len(), target.len());
+        assert_eq!(pred.len(), grad.len());
+        assert!(!pred.is_empty(), "empty batch");
+        let n = pred.len() as f32;
+        let mut total = 0.0f64;
+        // f32::signum maps 0.0 to 1.0; the subgradient at Δ = 0 must be 0.
+        let sign = |d: f32| {
+            if d > 0.0 {
+                1.0
+            } else if d < 0.0 {
+                -1.0
+            } else {
+                0.0
+            }
+        };
+        match self {
+            LossKind::MeanQError => {
+                for i in 0..pred.len() {
+                    let delta = pred[i] - target[i];
+                    let q = (scale * delta.abs()).min(MAX_EXPONENT).exp();
+                    total += q as f64;
+                    grad[i] = scale * sign(delta) * q / n;
+                }
+            }
+            LossKind::Mse => {
+                for i in 0..pred.len() {
+                    let delta = pred[i] - target[i];
+                    total += (delta * delta) as f64;
+                    grad[i] = 2.0 * delta / n;
+                }
+            }
+            LossKind::GeometricQError => {
+                for i in 0..pred.len() {
+                    let delta = pred[i] - target[i];
+                    total += (scale * delta.abs()) as f64;
+                    grad[i] = scale * sign(delta) / n;
+                }
+            }
+        }
+        total / pred.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numeric_grad(kind: LossKind, pred: Vec<f32>, target: &[f32], scale: f32, i: usize) -> f32 {
+        let eps = 1e-3f32;
+        let mut up = pred.clone();
+        up[i] += eps;
+        let mut down = pred;
+        down[i] -= eps;
+        let mut g = vec![0.0; target.len()];
+        let lu = kind.loss_and_grad(&up, target, scale, &mut g) as f32;
+        let ld = kind.loss_and_grad(&down, target, scale, &mut g) as f32;
+        (lu - ld) / (2.0 * eps)
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let pred = vec![0.3f32, 0.6, 0.9];
+        let target = vec![0.5f32, 0.55, 0.2];
+        let scale = 5.0;
+        for kind in [LossKind::MeanQError, LossKind::Mse, LossKind::GeometricQError] {
+            let mut grad = vec![0.0f32; 3];
+            kind.loss_and_grad(&pred, &target, scale, &mut grad);
+            for i in 0..3 {
+                let num = numeric_grad(kind, pred.clone(), &target, scale, i);
+                assert!(
+                    (grad[i] - num).abs() < 2e-2 * num.abs().max(1.0),
+                    "{kind:?} grad[{i}]: analytic {} numeric {num}",
+                    grad[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_prediction_has_unit_qerror_and_zero_grad() {
+        let pred = vec![0.4f32, 0.7];
+        let mut grad = vec![9.0f32; 2];
+        let loss = LossKind::MeanQError.loss_and_grad(&pred, &pred, 10.0, &mut grad);
+        assert!((loss - 1.0).abs() < 1e-9, "q-error of perfect estimate is 1");
+        assert_eq!(grad, vec![0.0, 0.0]);
+        let loss = LossKind::GeometricQError.loss_and_grad(&pred, &pred, 10.0, &mut grad);
+        assert_eq!(loss, 0.0);
+        let loss = LossKind::Mse.loss_and_grad(&pred, &pred, 10.0, &mut grad);
+        assert_eq!(loss, 0.0);
+    }
+
+    #[test]
+    fn qerror_loss_equals_true_qerror() {
+        // One sample: pred 0.8, target 0.5, scale ln(1000) ⇒ the predicted
+        // cardinality is 1000^0.3 ≈ 7.94× the true one.
+        let scale = (1000.0f32).ln();
+        let mut grad = vec![0.0f32];
+        let loss = LossKind::MeanQError.loss_and_grad(&[0.8], &[0.5], scale, &mut grad);
+        let expected = 1000.0f64.powf(0.3);
+        assert!((loss - expected).abs() / expected < 1e-4, "{loss} vs {expected}");
+        assert!(grad[0] > 0.0, "overestimate must push prediction down");
+    }
+
+    #[test]
+    fn exponent_clamp_keeps_values_finite() {
+        let mut grad = vec![0.0f32];
+        let loss = LossKind::MeanQError.loss_and_grad(&[1.0], &[0.0], 1e6, &mut grad);
+        assert!(loss.is_finite());
+        assert!(grad[0].is_finite());
+    }
+
+    #[test]
+    fn underestimates_get_negative_gradient() {
+        for kind in [LossKind::MeanQError, LossKind::Mse, LossKind::GeometricQError] {
+            let mut grad = vec![0.0f32];
+            kind.loss_and_grad(&[0.2], &[0.9], 4.0, &mut grad);
+            assert!(grad[0] < 0.0, "{kind:?} should push the prediction up");
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Row-major `f32` matrices with the product kernels needed by backprop.
+//!
+//! The loop orders follow the Rust perf-book guidance: the innermost loop
+//! always walks contiguous rows of the output and one operand, so LLVM
+//! auto-vectorizes them; no allocation happens inside a kernel beyond the
+//! output buffer.
+
+/// A dense row-major matrix of `f32`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Build from a row-major buffer.
+    ///
+    /// # Panics
+    /// If `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer size mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Row `i` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Element `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Set element `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f32) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// The raw row-major buffer.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The raw row-major buffer, mutable.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Reset every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// `self · b` — `[r×k] · [k×c] → [r×c]`, ikj loop order.
+    pub fn matmul(&self, b: &Matrix) -> Matrix {
+        assert_eq!(self.cols, b.rows, "matmul shape mismatch");
+        let mut out = Matrix::zeros(self.rows, b.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (kk, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue; // one-hot inputs make this worth a branch
+                }
+                let b_row = b.row(kk);
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += a * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · bᵀ` — `[r×k] · [c×k]ᵀ → [r×c]`, row-dot-row.
+    pub fn matmul_transb(&self, b: &Matrix) -> Matrix {
+        assert_eq!(self.cols, b.cols, "matmul_transb shape mismatch");
+        let mut out = Matrix::zeros(self.rows, b.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = b.row(j);
+                let mut acc = 0.0f32;
+                for (&x, &y) in a_row.iter().zip(b_row) {
+                    acc += x * y;
+                }
+                *o = acc;
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · b` — `[r×k]ᵀ · [r×c] → [k×c]`, accumulated outer products.
+    /// Accumulates *into* `out` (callers reuse gradient buffers).
+    pub fn matmul_transa_into(&self, b: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.rows, b.rows, "matmul_transa shape mismatch");
+        assert_eq!(out.shape(), (self.cols, b.cols), "matmul_transa output shape");
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let b_row = b.row(i);
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(k);
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += a * bv;
+                }
+            }
+        }
+    }
+
+    /// Add a bias row to every row in place.
+    pub fn add_bias(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols, "bias width mismatch");
+        for i in 0..self.rows {
+            for (v, &b) in self.row_mut(i).iter_mut().zip(bias) {
+                *v += b;
+            }
+        }
+    }
+
+    /// Frobenius-style maximum absolute difference (test helper).
+    pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
+        assert_eq!(self.shape(), other.shape());
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for k in 0..a.cols() {
+                    acc += a.get(i, k) * b.get(k, j);
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    fn arange(rows: usize, cols: usize, start: f32) -> Matrix {
+        Matrix::from_vec(rows, cols, (0..rows * cols).map(|i| start + i as f32 * 0.1).collect())
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = arange(3, 4, -1.0);
+        let b = arange(4, 5, 0.5);
+        assert!(a.matmul(&b).max_abs_diff(&naive_matmul(&a, &b)) < 1e-5);
+    }
+
+    #[test]
+    fn matmul_transb_matches_naive() {
+        let a = arange(3, 4, -1.0);
+        let b = arange(5, 4, 2.0); // b^T is 4x5
+        let bt = {
+            let mut t = Matrix::zeros(4, 5);
+            for i in 0..5 {
+                for j in 0..4 {
+                    t.set(j, i, b.get(i, j));
+                }
+            }
+            t
+        };
+        assert!(a.matmul_transb(&b).max_abs_diff(&naive_matmul(&a, &bt)) < 1e-5);
+    }
+
+    #[test]
+    fn matmul_transa_accumulates() {
+        let a = arange(3, 4, 0.0); // a^T is 4x3
+        let b = arange(3, 2, 1.0);
+        let at = {
+            let mut t = Matrix::zeros(4, 3);
+            for i in 0..3 {
+                for j in 0..4 {
+                    t.set(j, i, a.get(i, j));
+                }
+            }
+            t
+        };
+        let expected = naive_matmul(&at, &b);
+        let mut out = Matrix::zeros(4, 2);
+        a.matmul_transa_into(&b, &mut out);
+        assert!(out.max_abs_diff(&expected) < 1e-5);
+        // Second call accumulates (doubles).
+        a.matmul_transa_into(&b, &mut out);
+        let mut doubled = expected.clone();
+        doubled.data_mut().iter_mut().for_each(|v| *v *= 2.0);
+        assert!(out.max_abs_diff(&doubled) < 1e-5);
+    }
+
+    #[test]
+    fn bias_and_zero() {
+        let mut m = Matrix::zeros(2, 3);
+        m.add_bias(&[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(1), &[1.0, 2.0, 3.0]);
+        m.fill_zero();
+        assert!(m.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let _ = a.matmul(&b);
+    }
+}

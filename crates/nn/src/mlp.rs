@@ -1,0 +1,194 @@
+//! The paper's two-layer MLP module (§3.2): `Linear → ReLU → Linear → f`
+//! where `f` is ReLU inside the set modules and sigmoid in the final output
+//! network.
+
+use rand::Rng;
+
+use crate::linear::Linear;
+use crate::matrix::Matrix;
+use crate::{relu_backward_inplace, relu_inplace, sigmoid_backward_inplace, sigmoid_inplace};
+
+/// Activation applied after the second layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FinalActivation {
+    /// ReLU — used by the table/join/predicate set modules.
+    Relu,
+    /// Sigmoid — used by the output network so `w_out ∈ [0,1]`.
+    Sigmoid,
+}
+
+/// Forward-pass intermediates needed by the backward pass.
+#[derive(Clone, Debug)]
+pub struct MlpCache {
+    /// Post-ReLU activations of the hidden layer.
+    pub hidden: Matrix,
+    /// Post-activation output of the second layer.
+    pub output: Matrix,
+}
+
+/// Two fully-connected layers with ReLU in between.
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    l1: Linear,
+    l2: Linear,
+    final_act: FinalActivation,
+}
+
+impl Mlp {
+    /// Construct `input → hidden → output` with Xavier init.
+    pub fn new<R: Rng>(
+        input: usize,
+        hidden: usize,
+        output: usize,
+        final_act: FinalActivation,
+        rng: &mut R,
+    ) -> Self {
+        Mlp { l1: Linear::new(input, hidden, rng), l2: Linear::new(hidden, output, rng), final_act }
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.l1.input_dim()
+    }
+
+    /// Output width.
+    pub fn output_dim(&self) -> usize {
+        self.l2.output_dim()
+    }
+
+    /// Total scalar parameters of both layers.
+    pub fn num_params(&self) -> usize {
+        self.l1.num_params() + self.l2.num_params()
+    }
+
+    /// Forward a batch `x: [n × input]`, returning the output and the cache
+    /// for [`Mlp::backward`].
+    pub fn forward(&self, x: &Matrix) -> MlpCache {
+        let mut hidden = self.l1.forward(x);
+        relu_inplace(&mut hidden);
+        let mut output = self.l2.forward(&hidden);
+        match self.final_act {
+            FinalActivation::Relu => relu_inplace(&mut output),
+            FinalActivation::Sigmoid => sigmoid_inplace(&mut output),
+        }
+        MlpCache { hidden, output }
+    }
+
+    /// Backward pass; accumulates parameter gradients and returns `∂L/∂x`.
+    pub fn backward(&mut self, x: &Matrix, cache: &MlpCache, mut grad_out: Matrix) -> Matrix {
+        match self.final_act {
+            FinalActivation::Relu => relu_backward_inplace(&mut grad_out, &cache.output),
+            FinalActivation::Sigmoid => sigmoid_backward_inplace(&mut grad_out, &cache.output),
+        }
+        let mut grad_hidden = self.l2.backward(&cache.hidden, &grad_out);
+        relu_backward_inplace(&mut grad_hidden, &cache.hidden);
+        self.l1.backward(x, &grad_hidden)
+    }
+
+    /// Clear accumulated gradients in both layers.
+    pub fn zero_grad(&mut self) {
+        self.l1.zero_grad();
+        self.l2.zero_grad();
+    }
+
+    /// Both layers, first → second (optimizer/serializer order).
+    pub fn layers_mut(&mut self) -> [&mut Linear; 2] {
+        [&mut self.l1, &mut self.l2]
+    }
+
+    /// Read-only layer access, first → second.
+    pub fn layers(&self) -> [&Linear; 2] {
+        [&self.l1, &self.l2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn sum_loss(mlp: &Mlp, x: &Matrix) -> f32 {
+        mlp.forward(x).output.data().iter().sum()
+    }
+
+    /// Finite-difference check of ∂L/∂x through the whole module, for both
+    /// final activations.
+    #[test]
+    fn gradient_check_input() {
+        for act in [FinalActivation::Relu, FinalActivation::Sigmoid] {
+            let mut rng = SmallRng::seed_from_u64(7);
+            let mut mlp = Mlp::new(5, 8, 3, act, &mut rng);
+            let x = Matrix::from_vec(2, 5, (0..10).map(|i| (i as f32 - 5.0) * 0.17).collect());
+            let cache = mlp.forward(&x);
+            let ones = Matrix::from_vec(2, 3, vec![1.0; 6]);
+            mlp.zero_grad();
+            let grad_x = mlp.backward(&x, &cache, ones);
+            let eps = 1e-2f32;
+            for &(i, j) in &[(0usize, 0usize), (1, 4), (0, 2)] {
+                let mut xp = x.clone();
+                xp.set(i, j, x.get(i, j) + eps);
+                let mut xm = x.clone();
+                xm.set(i, j, x.get(i, j) - eps);
+                let numeric = (sum_loss(&mlp, &xp) - sum_loss(&mlp, &xm)) / (2.0 * eps);
+                let analytic = grad_x.get(i, j);
+                assert!(
+                    (numeric - analytic).abs() < 2e-2,
+                    "{act:?} dX[{i},{j}]: numeric {numeric} analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    /// Finite-difference check of a first-layer weight through both layers.
+    #[test]
+    fn gradient_check_deep_weight() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut mlp = Mlp::new(4, 6, 2, FinalActivation::Sigmoid, &mut rng);
+        let x = Matrix::from_vec(3, 4, (0..12).map(|i| (i as f32) * 0.1 - 0.5).collect());
+        let cache = mlp.forward(&x);
+        mlp.zero_grad();
+        let ones = Matrix::from_vec(3, 2, vec![1.0; 6]);
+        mlp.backward(&x, &cache, ones);
+        let analytic = {
+            let [l1, _] = mlp.layers_mut();
+            let pg = l1.params_and_grads();
+            pg[0].1[2 * 6 + 3] // dW1[2,3]
+        };
+        let eps = 1e-2f32;
+        let perturb = |delta: f32, mlp: &Mlp| {
+            let mut m = mlp.clone();
+            let [l1, _] = m.layers_mut();
+            let mut w = l1.weights().data().to_vec();
+            w[2 * 6 + 3] += delta;
+            let b = l1.bias().to_vec();
+            l1.load(w, b);
+            m
+        };
+        let up = sum_loss(&perturb(eps, &mlp), &x);
+        let down = sum_loss(&perturb(-eps, &mlp), &x);
+        let numeric = (up - down) / (2.0 * eps);
+        assert!(
+            (numeric - analytic).abs() < 2e-2,
+            "numeric {numeric} analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn sigmoid_output_is_bounded() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mlp = Mlp::new(3, 4, 1, FinalActivation::Sigmoid, &mut rng);
+        let x = Matrix::from_vec(5, 3, (0..15).map(|i| i as f32 * 3.0 - 20.0).collect());
+        let out = mlp.forward(&x).output;
+        assert!(out.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn param_counting() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        let mlp = Mlp::new(10, 20, 5, FinalActivation::Relu, &mut rng);
+        assert_eq!(mlp.num_params(), 10 * 20 + 20 + 20 * 5 + 5);
+        assert_eq!(mlp.input_dim(), 10);
+        assert_eq!(mlp.output_dim(), 5);
+    }
+}

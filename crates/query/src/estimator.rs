@@ -1,0 +1,58 @@
+//! The estimator interface shared by MSCN and every baseline.
+
+use crate::label::LabeledQuery;
+
+/// A cardinality estimator.
+///
+/// Estimators receive the full [`LabeledQuery`] because runtime sampling
+/// information (qualifying counts and bitmaps, §3.4) is part of the input
+/// for both MSCN and the sampling baselines — it is computed from the
+/// materialized samples at estimation time for unseen queries exactly as it
+/// is for training queries. Implementations **must not** read
+/// [`LabeledQuery::cardinality`]; that field is the ground truth used only
+/// by the evaluation harness.
+pub trait CardinalityEstimator {
+    /// Short display name used in report tables (e.g. `"PostgreSQL"`).
+    fn name(&self) -> &str;
+
+    /// Estimated result cardinality (in rows, ≥ 0) of `q`.
+    fn estimate(&self, q: &LabeledQuery) -> f64;
+
+    /// Estimate a batch. The default maps [`Self::estimate`]; model-based
+    /// estimators override this with vectorized inference.
+    fn estimate_all(&self, qs: &[LabeledQuery]) -> Vec<f64> {
+        qs.iter().map(|q| self.estimate(q)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Query;
+
+    /// Trivial estimator used to exercise the default batch path.
+    struct Constant(f64);
+
+    impl CardinalityEstimator for Constant {
+        fn name(&self) -> &str {
+            "const"
+        }
+        fn estimate(&self, _q: &LabeledQuery) -> f64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn default_batch_maps_single() {
+        let q = LabeledQuery {
+            query: Query::new(vec![], vec![], vec![]),
+            cardinality: 1,
+            sample_counts: vec![],
+            bitmaps: vec![],
+            pred_bitmaps: vec![],
+        };
+        let e = Constant(42.0);
+        assert_eq!(e.estimate_all(&[q.clone(), q]), vec![42.0, 42.0]);
+        assert_eq!(e.name(), "const");
+    }
+}

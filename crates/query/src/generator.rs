@@ -1,0 +1,264 @@
+//! The paper's random query generator (§3.3).
+//!
+//! > "Our query generator first uniformly draws the number of joins |J_q|
+//! > (0 ≤ |J_q| ≤ 2) and then uniformly selects a table that is referenced
+//! > by at least one table. For |J_q| > 0, it then uniformly selects a new
+//! > table that can join with the current set of tables, adds the
+//! > corresponding join edge to the query and repeats this process |J_q|
+//! > times. For each base table t in the query, it then uniformly draws the
+//! > number of predicates |P_t_q| (0 ≤ |P_t_q| ≤ num non-key columns). For
+//! > each predicate, it uniformly draws the predicate type (=, <, or >) and
+//! > selects a literal (an actual value) from the corresponding column. We
+//! > configured our query generator to only generate unique queries."
+
+use std::collections::HashSet;
+
+use lc_engine::{CmpOp, Database, Predicate, TableId};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::query::Query;
+
+/// Knobs for the random query generator.
+#[derive(Clone, Copy, Debug)]
+pub struct GeneratorConfig {
+    /// Maximum number of joins (inclusive). The paper trains with 2 and
+    /// evaluates generalization up to 4.
+    pub max_joins: usize,
+    /// RNG seed. The paper's synthetic evaluation workload uses the same
+    /// generator as training "using a different random seed".
+    pub seed: u64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig { max_joins: 2, seed: 1 }
+    }
+}
+
+/// Uniform random query generator over a database snapshot.
+pub struct QueryGenerator<'a> {
+    db: &'a Database,
+    rng: SmallRng,
+    cfg: GeneratorConfig,
+    seen: HashSet<Query>,
+}
+
+impl<'a> QueryGenerator<'a> {
+    /// Create a generator for `db`.
+    pub fn new(db: &'a Database, cfg: GeneratorConfig) -> Self {
+        QueryGenerator { db, rng: SmallRng::seed_from_u64(cfg.seed), cfg, seen: HashSet::new() }
+    }
+
+    /// Draw a literal: an actual (non-NULL) value of `column` of `t`,
+    /// sampled from a uniformly chosen row. Returns `None` for an all-NULL
+    /// or empty column.
+    fn draw_literal(&mut self, t: TableId, column: usize) -> Option<i64> {
+        let data = self.db.table(t);
+        let n = data.num_rows();
+        if n == 0 {
+            return None;
+        }
+        for _ in 0..64 {
+            let row = self.rng.gen_range(0..n);
+            if let Some(v) = data.column(column).value(row) {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Draw the table walk for exactly `num_joins` joins, returning the
+    /// table set and join set.
+    fn draw_tables(&mut self, num_joins: usize) -> (Vec<TableId>, Vec<lc_engine::JoinId>) {
+        let schema = self.db.schema();
+        if num_joins == 0 {
+            let t = TableId(self.rng.gen_range(0..schema.num_tables()) as u16);
+            return (vec![t], vec![]);
+        }
+        let joinable = schema.joinable_tables();
+        let start = *joinable.choose(&mut self.rng).expect("schema has joinable tables");
+        let mut tables = vec![start];
+        let mut joins = Vec::new();
+        for _ in 0..num_joins {
+            // Tables that can join the current set: in the star schema, the
+            // center joins any absent fact; a fact joins only the center.
+            let has_center = tables.contains(&schema.center);
+            let candidates: Vec<TableId> = if has_center {
+                schema
+                    .joins
+                    .iter()
+                    .map(|e| e.fact)
+                    .filter(|f| !tables.contains(f))
+                    .collect()
+            } else {
+                vec![schema.center]
+            };
+            let next = *candidates.choose(&mut self.rng).expect("star schema always extendable");
+            // The new edge connects `next` to the set.
+            let fact = if next == schema.center { tables[0] } else { next };
+            let join = schema.join_of_fact(fact).expect("fact has an edge");
+            tables.push(next);
+            joins.push(join);
+        }
+        (tables, joins)
+    }
+
+    /// Draw the predicates for one base table: uniform count in
+    /// `0..=num_data_columns`, distinct columns, uniform operator, literal
+    /// from the data.
+    fn draw_predicates(&mut self, t: TableId, out: &mut Vec<Predicate>) {
+        let mut columns = self.db.schema().table(t).data_columns();
+        let k = self.rng.gen_range(0..=columns.len());
+        columns.shuffle(&mut self.rng);
+        for &column in columns.iter().take(k) {
+            let op = *CmpOp::ALL.choose(&mut self.rng).unwrap();
+            if let Some(value) = self.draw_literal(t, column) {
+                out.push(Predicate { table: t, column, op, value });
+            }
+        }
+    }
+
+    /// Generate one random query (which may be a duplicate of an earlier
+    /// one; see [`QueryGenerator::generate_unique`]).
+    pub fn generate(&mut self) -> Query {
+        let num_joins = self.rng.gen_range(0..=self.cfg.max_joins);
+        self.generate_with_joins(num_joins)
+    }
+
+    /// Generate one random query with exactly `num_joins` joins.
+    pub fn generate_with_joins(&mut self, num_joins: usize) -> Query {
+        let (tables, joins) = self.draw_tables(num_joins);
+        let mut predicates = Vec::new();
+        for &t in &tables {
+            self.draw_predicates(t, &mut predicates);
+        }
+        Query::new(tables, joins, predicates)
+    }
+
+    /// Generate `n` *unique* queries (the paper configures the generator
+    /// "to only generate unique queries"); uniqueness is global across all
+    /// calls on this generator instance.
+    pub fn generate_unique(&mut self, n: usize) -> Vec<Query> {
+        let mut out = Vec::with_capacity(n);
+        // The query space is astronomically larger than any n we request;
+        // the retry bound only guards against misconfiguration.
+        let mut attempts = 0usize;
+        let max_attempts = n.saturating_mul(1000).max(10_000);
+        while out.len() < n && attempts < max_attempts {
+            attempts += 1;
+            let q = self.generate();
+            if self.seen.insert(q.clone()) {
+                out.push(q);
+            }
+        }
+        assert_eq!(out.len(), n, "query space exhausted after {attempts} attempts");
+        out
+    }
+
+    /// Generate `n` unique queries with exactly `num_joins` joins each
+    /// (used by the `scale` workload's 100-per-bucket design).
+    pub fn generate_unique_with_joins(&mut self, n: usize, num_joins: usize) -> Vec<Query> {
+        let mut out = Vec::with_capacity(n);
+        let mut attempts = 0usize;
+        let max_attempts = n.saturating_mul(1000).max(10_000);
+        while out.len() < n && attempts < max_attempts {
+            attempts += 1;
+            let q = self.generate_with_joins(num_joins);
+            if self.seen.insert(q.clone()) {
+                out.push(q);
+            }
+        }
+        assert_eq!(out.len(), n, "query space exhausted after {attempts} attempts");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lc_imdb::{generate, ImdbConfig};
+
+    #[test]
+    fn respects_join_bounds_and_uniqueness() {
+        let db = generate(&ImdbConfig::tiny());
+        let mut g = QueryGenerator::new(&db, GeneratorConfig { max_joins: 2, seed: 9 });
+        let qs = g.generate_unique(500);
+        assert_eq!(qs.len(), 500);
+        let unique: HashSet<_> = qs.iter().collect();
+        assert_eq!(unique.len(), 500);
+        for q in &qs {
+            assert!(q.num_joins() <= 2);
+            assert_eq!(q.tables().len(), q.num_joins() + 1);
+        }
+        // All join counts should occur.
+        for j in 0..=2 {
+            assert!(qs.iter().any(|q| q.num_joins() == j), "no query with {j} joins");
+        }
+    }
+
+    #[test]
+    fn joins_form_connected_star() {
+        let db = generate(&ImdbConfig::tiny());
+        let center = db.schema().center;
+        let mut g = QueryGenerator::new(&db, GeneratorConfig { max_joins: 4, seed: 10 });
+        for _ in 0..200 {
+            let q = g.generate();
+            if q.num_joins() > 0 {
+                assert!(q.tables().contains(&center), "joined query missing center");
+                for &j in q.joins() {
+                    assert!(q.tables().contains(&db.schema().join(j).fact));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn literals_come_from_data() {
+        let db = generate(&ImdbConfig::tiny());
+        let mut g = QueryGenerator::new(&db, GeneratorConfig { max_joins: 2, seed: 11 });
+        for _ in 0..200 {
+            let q = g.generate();
+            for p in q.predicates() {
+                let stats = db.column_stats(p.table, p.column);
+                assert!(p.value >= stats.min && p.value <= stats.max, "literal out of domain");
+            }
+        }
+    }
+
+    #[test]
+    fn predicates_only_on_data_columns() {
+        let db = generate(&ImdbConfig::tiny());
+        let mut g = QueryGenerator::new(&db, GeneratorConfig { max_joins: 2, seed: 12 });
+        for _ in 0..200 {
+            let q = g.generate();
+            for p in q.predicates() {
+                assert!(
+                    db.schema().global_data_column_index(p.table, p.column).is_some(),
+                    "predicate on key column"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let db = generate(&ImdbConfig::tiny());
+        let a = QueryGenerator::new(&db, GeneratorConfig { max_joins: 2, seed: 5 }).generate_unique(50);
+        let b = QueryGenerator::new(&db, GeneratorConfig { max_joins: 2, seed: 5 }).generate_unique(50);
+        assert_eq!(a, b);
+        let c = QueryGenerator::new(&db, GeneratorConfig { max_joins: 2, seed: 6 }).generate_unique(50);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fixed_join_count_generation() {
+        let db = generate(&ImdbConfig::tiny());
+        let mut g = QueryGenerator::new(&db, GeneratorConfig { max_joins: 2, seed: 13 });
+        for j in 0..=4 {
+            let qs = g.generate_unique_with_joins(20, j);
+            assert!(qs.iter().all(|q| q.num_joins() == j));
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # lc-query — set-based queries, the §3.3 generator, labeling, workloads
+//!
+//! A query is the collection `(T_q, J_q, P_q)` of the paper's §3.1: a set of
+//! tables, a set of join edges, and a set of conjunctive predicates. This
+//! crate provides:
+//!
+//! * [`Query`]: the canonical set-based representation (order-free equality
+//!   and hashing, so `(A ⋈ B) ⋈ C` and `A ⋈ (B ⋈ C)` are the same query);
+//! * [`QueryGenerator`]: the paper's uniform random query generator (§3.3) —
+//!   uniform join count, uniform joinable-table walk, uniform predicate
+//!   count/operator, literals drawn from actual column values, duplicate
+//!   elimination;
+//! * [`label_queries`]: executes queries on the engine to obtain true
+//!   cardinalities and annotates them with materialized-sample information
+//!   (§3.4) — the training signal;
+//! * [`workloads`]: the paper's three evaluation workloads — `synthetic`,
+//!   `scale`, and a shape-matched `JOB-light` (Table 1);
+//! * [`CardinalityEstimator`]: the trait implemented by MSCN and all
+//!   baselines, so the evaluation harness can treat them uniformly.
+
+mod estimator;
+mod generator;
+mod label;
+mod query;
+pub mod workloads;
+
+pub use estimator::CardinalityEstimator;
+pub use generator::{GeneratorConfig, QueryGenerator};
+pub use label::{label_queries, LabeledQuery};
+pub use query::Query;

@@ -1,0 +1,73 @@
+//! Generalizing to more joins (§4.4): MSCN is trained on queries with 0–2
+//! joins and then asked to estimate queries with 3 and 4 joins — set
+//! combinations it has *never seen*. The set-based architecture makes this
+//! possible at all; accuracy degrades gracefully and stays competitive
+//! with PostgreSQL.
+//!
+//! ```text
+//! cargo run --release --example generalize_more_joins
+//! ```
+
+use learned_cardinalities::prelude::*;
+
+fn main() {
+    let db = lc_imdb::generate(&ImdbConfig {
+        num_titles: 6_000,
+        num_companies: 500,
+        num_persons: 4_000,
+        num_keywords: 800,
+        seed: 17,
+    });
+    let mut rng = SmallRng::seed_from_u64(4);
+    let samples = SampleSet::draw(&db, 64, &mut rng);
+
+    // Train strictly on 0-2 joins.
+    let training = workloads::synthetic(&db, &samples, 3_000, 2, 8).queries;
+    assert!(training.iter().all(|q| q.query.num_joins() <= 2));
+    let cfg = TrainConfig { epochs: 30, hidden: 48, batch_size: 128, ..TrainConfig::default() };
+    let trained = train(&db, 64, &training, cfg);
+    let max_trained_card = trained.estimator.featurizer().label_norm().max_card();
+
+    // Evaluate on the scale workload: 0-4 joins, equal buckets.
+    let scale = workloads::scale(&db, &samples, 60, 9);
+    let pg = PostgresEstimator::new(&db);
+
+    println!(
+        "{:>5} {:>8} {:>14} {:>16} {:>14}",
+        "joins", "queries", "MSCN 95th", "PostgreSQL 95th", "out-of-range"
+    );
+    for joins in 0..=4usize {
+        let bucket: Vec<LabeledQuery> =
+            scale.queries.iter().filter(|q| q.query.num_joins() == joins).cloned().collect();
+        if bucket.is_empty() {
+            continue;
+        }
+        let p95 = |est: &dyn CardinalityEstimator| {
+            let mut qerrs: Vec<f64> = est
+                .estimate_all(&bucket)
+                .into_iter()
+                .zip(&bucket)
+                .map(|(e, q)| {
+                    let t = q.cardinality as f64;
+                    (e.max(1.0) / t).max(t / e.max(1.0))
+                })
+                .collect();
+            qerrs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            qerrs[((qerrs.len() - 1) as f64 * 0.95) as usize]
+        };
+        let out_of_range =
+            bucket.iter().filter(|q| q.cardinality as f64 > max_trained_card).count();
+        println!(
+            "{joins:>5} {:>8} {:>14.1} {:>16.1} {:>14}",
+            bucket.len(),
+            p95(&trained.estimator),
+            p95(&pg),
+            out_of_range
+        );
+    }
+    println!(
+        "\nExpected shape (paper, Fig. 5/§4.4): error grows with unseen join counts (3, 4) \
+         but remains at or below PostgreSQL; much of the 4-join error comes from queries \
+         whose true cardinality exceeds anything seen in training."
+    );
+}

@@ -1,0 +1,75 @@
+//! 0-tuple situations (§4.2): what happens when *no* sample tuple
+//! satisfies a selective predicate.
+//!
+//! Purely sampling-based estimators lose their signal entirely and fall
+//! back to educated guesses; MSCN still sees the table/column/operator/
+//! literal features and produces a far better estimate. This example finds
+//! such queries and prints the head-to-head.
+//!
+//! ```text
+//! cargo run --release --example zero_tuple_robustness
+//! ```
+
+use learned_cardinalities::prelude::*;
+
+fn main() {
+    let db = lc_imdb::generate(&ImdbConfig {
+        num_titles: 6_000,
+        num_companies: 500,
+        num_persons: 4_000,
+        num_keywords: 800,
+        seed: 13,
+    });
+    let mut rng = SmallRng::seed_from_u64(3);
+    let samples = SampleSet::draw(&db, 64, &mut rng);
+    let join_sizes = FullJoinSizes::build(&db);
+
+    let training = workloads::synthetic(&db, &samples, 3_000, 2, 5).queries;
+    let cfg = TrainConfig { epochs: 30, hidden: 48, batch_size: 128, ..TrainConfig::default() };
+    let trained = train(&db, 64, &training, cfg);
+
+    // Evaluation: base-table queries whose sample bitmap is all zeros but
+    // whose true result is non-empty — the exact §4.2 population.
+    let evaluation = workloads::synthetic(&db, &samples, 1_500, 2, 6).queries;
+    let zero_tuple: Vec<LabeledQuery> = evaluation
+        .into_iter()
+        .filter(|q| q.query.num_joins() == 0 && q.is_zero_tuple())
+        .collect();
+    println!("found {} base-table queries in 0-tuple situations\n", zero_tuple.len());
+
+    let rs = RandomSamplingEstimator::new(&db, &samples, &join_sizes);
+    let pg = PostgresEstimator::new(&db);
+
+    let mut sums = [0.0f64; 3];
+    println!(
+        "{:<58} {:>9} {:>11} {:>11} {:>11}",
+        "query", "true", "PostgreSQL", "RandSamp", "MSCN"
+    );
+    for q in &zero_tuple {
+        let truth = q.cardinality as f64;
+        let ests = [pg.estimate(q), rs.estimate(q), trained.estimator.estimate(q)];
+        for (s, e) in sums.iter_mut().zip(ests) {
+            *s += (e.max(1.0) / truth).max(truth / e.max(1.0));
+        }
+        if truth > 0.0 && q.query.predicates().len() >= 2 {
+            let sql = q.query.to_sql(&db);
+            let sql = if sql.len() > 56 { format!("{}…", &sql[..55]) } else { sql };
+            println!(
+                "{sql:<58} {truth:>9.0} {:>11.0} {:>11.0} {:>11.0}",
+                ests[0], ests[1], ests[2]
+            );
+        }
+    }
+    let n = zero_tuple.len().max(1) as f64;
+    println!(
+        "\nmean q-error over all {} zero-tuple queries: PostgreSQL {:.1}, Random Sampling {:.1}, MSCN {:.1}",
+        zero_tuple.len(),
+        sums[0] / n,
+        sums[1] / n,
+        sums[2] / n
+    );
+    println!(
+        "Expected shape (paper, Table 3): MSCN beats both baselines on every percentile — \
+         deep learning handles the sampling-based techniques' weak spot."
+    );
+}

@@ -1,0 +1,65 @@
+//! Determinism guarantees: every artifact — dataset, samples, workloads,
+//! training, serialization — is a pure function of its seeds. This is what
+//! makes EXPERIMENTS.md reproducible bit-for-bit.
+
+use learned_cardinalities::prelude::*;
+
+#[test]
+fn dataset_workloads_and_models_are_reproducible() {
+    let build = || {
+        let db = lc_imdb::generate(&ImdbConfig::tiny());
+        let mut rng = SmallRng::seed_from_u64(77);
+        let samples = SampleSet::draw(&db, 20, &mut rng);
+        let data = workloads::synthetic(&db, &samples, 300, 2, 55).queries;
+        let cfg = TrainConfig { epochs: 4, hidden: 16, ..TrainConfig::default() };
+        let trained = train(&db, 20, &data, cfg);
+        (db, data, trained)
+    };
+    let (db_a, data_a, trained_a) = build();
+    let (db_b, data_b, trained_b) = build();
+
+    assert_eq!(db_a.total_rows(), db_b.total_rows());
+    assert_eq!(data_a.len(), data_b.len());
+    for (a, b) in data_a.iter().zip(&data_b) {
+        assert_eq!(a.query, b.query);
+        assert_eq!(a.cardinality, b.cardinality);
+        assert_eq!(a.sample_counts, b.sample_counts);
+    }
+    assert_eq!(
+        trained_a.report.epoch_val_mean_qerror,
+        trained_b.report.epoch_val_mean_qerror
+    );
+    assert_eq!(trained_a.estimator.to_bytes(), trained_b.estimator.to_bytes());
+}
+
+#[test]
+fn serialized_model_reproduces_estimates_across_processes() {
+    // Simulates deployment: the bytes are the only thing that crosses the
+    // process boundary.
+    let db = lc_imdb::generate(&ImdbConfig::tiny());
+    let mut rng = SmallRng::seed_from_u64(78);
+    let samples = SampleSet::draw(&db, 20, &mut rng);
+    let data = workloads::synthetic(&db, &samples, 250, 2, 56).queries;
+    let cfg = TrainConfig { epochs: 3, hidden: 16, ..TrainConfig::default() };
+    let trained = train(&db, 20, &data, cfg);
+
+    let bytes = trained.estimator.to_bytes();
+    let restored = MscnEstimator::from_bytes(&bytes).unwrap();
+    assert_eq!(
+        trained.estimator.estimate_cards(&data[..25]),
+        restored.estimate_cards(&data[..25])
+    );
+    // Double round-trip is byte-identical.
+    assert_eq!(bytes, restored.to_bytes());
+}
+
+#[test]
+fn different_seeds_give_different_models() {
+    let db = lc_imdb::generate(&ImdbConfig::tiny());
+    let mut rng = SmallRng::seed_from_u64(79);
+    let samples = SampleSet::draw(&db, 20, &mut rng);
+    let data = workloads::synthetic(&db, &samples, 250, 2, 57).queries;
+    let a = train(&db, 20, &data, TrainConfig { epochs: 2, hidden: 16, seed: 1, ..TrainConfig::default() });
+    let b = train(&db, 20, &data, TrainConfig { epochs: 2, hidden: 16, seed: 2, ..TrainConfig::default() });
+    assert_ne!(a.estimator.to_bytes(), b.estimator.to_bytes());
+}

@@ -1,0 +1,172 @@
+//! End-to-end quality gates for the full pipeline: data → samples →
+//! training corpus → MSCN → estimates, with the paper's qualitative
+//! claims as assertions.
+
+use learned_cardinalities::prelude::*;
+use lc_engine::JoinIndexes;
+
+struct Pipeline {
+    db: lc_engine::Database,
+    samples: SampleSet,
+    evaluation: Vec<LabeledQuery>,
+    trained: TrainedModel,
+}
+
+/// The pipeline is expensive (labeling + training); build it once and share
+/// it across the gate tests.
+fn pipeline() -> &'static Pipeline {
+    static PIPELINE: std::sync::OnceLock<Pipeline> = std::sync::OnceLock::new();
+    PIPELINE.get_or_init(|| {
+        let db = lc_imdb::generate(&ImdbConfig {
+            num_titles: 4_000,
+            num_companies: 400,
+            num_persons: 3_000,
+            num_keywords: 600,
+            seed: 31,
+        });
+        let mut rng = SmallRng::seed_from_u64(6);
+        let samples = SampleSet::draw(&db, 50, &mut rng);
+        let training = workloads::synthetic(&db, &samples, 2_500, 2, 21).queries;
+        let evaluation = workloads::synthetic(&db, &samples, 400, 2, 22).queries;
+        let cfg = TrainConfig { epochs: 30, hidden: 48, batch_size: 128, ..TrainConfig::default() };
+        let trained = train(&db, 50, &training, cfg);
+        Pipeline { db, samples, evaluation, trained }
+    })
+}
+
+fn qerrors(est: &dyn CardinalityEstimator, qs: &[LabeledQuery]) -> Vec<f64> {
+    let mut v: Vec<f64> = est
+        .estimate_all(qs)
+        .into_iter()
+        .zip(qs)
+        .map(|(e, q)| {
+            let t = q.cardinality as f64;
+            (e.max(1.0) / t).max(t / e.max(1.0))
+        })
+        .collect();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v
+}
+
+fn pct(sorted: &[f64], p: f64) -> f64 {
+    sorted[((sorted.len() - 1) as f64 * p / 100.0).round() as usize]
+}
+
+#[test]
+fn mscn_beats_sampling_baselines_at_the_tail() {
+    let p = pipeline();
+    let join_sizes = FullJoinSizes::build(&p.db);
+    let indexes = JoinIndexes::build(&p.db);
+    let rs = RandomSamplingEstimator::new(&p.db, &p.samples, &join_sizes);
+    let ibjs = IbjsEstimator::new(&p.db, &p.samples, &indexes, &join_sizes);
+    let pg = PostgresEstimator::new(&p.db);
+
+    let m = qerrors(&p.trained.estimator, &p.evaluation);
+    let r = qerrors(&rs, &p.evaluation);
+    let i = qerrors(&ibjs, &p.evaluation);
+    let g = qerrors(&pg, &p.evaluation);
+
+    // Paper Table 2 shape: MSCN's tail beats the sampling baselines (the
+    // paper's robustness claim). Against PostgreSQL we only require
+    // competitiveness at this miniature scale: our statistics baseline is
+    // far stronger on the mild synthetic correlations than real PostgreSQL
+    // was on the real IMDb, and MSCN's edge over it grows with training
+    // data — at the standard experiment scale (20k queries) MSCN wins the
+    // 95th outright (see EXPERIMENTS.md, Table 2).
+    let m95 = pct(&m, 95.0);
+    assert!(m95 < pct(&r, 95.0), "MSCN 95th {m95} not better than RS {}", pct(&r, 95.0));
+    assert!(m95 < pct(&i, 95.0), "MSCN 95th {m95} not better than IBJS {}", pct(&i, 95.0));
+    assert!(
+        m95 < pct(&g, 95.0) * 2.5,
+        "MSCN 95th {m95} not competitive with PG {}",
+        pct(&g, 95.0)
+    );
+    // And its mean beats the sampling baselines (at standard scale the gap
+    // is >2.5x; at this miniature scale we gate on strict improvement).
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    assert!(
+        mean(&m) < mean(&r),
+        "MSCN mean {} should be below RS mean {}",
+        mean(&m),
+        mean(&r)
+    );
+    // MSCN median is competitive (within 3x of the best competitor median).
+    let best_median = pct(&i, 50.0).min(pct(&g, 50.0)).min(pct(&r, 50.0));
+    assert!(pct(&m, 50.0) < best_median * 3.0, "MSCN median not competitive");
+    // Sanity: the model actually learned something (median below 2.5).
+    assert!(pct(&m, 50.0) < 2.5, "MSCN median {}", pct(&m, 50.0));
+}
+
+#[test]
+fn mscn_handles_zero_tuple_situations() {
+    let p = pipeline();
+    let join_sizes = FullJoinSizes::build(&p.db);
+    let rs = RandomSamplingEstimator::new(&p.db, &p.samples, &join_sizes);
+    let zero: Vec<LabeledQuery> = p
+        .evaluation
+        .iter()
+        .filter(|q| q.query.num_joins() == 0 && q.is_zero_tuple())
+        .cloned()
+        .collect();
+    assert!(
+        zero.len() >= 5,
+        "evaluation workload should contain 0-tuple base-table queries, got {}",
+        zero.len()
+    );
+    let m = qerrors(&p.trained.estimator, &zero);
+    let r = qerrors(&rs, &zero);
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    // Paper Table 3 shape: MSCN's mean q-error beats RS's on this subset.
+    assert!(
+        mean(&m) < mean(&r),
+        "MSCN mean {} should beat RS mean {} on 0-tuple queries",
+        mean(&m),
+        mean(&r)
+    );
+}
+
+#[test]
+fn mscn_generalizes_to_unseen_join_counts() {
+    let p = pipeline();
+    // Three joins: never seen during training (0-2).
+    let scale = workloads::scale(&p.db, &p.samples, 30, 23);
+    let three: Vec<LabeledQuery> =
+        scale.queries.iter().filter(|q| q.query.num_joins() == 3).cloned().collect();
+    assert_eq!(three.len(), 30);
+    let pg = PostgresEstimator::new(&p.db);
+    let m = qerrors(&p.trained.estimator, &three);
+    let g = qerrors(&pg, &three);
+    // Paper Fig. 5 shape: degraded but in PostgreSQL's ballpark at the
+    // median (generous factor to keep the gate robust across seeds).
+    assert!(
+        pct(&m, 50.0) < pct(&g, 50.0) * 5.0,
+        "3-join median {} vs PostgreSQL {}",
+        pct(&m, 50.0),
+        pct(&g, 50.0)
+    );
+    // Predictions are finite, positive, and bounded by the trained range.
+    let max_card = p.trained.estimator.featurizer().label_norm().max_card();
+    for e in p.trained.estimator.estimate_cards(&three) {
+        assert!(e.is_finite() && e >= 1.0);
+        assert!(e <= max_card * 1.01, "estimate {e} above trained range {max_card}");
+    }
+}
+
+#[test]
+fn estimator_trait_objects_compose() {
+    // The evaluation harness treats all estimators uniformly; verify the
+    // trait-object path end to end with every estimator kind.
+    let p = pipeline();
+    let join_sizes = FullJoinSizes::build(&p.db);
+    let indexes = JoinIndexes::build(&p.db);
+    let pg = PostgresEstimator::new(&p.db);
+    let rs = RandomSamplingEstimator::new(&p.db, &p.samples, &join_sizes);
+    let ibjs = IbjsEstimator::new(&p.db, &p.samples, &indexes, &join_sizes);
+    let ests: Vec<&dyn CardinalityEstimator> = vec![&pg, &rs, &ibjs, &p.trained.estimator];
+    for est in ests {
+        let out = est.estimate_all(&p.evaluation[..10]);
+        assert_eq!(out.len(), 10);
+        assert!(out.iter().all(|&e| e.is_finite() && e >= 1.0), "{}", est.name());
+        assert!(!est.name().is_empty());
+    }
+}
