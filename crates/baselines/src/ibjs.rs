@@ -79,20 +79,16 @@ impl<'a> IbjsEstimator<'a> {
 
         // Most selective starting table: minimal qualifying-sample
         // fraction, but it must have at least one qualifying tuple.
-        let (start_idx, &start) = q
-            .query
-            .tables()
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| q.sample_counts[*i] > 0)
-            .min_by(|(i, &a), (j, &b)| {
-                let fa = q.sample_counts[*i] as f64 / self.sample_n(a) as f64;
-                let fb = q.sample_counts[*j] as f64 / self.sample_n(b) as f64;
-                fa.partial_cmp(&fb).unwrap()
-            })?;
+        let (start_idx, &start) =
+            q.query.tables().iter().enumerate().filter(|(i, _)| q.sample_counts[*i] > 0).min_by(
+                |(i, &a), (j, &b)| {
+                    let fa = q.sample_counts[*i] as f64 / self.sample_n(a) as f64;
+                    let fb = q.sample_counts[*j] as f64 / self.sample_n(b) as f64;
+                    fa.partial_cmp(&fb).unwrap()
+                },
+            )?;
 
-        let mut scale =
-            self.db.table(start).num_rows() as f64 / self.sample_n(start) as f64;
+        let mut scale = self.db.table(start).num_rows() as f64 / self.sample_n(start) as f64;
         let mut rng = self.rng_for(q);
 
         // Partial join tuples, identified by their center row id.
@@ -241,10 +237,7 @@ mod tests {
         let truth = q.cardinality as f64;
         let e_ibjs = qerr(ibjs.estimate(&q), truth);
         let e_rs = qerr(rs.estimate(&q), truth);
-        assert!(
-            e_ibjs <= e_rs,
-            "IBJS ({e_ibjs}) should beat RS ({e_rs}) on the correlated join"
-        );
+        assert!(e_ibjs <= e_rs, "IBJS ({e_ibjs}) should beat RS ({e_rs}) on the correlated join");
         assert!(e_ibjs < 2.0, "IBJS q-error {e_ibjs} too large");
     }
 
@@ -272,8 +265,7 @@ mod tests {
     #[test]
     fn deterministic_even_with_budget_subsampling() {
         let f = fixture();
-        let ibjs =
-            IbjsEstimator::with_budget(&f.db, &f.samples, &f.indexes, &f.join_sizes, 16, 7);
+        let ibjs = IbjsEstimator::with_budget(&f.db, &f.samples, &f.indexes, &f.join_sizes, 16, 7);
         let q = labeled(
             &f,
             Query::new(

@@ -45,19 +45,19 @@ impl FullJoinSizes {
         let mut sizes = vec![0u64; (1usize << num_edges) - 1];
         for mask in 1usize..(1 << num_edges) {
             let edges: Vec<usize> = (0..num_edges).filter(|i| mask >> i & 1 == 1).collect();
-            let mut total = 0u64;
-            for row in 0..center_rows {
-                let mut product = 1u64;
-                for &e in &edges {
-                    let c = fanouts[e][row] as u64;
-                    if c == 0 {
-                        product = 0;
-                        break;
+            let total: u64 = (0..center_rows)
+                .map(|row| {
+                    let mut product = 1u64;
+                    for &e in &edges {
+                        let c = fanouts[e][row] as u64;
+                        if c == 0 {
+                            return 0;
+                        }
+                        product *= c;
                     }
-                    product *= c;
-                }
-                total += product;
-            }
+                    product
+                })
+                .sum();
             sizes[mask - 1] = total;
         }
         FullJoinSizes { sizes, num_edges }

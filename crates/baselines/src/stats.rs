@@ -28,7 +28,12 @@ pub struct ColumnDistribution {
 
 impl ColumnDistribution {
     /// Build from raw values (one sort).
-    pub fn build(values: impl Iterator<Item = i64>, stats: ColumnStats, mcv_k: usize, buckets: usize) -> Self {
+    pub fn build(
+        values: impl Iterator<Item = i64>,
+        stats: ColumnStats,
+        mcv_k: usize,
+        buckets: usize,
+    ) -> Self {
         let mut sorted: Vec<i64> = values.collect();
         sorted.sort_unstable();
         let n_valid = sorted.len();

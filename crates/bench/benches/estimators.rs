@@ -16,11 +16,9 @@ fn bench_estimators(c: &mut Criterion) {
     let queries = f.queries();
 
     let mut group = c.benchmark_group("estimators");
-    for (name, est) in [
-        ("postgres", &pg as &dyn CardinalityEstimator),
-        ("random_sampling", &rs),
-        ("ibjs", &ibjs),
-    ] {
+    for (name, est) in
+        [("postgres", &pg as &dyn CardinalityEstimator), ("random_sampling", &rs), ("ibjs", &ibjs)]
+    {
         group.bench_function(format!("{name}/per_query"), |b| {
             let mut i = 0;
             b.iter(|| {
@@ -34,9 +32,7 @@ fn bench_estimators(c: &mut Criterion) {
 
     // Statistics construction (the "ANALYZE" cost of the PostgreSQL
     // baseline).
-    c.bench_function("estimators/postgres_analyze", |b| {
-        b.iter(|| PostgresEstimator::new(&f.db))
-    });
+    c.bench_function("estimators/postgres_analyze", |b| b.iter(|| PostgresEstimator::new(&f.db)));
 }
 
 criterion_group! {

@@ -9,13 +9,8 @@ fn bench_executor(c: &mut Criterion) {
     let f = BenchFixture::small();
     let mut group = c.benchmark_group("executor");
     for joins in 0..=2usize {
-        let queries: Vec<_> = f
-            .queries()
-            .iter()
-            .filter(|q| q.query.num_joins() == joins)
-            .take(16)
-            .cloned()
-            .collect();
+        let queries: Vec<_> =
+            f.queries().iter().filter(|q| q.query.num_joins() == joins).take(16).cloned().collect();
         if queries.is_empty() {
             continue;
         }

@@ -8,7 +8,8 @@ use lc_core::{train, FeatureMode, TrainConfig};
 
 fn bench_inference(c: &mut Criterion) {
     let f = BenchFixture::small();
-    let cfg = TrainConfig { epochs: 3, hidden: 64, mode: FeatureMode::Bitmaps, ..TrainConfig::default() };
+    let cfg =
+        TrainConfig { epochs: 3, hidden: 64, mode: FeatureMode::Bitmaps, ..TrainConfig::default() };
     let trained = train(&f.db, f.samples.sample_size, f.queries(), cfg);
     let est = trained.estimator;
     let queries = f.queries();

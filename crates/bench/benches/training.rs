@@ -10,10 +10,9 @@ fn bench_training(c: &mut Criterion) {
     let f = BenchFixture::small();
     let mut group = c.benchmark_group("training");
     group.sample_size(10);
-    for (name, mode) in [
-        ("epoch/no_samples", FeatureMode::NoSamples),
-        ("epoch/bitmaps", FeatureMode::Bitmaps),
-    ] {
+    for (name, mode) in
+        [("epoch/no_samples", FeatureMode::NoSamples), ("epoch/bitmaps", FeatureMode::Bitmaps)]
+    {
         group.bench_function(name, |b| {
             b.iter(|| {
                 let cfg = TrainConfig {

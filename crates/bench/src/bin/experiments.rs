@@ -15,9 +15,7 @@ use lc_eval::experiments::registry;
 use lc_eval::{ExperimentConfig, Harness};
 
 fn usage() -> ! {
-    eprintln!(
-        "usage: experiments [--all] [--exp id,id,...] [--fast|--tiny] [--out PATH] [--list]"
-    );
+    eprintln!("usage: experiments [--all] [--exp id,id,...] [--fast|--tiny] [--out PATH] [--list]");
     std::process::exit(2);
 }
 

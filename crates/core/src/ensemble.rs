@@ -104,11 +104,10 @@ impl DeepEnsemble {
             .map(|qi| {
                 let logs: Vec<f64> = per_member.iter().map(|ests| ests[qi].ln()).collect();
                 let mean = logs.iter().sum::<f64>() / logs.len() as f64;
-                let var = logs.iter().map(|l| (l - mean) * (l - mean)).sum::<f64>()
-                    / logs.len() as f64;
-                let saturated = per_member_norm
-                    .iter()
-                    .any(|norms| norms[qi] >= 0.98 || norms[qi] <= 0.02);
+                let var =
+                    logs.iter().map(|l| (l - mean) * (l - mean)).sum::<f64>() / logs.len() as f64;
+                let saturated =
+                    per_member_norm.iter().any(|norms| norms[qi] >= 0.98 || norms[qi] <= 0.02);
                 UncertainEstimate { estimate: mean.exp().max(1.0), log_std: var.sqrt(), saturated }
             })
             .collect()
@@ -176,11 +175,8 @@ mod tests {
         let probe = workloads::scale(&db, &samples, 5, 65).queries;
         let us = ens.estimate_with_uncertainty(&probe);
         for (qi, u) in us.iter().enumerate() {
-            let logs: Vec<f64> = ens
-                .members()
-                .iter()
-                .map(|m| m.estimate(&probe[qi]).ln())
-                .collect();
+            let logs: Vec<f64> =
+                ens.members().iter().map(|m| m.estimate(&probe[qi]).ln()).collect();
             let mean = logs.iter().sum::<f64>() / logs.len() as f64;
             let var = logs.iter().map(|l| (l - mean) * (l - mean)).sum::<f64>() / logs.len() as f64;
             assert!((u.estimate.ln() - mean).abs() < 1e-9);

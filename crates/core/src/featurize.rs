@@ -149,9 +149,9 @@ impl Featurizer {
             let t = TableId(ti as u16);
             let def = schema.table(t);
             let mut per_col = vec![usize::MAX; def.columns.len()];
-            for ci in 0..def.columns.len() {
+            for (ci, slot) in per_col.iter_mut().enumerate() {
                 if let Some(g) = schema.global_data_column_index(t, ci) {
-                    per_col[ci] = g;
+                    *slot = g;
                     let s = db.column_stats(t, ci);
                     value_range[g] = (s.min, s.max);
                 }

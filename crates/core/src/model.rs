@@ -30,7 +30,13 @@ pub struct MscnModel {
 impl MscnModel {
     /// Construct with hidden width `hidden` (the paper's `d`,
     /// hyperparameter of §4.6) and Xavier init from `seed`.
-    pub fn new(table_dim: usize, join_dim: usize, pred_dim: usize, hidden: usize, seed: u64) -> Self {
+    pub fn new(
+        table_dim: usize,
+        join_dim: usize,
+        pred_dim: usize,
+        hidden: usize,
+        seed: u64,
+    ) -> Self {
         let mut rng = SmallRng::seed_from_u64(seed);
         MscnModel {
             table_mlp: Mlp::new(table_dim, hidden, hidden, FinalActivation::Relu, &mut rng),
@@ -254,8 +260,7 @@ mod tests {
     fn param_count_matches_architecture() {
         let model = MscnModel::new(10, 5, 14, 16, 7);
         let expect = |i: usize, h: usize, o: usize| i * h + h + h * o + o;
-        let total = expect(10, 16, 16) + expect(5, 16, 16) + expect(14, 16, 16)
-            + expect(48, 16, 1);
+        let total = expect(10, 16, 16) + expect(5, 16, 16) + expect(14, 16, 16) + expect(48, 16, 1);
         assert_eq!(model.num_params(), total);
     }
 }

@@ -98,7 +98,8 @@ impl MscnEstimator {
 
     /// Batched inference: estimated cardinalities (≥ 1) for `queries`.
     pub fn estimate_cards(&self, queries: &[LabeledQuery]) -> Vec<f64> {
-        let feats: Vec<FeaturizedQuery> = queries.iter().map(|q| self.featurizer.featurize(q)).collect();
+        let feats: Vec<FeaturizedQuery> =
+            queries.iter().map(|q| self.featurizer.featurize(q)).collect();
         self.estimate_featurized(&feats)
     }
 
@@ -222,7 +223,12 @@ pub fn train_incremental(
 ///
 /// # Panics
 /// If `data` has fewer than 10 queries or any query has cardinality 0.
-pub fn train(db: &Database, sample_size: usize, data: &[LabeledQuery], config: TrainConfig) -> TrainedModel {
+pub fn train(
+    db: &Database,
+    sample_size: usize,
+    data: &[LabeledQuery],
+    config: TrainConfig,
+) -> TrainedModel {
     assert!(data.len() >= 10, "need at least 10 training queries");
     let start = Instant::now();
     let mut rng = SmallRng::seed_from_u64(config.seed);
@@ -293,12 +299,9 @@ pub fn train(db: &Database, sample_size: usize, data: &[LabeledQuery], config: T
         let est = MscnEstimator { model: model.clone(), featurizer: featurizer.clone() };
         let val_feats: Vec<FeaturizedQuery> = val_idx.iter().map(|&i| feats[i].clone()).collect();
         let val_preds = est.estimate_featurized(&val_feats);
-        let mean_q = val_preds
-            .iter()
-            .zip(&val_truth)
-            .map(|(&e, &t)| (e / t).max(t / e))
-            .sum::<f64>()
-            / val_truth.len().max(1) as f64;
+        let mean_q =
+            val_preds.iter().zip(&val_truth).map(|(&e, &t)| (e / t).max(t / e)).sum::<f64>()
+                / val_truth.len().max(1) as f64;
         report.epoch_val_mean_qerror.push(mean_q);
     }
     report.train_seconds = start.elapsed().as_secs_f64();

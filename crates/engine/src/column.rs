@@ -94,11 +94,7 @@ impl Column {
 
     /// Iterator over non-NULL `(row, value)` pairs.
     pub fn iter_valid(&self) -> impl Iterator<Item = (usize, i64)> + '_ {
-        self.data
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| self.is_valid(*i))
-            .map(|(i, v)| (i, *v))
+        self.data.iter().enumerate().filter(|(i, _)| self.is_valid(*i)).map(|(i, v)| (i, *v))
     }
 
     /// Exact statistics for this column (one full scan plus a hash set for

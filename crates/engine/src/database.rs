@@ -143,7 +143,10 @@ mod tests {
         };
         let mc = TableDef {
             name: "mc".into(),
-            columns: vec![ColumnDef::foreign_key("movie_id", TableId(0)), ColumnDef::data("company")],
+            columns: vec![
+                ColumnDef::foreign_key("movie_id", TableId(0)),
+                ColumnDef::data("company"),
+            ],
         };
         Schema::new(
             vec![title, mc],

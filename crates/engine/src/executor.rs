@@ -205,7 +205,10 @@ mod tests {
         };
         let mc = TableDef {
             name: "mc".into(),
-            columns: vec![ColumnDef::foreign_key("movie_id", TableId(0)), ColumnDef::data("company")],
+            columns: vec![
+                ColumnDef::foreign_key("movie_id", TableId(0)),
+                ColumnDef::data("company"),
+            ],
         };
         let ci = TableDef {
             name: "ci".into(),
@@ -246,11 +249,8 @@ mod tests {
     #[test]
     fn one_join_matches_naive() {
         let db = db();
-        let spec = QuerySpec {
-            tables: &[TableId(0), TableId(1)],
-            joins: &[JoinId(0)],
-            predicates: &[],
-        };
+        let spec =
+            QuerySpec { tables: &[TableId(0), TableId(1)], joins: &[JoinId(0)], predicates: &[] };
         assert_eq!(count_star(&db, &spec), 6);
         assert_eq!(count_star_naive(&db, &spec), 6);
     }
@@ -278,11 +278,8 @@ mod tests {
     fn empty_result_is_zero() {
         let db = db();
         let p = Predicate { table: TableId(1), column: 1, op: CmpOp::Gt, value: 100 };
-        let spec = QuerySpec {
-            tables: &[TableId(0), TableId(1)],
-            joins: &[JoinId(0)],
-            predicates: &[p],
-        };
+        let spec =
+            QuerySpec { tables: &[TableId(0), TableId(1)], joins: &[JoinId(0)], predicates: &[p] };
         assert_eq!(count_star(&db, &spec), 0);
         assert_eq!(count_star_naive(&db, &spec), 0);
     }
@@ -290,11 +287,7 @@ mod tests {
     #[test]
     fn cross_product_semantics_match_naive() {
         let db = db();
-        let spec = QuerySpec {
-            tables: &[TableId(1), TableId(2)],
-            joins: &[],
-            predicates: &[],
-        };
+        let spec = QuerySpec { tables: &[TableId(1), TableId(2)], joins: &[], predicates: &[] };
         assert_eq!(count_star(&db, &spec), 30);
         assert_eq!(count_star_naive(&db, &spec), 30);
     }
@@ -303,11 +296,8 @@ mod tests {
     fn null_center_rows_still_join() {
         // No predicate on title: NULL year rows still participate in joins.
         let db = db();
-        let spec = QuerySpec {
-            tables: &[TableId(0), TableId(2)],
-            joins: &[JoinId(1)],
-            predicates: &[],
-        };
+        let spec =
+            QuerySpec { tables: &[TableId(0), TableId(2)], joins: &[JoinId(1)], predicates: &[] };
         assert_eq!(count_star(&db, &spec), 5);
         assert_eq!(count_star_naive(&db, &spec), 5);
     }
@@ -316,8 +306,7 @@ mod tests {
     #[should_panic(expected = "joins require the center table")]
     fn join_without_center_panics() {
         let db = db();
-        let spec =
-            QuerySpec { tables: &[TableId(1)], joins: &[JoinId(0)], predicates: &[] };
+        let spec = QuerySpec { tables: &[TableId(1)], joins: &[JoinId(0)], predicates: &[] };
         count_star(&db, &spec);
     }
 }

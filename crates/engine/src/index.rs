@@ -97,10 +97,7 @@ mod tests {
     use crate::schema::{ColumnDef, JoinEdge, Schema, TableDef};
 
     fn db() -> Database {
-        let title = TableDef {
-            name: "title".into(),
-            columns: vec![ColumnDef::primary_key("id")],
-        };
+        let title = TableDef { name: "title".into(), columns: vec![ColumnDef::primary_key("id")] };
         let mc = TableDef {
             name: "mc".into(),
             columns: vec![ColumnDef::foreign_key("movie_id", TableId(0)), ColumnDef::data("c")],

@@ -74,7 +74,11 @@ impl ColumnDef {
 
     /// A foreign-key column referencing `references`.
     pub fn foreign_key(name: &str, references: TableId) -> Self {
-        ColumnDef { name: name.to_string(), role: ColumnRole::ForeignKey(references), nullable: false }
+        ColumnDef {
+            name: name.to_string(),
+            role: ColumnRole::ForeignKey(references),
+            nullable: false,
+        }
     }
 }
 
@@ -150,7 +154,10 @@ impl Schema {
                 "join {i}: fact column must be a foreign key to the center"
             );
             let center_def = &tables[center.index()];
-            assert!(j.center_col < center_def.columns.len(), "join {i}: center column out of range");
+            assert!(
+                j.center_col < center_def.columns.len(),
+                "join {i}: center column out of range"
+            );
             assert_eq!(
                 center_def.columns[j.center_col].role,
                 ColumnRole::PrimaryKey,
@@ -238,11 +245,18 @@ mod tests {
     fn tiny() -> Schema {
         let title = TableDef {
             name: "title".into(),
-            columns: vec![ColumnDef::primary_key("id"), ColumnDef::data("kind"), ColumnDef::nullable_data("year")],
+            columns: vec![
+                ColumnDef::primary_key("id"),
+                ColumnDef::data("kind"),
+                ColumnDef::nullable_data("year"),
+            ],
         };
         let mc = TableDef {
             name: "mc".into(),
-            columns: vec![ColumnDef::foreign_key("movie_id", TableId(0)), ColumnDef::data("company")],
+            columns: vec![
+                ColumnDef::foreign_key("movie_id", TableId(0)),
+                ColumnDef::data("company"),
+            ],
         };
         Schema::new(
             vec![title, mc],

@@ -16,8 +16,14 @@ use crate::harness::Harness;
 use crate::metrics::{evaluate, evaluate_signed, percentile, QErrorStats};
 use crate::report::{fmt_q, Table, QERROR_HEADER};
 
+/// One registered experiment: `(id, paper artifact, render function)`.
+pub type Experiment = (&'static str, &'static str, fn(&mut Harness) -> String);
+
+/// Per join count, the signed estimation errors of one estimator.
+type SignedBuckets = Vec<(usize, Vec<f64>)>;
+
 /// Registry of all experiments: `(id, paper artifact, function)`.
-pub fn registry() -> Vec<(&'static str, &'static str, fn(&mut Harness) -> String)> {
+pub fn registry() -> Vec<Experiment> {
     vec![
         ("table1", "Table 1: distribution of joins", table1 as fn(&mut Harness) -> String),
         ("fig3", "Figure 3: estimation errors on the synthetic workload (box plots)", fig3),
@@ -32,7 +38,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, fn(&mut Harness) -> String
         ("objectives", "Sec 4.8: optimization metrics", objectives),
         ("ext_predbitmaps", "Sec 5 extension: one bitmap per predicate", ext_predbitmaps),
         ("ext_uncertainty", "Sec 5 extension: deep-ensemble uncertainty", ext_uncertainty),
-        ("ext_incremental", "Sec 5 extension: incremental training and forgetting", ext_incremental),
+        (
+            "ext_incremental",
+            "Sec 5 extension: incremental training and forgetting",
+            ext_incremental,
+        ),
     ]
 }
 
@@ -56,9 +66,7 @@ fn signed_cell(v: f64) -> String {
 
 /// Box-plot style table: per estimator and join count, the 5/25/50/75/95th
 /// percentiles of the signed estimation factor.
-fn box_table(
-    rows: &[(String, Vec<(usize, Vec<f64>)>)], // (estimator, [(join count, signed errors)])
-) -> String {
+fn box_table(rows: &[(String, SignedBuckets)]) -> String {
     let mut t = Table::new(&["estimator", "joins", "p5", "p25", "median", "p75", "p95"]);
     for (name, buckets) in rows {
         for (j, signed) in buckets {
@@ -77,7 +85,7 @@ fn box_table(
     t.render()
 }
 
-fn split_by_joins<'q>(queries: &'q [LabeledQuery], max: usize) -> Vec<(usize, Vec<&'q LabeledQuery>)> {
+fn split_by_joins(queries: &[LabeledQuery], max: usize) -> Vec<(usize, Vec<&LabeledQuery>)> {
     (0..=max)
         .map(|j| (j, queries.iter().filter(|q| q.query.num_joins() == j).collect::<Vec<_>>()))
         .filter(|(_, v)| !v.is_empty())
@@ -88,7 +96,7 @@ fn signed_by_joins(
     est: &dyn CardinalityEstimator,
     queries: &[LabeledQuery],
     max: usize,
-) -> Vec<(usize, Vec<f64>)> {
+) -> SignedBuckets {
     split_by_joins(queries, max)
         .into_iter()
         .map(|(j, qs)| {
@@ -131,7 +139,7 @@ pub fn fig3(h: &mut Harness) -> String {
     let ibjs = h.ibjs();
     let estimators: Vec<(&dyn CardinalityEstimator, &str)> =
         vec![(&pg, "PostgreSQL"), (&rs, "Random Samp."), (&ibjs, "IB Join Samp."), (&mscn, "MSCN")];
-    let rows: Vec<(String, Vec<(usize, Vec<f64>)>)> = estimators
+    let rows: Vec<(String, SignedBuckets)> = estimators
         .iter()
         .map(|(e, name)| (name.to_string(), signed_by_joins(*e, &queries, 2)))
         .collect();
@@ -195,11 +203,9 @@ pub fn table3(h: &mut Harness) -> String {
     let pg = h.postgres();
     let rs = h.random_sampling();
     let mut t = Table::new(&QERROR_HEADER);
-    for (e, name) in [
-        (&pg as &dyn CardinalityEstimator, "PostgreSQL"),
-        (&rs, "Random Samp."),
-        (&mscn, "MSCN"),
-    ] {
+    for (e, name) in
+        [(&pg as &dyn CardinalityEstimator, "PostgreSQL"), (&rs, "Random Samp."), (&mscn, "MSCN")]
+    {
         t.qerror_row(name, &QErrorStats::from_qerrors(&evaluate(e, &base_queries)));
     }
     format!(
@@ -222,7 +228,9 @@ pub fn table3(h: &mut Harness) -> String {
 pub fn fig4(h: &mut Harness) -> String {
     let queries = h.synthetic.queries.clone();
     let mut rows = Vec::new();
-    let mut p95_by_mode: Vec<(FeatureMode, Vec<(usize, f64)>, f64)> = Vec::new();
+    // (mode, per-join 95th-percentile q-errors, overall 95th percentile)
+    type ModeP95 = (FeatureMode, Vec<(usize, f64)>, f64);
+    let mut p95_by_mode: Vec<ModeP95> = Vec::new();
     for mode in [FeatureMode::NoSamples, FeatureMode::SampleCounts, FeatureMode::Bitmaps] {
         let est = h.model(mode, LossKind::MeanQError).estimator.clone();
         rows.push((mode.name().to_string(), signed_by_joins(&est, &queries, 2)));
@@ -238,7 +246,7 @@ pub fn fig4(h: &mut Harness) -> String {
     }
     let mut improvements = String::new();
     for w in p95_by_mode.windows(2) {
-        let (ref prev, ref next) = (&w[0], &w[1]);
+        let (prev, next) = (&w[0], &w[1]);
         let ratios: Vec<String> = prev
             .1
             .iter()
@@ -282,7 +290,14 @@ pub fn fig5(h: &mut Harness) -> String {
     ];
     // §4.4 numbers: 95th q-error per join count, and again excluding
     // queries exceeding the maximum cardinality seen in training.
-    let mut t = Table::new(&["joins", "queries", "MSCN 95th", "PostgreSQL 95th", "out-of-range", "MSCN 95th (in-range)"]);
+    let mut t = Table::new(&[
+        "joins",
+        "queries",
+        "MSCN 95th",
+        "PostgreSQL 95th",
+        "out-of-range",
+        "MSCN 95th (in-range)",
+    ]);
     for (j, qs) in split_by_joins(&queries, 4) {
         let owned: Vec<LabeledQuery> = qs.iter().map(|q| (*q).clone()).collect();
         let m95 = percentile(&evaluate(&mscn, &owned), 95.0);
@@ -436,11 +451,8 @@ pub fn fig6(h: &mut Harness) -> String {
         }
     }
     let best = curve.iter().cloned().fold(f64::INFINITY, f64::min);
-    let converged_at = curve
-        .iter()
-        .position(|&q| q <= best * 1.1)
-        .map(|i| i + 1)
-        .unwrap_or(curve.len());
+    let converged_at =
+        curve.iter().position(|&q| q <= best * 1.1).map(|i| i + 1).unwrap_or(curve.len());
     format!(
         "### Figure 6 — convergence of the validation mean q-error\n\n{}\n\
          Converged to within 10% of the best value ({:.2}) after {} of {} epochs.\n\
@@ -480,8 +492,7 @@ pub fn costs(h: &mut Harness) -> String {
     for _ in 0..reps {
         let _ = mscn.estimate_all(&queries);
     }
-    let per_query_us =
-        start.elapsed().as_secs_f64() / (reps * queries.len()) as f64 * 1e6;
+    let per_query_us = start.elapsed().as_secs_f64() / (reps * queries.len()) as f64 * 1e6;
     format!(
         "### §4.7 — model costs\n\n{}\n\
          Batched prediction latency: {:.1} µs/query (featurization + inference, single CPU \
@@ -511,8 +522,11 @@ pub fn objectives(h: &mut Harness) -> String {
         t.qerror_row(loss.name(), &stats);
     }
     let q_mean = means.iter().find(|(l, _)| *l == LossKind::MeanQError).unwrap().1;
-    let others_min =
-        means.iter().filter(|(l, _)| *l != LossKind::MeanQError).map(|(_, m)| *m).fold(f64::INFINITY, f64::min);
+    let others_min = means
+        .iter()
+        .filter(|(l, _)| *l != LossKind::MeanQError)
+        .map(|(_, m)| *m)
+        .fold(f64::INFINITY, f64::min);
     format!(
         "### §4.8 — optimization metrics\n\n\
          All three objectives trained with identical data/seed, evaluated on the synthetic \
@@ -543,8 +557,10 @@ pub fn ext_predbitmaps(h: &mut Harness) -> String {
         let est = h.model(mode, LossKind::MeanQError).estimator.clone();
         t.qerror_row(mode.name(), &QErrorStats::from_qerrors(&evaluate(&est, &queries)));
         if !empty_sample.is_empty() {
-            t_empty
-                .qerror_row(mode.name(), &QErrorStats::from_qerrors(&evaluate(&est, &empty_sample)));
+            t_empty.qerror_row(
+                mode.name(),
+                &QErrorStats::from_qerrors(&evaluate(&est, &empty_sample)),
+            );
         }
     }
     format!(
@@ -577,11 +593,8 @@ pub fn ext_uncertainty(h: &mut Harness) -> String {
     // Calibrate the disagreement threshold on the in-distribution
     // synthetic workload (90th percentile of member log-std).
     let threshold = {
-        let mut stds: Vec<f64> = ens
-            .estimate_with_uncertainty(&h.synthetic.queries)
-            .iter()
-            .map(|u| u.log_std)
-            .collect();
+        let mut stds: Vec<f64> =
+            ens.estimate_with_uncertainty(&h.synthetic.queries).iter().map(|u| u.log_std).collect();
         stds.sort_by(|a, b| a.partial_cmp(b).unwrap());
         stds[(stds.len() * 9) / 10]
     };
@@ -644,7 +657,8 @@ pub fn ext_incremental(h: &mut Harness) -> String {
         let v = evaluate(est, qs);
         v.iter().sum::<f64>() / v.len() as f64
     };
-    let mut t = Table::new(&["model", "mean q-error (new: JOB-light)", "mean q-error (old: synthetic)"]);
+    let mut t =
+        Table::new(&["model", "mean q-error (new: JOB-light)", "mean q-error (old: synthetic)"]);
     t.row(vec![
         "base (trained on synthetic 0-2 joins)".into(),
         fmt_q(mean_q(&base, &new_data)),
@@ -688,9 +702,19 @@ mod tests {
         let reg = registry();
         let ids: std::collections::HashSet<_> = reg.iter().map(|(id, _, _)| *id).collect();
         assert_eq!(ids.len(), reg.len());
-        for required in
-            ["table1", "table2", "table3", "table4", "fig3", "fig4", "fig5", "fig6", "hypergrid", "costs", "objectives"]
-        {
+        for required in [
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "hypergrid",
+            "costs",
+            "objectives",
+        ] {
             assert!(ids.contains(required), "missing {required}");
         }
     }

@@ -81,12 +81,7 @@ impl ExperimentConfig {
             num_training: 400,
             synthetic_eval: 120,
             scale_per_bucket: 10,
-            train: TrainConfig {
-                epochs: 4,
-                batch_size: 64,
-                hidden: 16,
-                ..TrainConfig::default()
-            },
+            train: TrainConfig { epochs: 4, batch_size: 64, hidden: 16, ..TrainConfig::default() },
         }
     }
 }

@@ -8,9 +8,7 @@ pub fn fmt_q(v: f64) -> String {
     if !v.is_finite() {
         return "inf".into();
     }
-    if v >= 1000.0 {
-        format!("{:.0}", v)
-    } else if v >= 100.0 {
+    if v >= 100.0 {
         format!("{:.0}", v)
     } else if v >= 10.0 {
         format!("{:.1}", v)

@@ -34,7 +34,12 @@ pub fn imdb_schema() -> Schema {
         fact(MOVIE_KEYWORD, vec![ColumnDef::data(KEYWORD_ID)]),
     ];
     let joins = (1..tables.len())
-        .map(|i| JoinEdge { fact: TableId(i as u16), fact_col: 0, center: TableId(0), center_col: 0 })
+        .map(|i| JoinEdge {
+            fact: TableId(i as u16),
+            fact_col: 0,
+            center: TableId(0),
+            center_col: 0,
+        })
         .collect();
     Schema::new(tables, joins, TableId(0))
 }
@@ -62,13 +67,13 @@ fn year_norm(year: Option<i64>) -> f64 {
 fn kind_weights(year: Option<i64>) -> [f64; NUM_KINDS as usize] {
     let t = year_norm(year);
     [
-        0.45 - 0.15 * t,         // 1 movie
-        0.02 + 0.08 * t,         // 2 tv_series
+        0.45 - 0.15 * t,               // 1 movie
+        0.02 + 0.08 * t,               // 2 tv_series
         (0.35 * (t - 0.4)).max(0.005), // 3 tv_episode (post-1950s)
-        0.01 + 0.07 * t,         // 4 video
+        0.01 + 0.07 * t,               // 4 video
         (0.10 * (t - 0.7)).max(0.002), // 5 video_game (post-1980s)
-        0.22 - 0.10 * t,         // 6 short
-        0.08,                    // 7 documentary
+        0.22 - 0.10 * t,               // 6 short
+        0.08,                          // 7 documentary
     ]
 }
 
@@ -94,7 +99,13 @@ struct EraEntity {
     weight: f64,
 }
 
-fn era_entities<R: Rng>(rng: &mut R, n: usize, alpha: f64, min_len: i64, max_len: i64) -> Vec<EraEntity> {
+fn era_entities<R: Rng>(
+    rng: &mut R,
+    n: usize,
+    alpha: f64,
+    min_len: i64,
+    max_len: i64,
+) -> Vec<EraEntity> {
     (0..n)
         .map(|i| {
             let len = rng.gen_range(min_len..=max_len);
@@ -162,11 +173,7 @@ fn generate_titles<R: Rng>(rng: &mut R, n: usize) -> Titles {
             Some(recency_skewed_year(rng, YEAR_LO, YEAR_HI + 1))
         };
         let kind = pick_weighted(rng, &kind_weights(year)) as i64 + 1;
-        let episode_nr = if kind == 3 {
-            Some(skewed_count(rng, 24.0, 500) as i64)
-        } else {
-            None
-        };
+        let episode_nr = if kind == 3 { Some(skewed_count(rng, 24.0, 500) as i64) } else { None };
         kinds.push(kind);
         years.push(year);
         episode_nrs.push(episode_nr);
@@ -199,10 +206,10 @@ pub fn generate(cfg: &ImdbConfig) -> Database {
     let role_base = [0.30, 0.22, 0.09, 0.08, 0.07, 0.06, 0.05, 0.05, 0.04, 0.02, 0.02];
     let role_mult = |kind: i64, role: usize| -> f64 {
         match (kind, role + 1) {
-            (7, 8) | (7, 9) => 4.0, // documentary: guest/self-style roles
-            (3, 4) => 0.3,          // episodes: fewer writers per record
+            (7, 8) | (7, 9) => 4.0,   // documentary: guest/self-style roles
+            (3, 4) => 0.3,            // episodes: fewer writers per record
             (5, 10) | (5, 11) => 3.0, // video games: crew-style roles
-            (1, 1) | (1, 2) => 1.4, // movies: actor/actress heavy
+            (1, 1) | (1, 2) => 1.4,   // movies: actor/actress heavy
             _ => 1.0,
         }
     };
@@ -249,8 +256,7 @@ pub fn generate(cfg: &ImdbConfig) -> Database {
         for _ in 0..n_ci {
             ci_movie.push(movie_id);
             ci_person.push(person_pools.sample(&mut rng, year));
-            let weights: Vec<f64> =
-                (0..11).map(|r| role_base[r] * role_mult(kind, r)).collect();
+            let weights: Vec<f64> = (0..11).map(|r| role_base[r] * role_mult(kind, r)).collect();
             ci_role.push(pick_weighted(&mut rng, &weights) as i64 + 1);
         }
 

@@ -55,13 +55,7 @@ impl LossKind {
     ///
     /// # Panics
     /// If slices disagree in length or the batch is empty.
-    pub fn loss_and_grad(
-        &self,
-        pred: &[f32],
-        target: &[f32],
-        scale: f32,
-        grad: &mut [f32],
-    ) -> f64 {
+    pub fn loss_and_grad(&self, pred: &[f32], target: &[f32], scale: f32, grad: &mut [f32]) -> f64 {
         assert_eq!(pred.len(), target.len());
         assert_eq!(pred.len(), grad.len());
         assert!(!pred.is_empty(), "empty batch");
@@ -129,12 +123,11 @@ mod tests {
         for kind in [LossKind::MeanQError, LossKind::Mse, LossKind::GeometricQError] {
             let mut grad = vec![0.0f32; 3];
             kind.loss_and_grad(&pred, &target, scale, &mut grad);
-            for i in 0..3 {
+            for (i, &g) in grad.iter().enumerate() {
                 let num = numeric_grad(kind, pred.clone(), &target, scale, i);
                 assert!(
-                    (grad[i] - num).abs() < 2e-2 * num.abs().max(1.0),
-                    "{kind:?} grad[{i}]: analytic {} numeric {num}",
-                    grad[i]
+                    (g - num).abs() < 2e-2 * num.abs().max(1.0),
+                    "{kind:?} grad[{i}]: analytic {g} numeric {num}"
                 );
             }
         }

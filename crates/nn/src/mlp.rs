@@ -168,10 +168,7 @@ mod tests {
         let up = sum_loss(&perturb(eps, &mlp), &x);
         let down = sum_loss(&perturb(-eps, &mlp), &x);
         let numeric = (up - down) / (2.0 * eps);
-        assert!(
-            (numeric - analytic).abs() < 2e-2,
-            "numeric {numeric} analytic {analytic}"
-        );
+        assert!((numeric - analytic).abs() < 2e-2, "numeric {numeric} analytic {analytic}");
     }
 
     #[test]

@@ -86,12 +86,7 @@ impl<'a> QueryGenerator<'a> {
             // center joins any absent fact; a fact joins only the center.
             let has_center = tables.contains(&schema.center);
             let candidates: Vec<TableId> = if has_center {
-                schema
-                    .joins
-                    .iter()
-                    .map(|e| e.fact)
-                    .filter(|f| !tables.contains(f))
-                    .collect()
+                schema.joins.iter().map(|e| e.fact).filter(|f| !tables.contains(f)).collect()
             } else {
                 vec![schema.center]
             };
@@ -245,10 +240,13 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let db = generate(&ImdbConfig::tiny());
-        let a = QueryGenerator::new(&db, GeneratorConfig { max_joins: 2, seed: 5 }).generate_unique(50);
-        let b = QueryGenerator::new(&db, GeneratorConfig { max_joins: 2, seed: 5 }).generate_unique(50);
+        let a =
+            QueryGenerator::new(&db, GeneratorConfig { max_joins: 2, seed: 5 }).generate_unique(50);
+        let b =
+            QueryGenerator::new(&db, GeneratorConfig { max_joins: 2, seed: 5 }).generate_unique(50);
         assert_eq!(a, b);
-        let c = QueryGenerator::new(&db, GeneratorConfig { max_joins: 2, seed: 6 }).generate_unique(50);
+        let c =
+            QueryGenerator::new(&db, GeneratorConfig { max_joins: 2, seed: 6 }).generate_unique(50);
         assert_ne!(a, c);
     }
 

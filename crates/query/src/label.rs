@@ -56,7 +56,7 @@ impl LabeledQuery {
 
     /// True if *any* participating table has zero qualifying samples.
     pub fn has_empty_sample(&self) -> bool {
-        self.sample_counts.iter().any(|&c| c == 0)
+        self.sample_counts.contains(&0)
     }
 }
 
@@ -79,11 +79,11 @@ pub fn label_queries(
         let chunk = queries.len().div_ceil(threads);
         let chunks: Vec<&[Query]> = queries.chunks(chunk).collect();
         let mut results: Vec<Vec<LabeledQuery>> = Vec::with_capacity(chunks.len());
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             let handles: Vec<_> = chunks
                 .into_iter()
                 .map(|c| {
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         c.iter()
                             .map(|q| LabeledQuery::compute(db, samples, q.clone()))
                             .collect::<Vec<_>>()
@@ -93,8 +93,7 @@ pub fn label_queries(
             for h in handles {
                 results.push(h.join().expect("labeling thread panicked"));
             }
-        })
-        .expect("labeling scope panicked");
+        });
         results.into_iter().flatten().collect()
     };
     if skip_empty {

@@ -19,7 +19,11 @@ pub struct Query {
 
 impl Query {
     /// Build a query, canonicalizing the three sets (sort + dedup).
-    pub fn new(mut tables: Vec<TableId>, mut joins: Vec<JoinId>, mut predicates: Vec<Predicate>) -> Self {
+    pub fn new(
+        mut tables: Vec<TableId>,
+        mut joins: Vec<JoinId>,
+        mut predicates: Vec<Predicate>,
+    ) -> Self {
         tables.sort_unstable();
         tables.dedup();
         joins.sort_unstable();
@@ -87,8 +91,11 @@ impl Query {
                 p.value
             )
         }));
-        let where_clause =
-            if conds.is_empty() { String::new() } else { format!(" WHERE {}", conds.join(" AND ")) };
+        let where_clause = if conds.is_empty() {
+            String::new()
+        } else {
+            format!(" WHERE {}", conds.join(" AND "))
+        };
         format!("SELECT COUNT(*) FROM {}{}", table_list.join(", "), where_clause)
     }
 }

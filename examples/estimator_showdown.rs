@@ -6,8 +6,8 @@
 //! cargo run --release --example estimator_showdown
 //! ```
 
-use learned_cardinalities::prelude::*;
 use lc_engine::JoinIndexes;
+use learned_cardinalities::prelude::*;
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     let rank = p / 100.0 * (sorted.len() - 1) as f64;

@@ -22,13 +22,8 @@ fn main() {
     let training = workloads::synthetic(&db, &samples, 1_500, 2, 10).queries;
 
     for mode in [FeatureMode::NoSamples, FeatureMode::SampleCounts, FeatureMode::Bitmaps] {
-        let cfg = TrainConfig {
-            epochs: 10,
-            hidden: 64,
-            batch_size: 128,
-            mode,
-            ..TrainConfig::default()
-        };
+        let cfg =
+            TrainConfig { epochs: 10, hidden: 64, batch_size: 128, mode, ..TrainConfig::default() };
         let trained = train(&db, 100, &training, cfg);
         let bytes = trained.estimator.to_bytes();
 

@@ -8,8 +8,8 @@
 //! cargo run --release --example uncertainty_fallback
 //! ```
 
-use learned_cardinalities::prelude::*;
 use lc_core::DeepEnsemble;
+use learned_cardinalities::prelude::*;
 
 fn main() {
     let db = lc_imdb::generate(&ImdbConfig {
@@ -31,14 +31,14 @@ fn main() {
     // Calibrate the trust threshold on in-distribution queries: flag
     // anything more uncertain than the in-distribution 90th percentile.
     let calibration = workloads::synthetic(&db, &samples, 300, 2, 13).queries;
-    let mut stds: Vec<f64> = ensemble
-        .estimate_with_uncertainty(&calibration)
-        .iter()
-        .map(|u| u.log_std)
-        .collect();
+    let mut stds: Vec<f64> =
+        ensemble.estimate_with_uncertainty(&calibration).iter().map(|u| u.log_std).collect();
     stds.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let threshold = stds[stds.len() * 9 / 10];
-    println!("calibrated disagreement threshold: members within {:.2}x of each other\n", threshold.exp());
+    println!(
+        "calibrated disagreement threshold: members within {:.2}x of each other\n",
+        threshold.exp()
+    );
 
     // A mixed workload: familiar queries plus 3-4 join extrapolations.
     let scale = workloads::scale(&db, &samples, 12, 14);

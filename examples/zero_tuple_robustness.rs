@@ -31,10 +31,8 @@ fn main() {
     // Evaluation: base-table queries whose sample bitmap is all zeros but
     // whose true result is non-empty — the exact §4.2 population.
     let evaluation = workloads::synthetic(&db, &samples, 1_500, 2, 6).queries;
-    let zero_tuple: Vec<LabeledQuery> = evaluation
-        .into_iter()
-        .filter(|q| q.query.num_joins() == 0 && q.is_zero_tuple())
-        .collect();
+    let zero_tuple: Vec<LabeledQuery> =
+        evaluation.into_iter().filter(|q| q.query.num_joins() == 0 && q.is_zero_tuple()).collect();
     println!("found {} base-table queries in 0-tuple situations\n", zero_tuple.len());
 
     let rs = RandomSamplingEstimator::new(&db, &samples, &join_sizes);

@@ -25,10 +25,7 @@ fn dataset_workloads_and_models_are_reproducible() {
         assert_eq!(a.cardinality, b.cardinality);
         assert_eq!(a.sample_counts, b.sample_counts);
     }
-    assert_eq!(
-        trained_a.report.epoch_val_mean_qerror,
-        trained_b.report.epoch_val_mean_qerror
-    );
+    assert_eq!(trained_a.report.epoch_val_mean_qerror, trained_b.report.epoch_val_mean_qerror);
     assert_eq!(trained_a.estimator.to_bytes(), trained_b.estimator.to_bytes());
 }
 
@@ -45,10 +42,7 @@ fn serialized_model_reproduces_estimates_across_processes() {
 
     let bytes = trained.estimator.to_bytes();
     let restored = MscnEstimator::from_bytes(&bytes).unwrap();
-    assert_eq!(
-        trained.estimator.estimate_cards(&data[..25]),
-        restored.estimate_cards(&data[..25])
-    );
+    assert_eq!(trained.estimator.estimate_cards(&data[..25]), restored.estimate_cards(&data[..25]));
     // Double round-trip is byte-identical.
     assert_eq!(bytes, restored.to_bytes());
 }
@@ -59,7 +53,17 @@ fn different_seeds_give_different_models() {
     let mut rng = SmallRng::seed_from_u64(79);
     let samples = SampleSet::draw(&db, 20, &mut rng);
     let data = workloads::synthetic(&db, &samples, 250, 2, 57).queries;
-    let a = train(&db, 20, &data, TrainConfig { epochs: 2, hidden: 16, seed: 1, ..TrainConfig::default() });
-    let b = train(&db, 20, &data, TrainConfig { epochs: 2, hidden: 16, seed: 2, ..TrainConfig::default() });
+    let a = train(
+        &db,
+        20,
+        &data,
+        TrainConfig { epochs: 2, hidden: 16, seed: 1, ..TrainConfig::default() },
+    );
+    let b = train(
+        &db,
+        20,
+        &data,
+        TrainConfig { epochs: 2, hidden: 16, seed: 2, ..TrainConfig::default() },
+    );
     assert_ne!(a.estimator.to_bytes(), b.estimator.to_bytes());
 }

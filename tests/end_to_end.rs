@@ -2,8 +2,8 @@
 //! training corpus → MSCN → estimates, with the paper's qualitative
 //! claims as assertions.
 
-use learned_cardinalities::prelude::*;
 use lc_engine::JoinIndexes;
+use learned_cardinalities::prelude::*;
 
 struct Pipeline {
     db: lc_engine::Database,
@@ -76,20 +76,11 @@ fn mscn_beats_sampling_baselines_at_the_tail() {
     let m95 = pct(&m, 95.0);
     assert!(m95 < pct(&r, 95.0), "MSCN 95th {m95} not better than RS {}", pct(&r, 95.0));
     assert!(m95 < pct(&i, 95.0), "MSCN 95th {m95} not better than IBJS {}", pct(&i, 95.0));
-    assert!(
-        m95 < pct(&g, 95.0) * 2.5,
-        "MSCN 95th {m95} not competitive with PG {}",
-        pct(&g, 95.0)
-    );
+    assert!(m95 < pct(&g, 95.0) * 2.5, "MSCN 95th {m95} not competitive with PG {}", pct(&g, 95.0));
     // And its mean beats the sampling baselines (at standard scale the gap
     // is >2.5x; at this miniature scale we gate on strict improvement).
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-    assert!(
-        mean(&m) < mean(&r),
-        "MSCN mean {} should be below RS mean {}",
-        mean(&m),
-        mean(&r)
-    );
+    assert!(mean(&m) < mean(&r), "MSCN mean {} should be below RS mean {}", mean(&m), mean(&r));
     // MSCN median is competitive (within 3x of the best competitor median).
     let best_median = pct(&i, 50.0).min(pct(&g, 50.0)).min(pct(&r, 50.0));
     assert!(pct(&m, 50.0) < best_median * 3.0, "MSCN median not competitive");

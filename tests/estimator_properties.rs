@@ -13,8 +13,8 @@
 use proptest::prelude::*;
 use rand::Rng;
 
-use learned_cardinalities::prelude::*;
 use lc_engine::{count_star, JoinId, JoinIndexes, TableId};
+use learned_cardinalities::prelude::*;
 
 fn fixture() -> (lc_engine::Database, SampleSet) {
     let db = lc_imdb::generate(&ImdbConfig::tiny());

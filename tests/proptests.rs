@@ -8,12 +8,12 @@
 
 use proptest::prelude::*;
 
-use learned_cardinalities::prelude::*;
 use lc_core::LabelNorm;
 use lc_engine::{
     count_star, count_star_naive, Column, ColumnDef, Database, JoinEdge, JoinId, Schema, Table,
     TableId,
 };
+use learned_cardinalities::prelude::*;
 
 // -------------------------------------------------------------- executor
 
@@ -28,18 +28,13 @@ struct MicroDb {
 
 fn micro_db_strategy() -> impl Strategy<Value = MicroDb> {
     (1usize..10).prop_flat_map(|center_rows| {
-        let fact = proptest::collection::vec(
-            (0..center_rows as i64, -3i64..4),
-            0..25,
-        )
-        .prop_map(|rows| {
-            let (fks, data): (Vec<i64>, Vec<i64>) = rows.into_iter().unzip();
-            (fks, data)
-        });
-        let center_data = proptest::collection::vec(
-            proptest::option::weighted(0.85, -3i64..4),
-            center_rows,
-        );
+        let fact =
+            proptest::collection::vec((0..center_rows as i64, -3i64..4), 0..25).prop_map(|rows| {
+                let (fks, data): (Vec<i64>, Vec<i64>) = rows.into_iter().unzip();
+                (fks, data)
+            });
+        let center_data =
+            proptest::collection::vec(proptest::option::weighted(0.85, -3i64..4), center_rows);
         (Just(center_rows), proptest::collection::vec(fact, 2..3), center_data).prop_map(
             |(center_rows, facts, center_data)| MicroDb { center_rows, facts, center_data },
         )
@@ -53,7 +48,12 @@ fn build_micro(m: &MicroDb) -> Database {
     }
     let defs: Vec<_> = tables.into_iter().map(|t| t.def).collect();
     let joins = (0..m.facts.len())
-        .map(|i| JoinEdge { fact: TableId(i as u16 + 1), fact_col: 0, center: TableId(0), center_col: 0 })
+        .map(|i| JoinEdge {
+            fact: TableId(i as u16 + 1),
+            fact_col: 0,
+            center: TableId(0),
+            center_col: 0,
+        })
         .collect();
     let schema = Schema::new(defs, joins, TableId(0));
     let center = Table::new(vec![

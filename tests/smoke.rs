@@ -1,0 +1,59 @@
+//! Workspace smoke test: the facade's `prelude` re-exports resolve, and
+//! the minimal end-to-end pipeline — generate → sample → label → train →
+//! estimate — runs on a tiny fixture and produces sane estimates. This is
+//! the cheapest cross-crate guard: if any member crate's public surface
+//! drifts, this file stops compiling before anything subtler fails.
+
+use learned_cardinalities::prelude::*;
+
+#[test]
+fn prelude_reexports_resolve() {
+    // One value or type per re-exporting crate; the assertions are
+    // incidental — compiling this function is the test.
+    let _: fn(&lc_engine::Database) -> FullJoinSizes = FullJoinSizes::build; // lc_baselines
+    let cfg = TrainConfig::default(); // lc_core
+    assert!(cfg.epochs > 0);
+    assert_eq!(CmpOp::Eq.symbol(), "="); // lc_engine
+    let imdb = ImdbConfig::tiny(); // lc_imdb
+    assert!(imdb.num_titles > 0);
+    let _loss = LossKind::MeanQError; // lc_nn
+    let _rng = SmallRng::seed_from_u64(0); // rand re-exports
+}
+
+#[test]
+fn tiny_pipeline_produces_finite_estimates() {
+    // 1. Generate a correlated database snapshot.
+    let db = lc_imdb::generate(&ImdbConfig::tiny());
+    assert!(db.schema().num_tables() > 0);
+
+    // 2. Draw materialized per-table samples.
+    let mut rng = SmallRng::seed_from_u64(7);
+    let samples = SampleSet::draw(&db, 24, &mut rng);
+
+    // 3. Generate + label a small training workload.
+    let data = workloads::synthetic(&db, &samples, 200, 2, 11).queries;
+    assert!(!data.is_empty(), "workload generation produced no queries");
+
+    // 4. Train a small MSCN.
+    let cfg = TrainConfig { epochs: 3, hidden: 16, ..TrainConfig::default() };
+    let trained = train(&db, 24, &data, cfg);
+
+    // 5. Estimate: every prediction is finite and a valid cardinality.
+    let estimates = trained.estimator.estimate_cards(&data[..data.len().min(32)]);
+    assert!(!estimates.is_empty());
+    for (i, &e) in estimates.iter().enumerate() {
+        assert!(e.is_finite(), "estimate {i} is not finite: {e}");
+        assert!(e >= 1.0, "estimate {i} below the cardinality floor: {e}");
+    }
+
+    // The baselines answer the same queries through the common trait.
+    let join_sizes = FullJoinSizes::build(&db);
+    let indexes = JoinIndexes::build(&db);
+    let pg = PostgresEstimator::new(&db);
+    let rs = RandomSamplingEstimator::new(&db, &samples, &join_sizes);
+    let ibjs = IbjsEstimator::new(&db, &samples, &indexes, &join_sizes);
+    for est in [&pg as &dyn CardinalityEstimator, &rs, &ibjs] {
+        let e = est.estimate(&data[0]);
+        assert!(e.is_finite() && e >= 1.0, "{}: bad estimate {e}", est.name());
+    }
+}

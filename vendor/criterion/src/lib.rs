@@ -1,0 +1,262 @@
+//! A small stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness, vendored so the workspace builds offline.
+//!
+//! It keeps criterion's surface syntax — [`Criterion`], benchmark groups,
+//! `Bencher::iter`, [`criterion_group!`] / [`criterion_main!`] — and
+//! measures wall-clock time with a warm-up phase followed by timed
+//! samples. Statistics are simpler than real criterion (mean / min / max
+//! over per-iteration times, no outlier analysis), and results are printed
+//! to stdout.
+//!
+//! Set `LC_BENCH_JSON=<path>` to additionally append one JSON line per
+//! benchmark (`{"name":…,"mean_ns":…,"min_ns":…,"max_ns":…,"iters":…}`),
+//! which is how `BENCH_baseline.json` snapshots are captured.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness state and measurement settings.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Target number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Wall-clock budget for the timed phase of each benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Wall-clock budget for the untimed warm-up phase.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            measurement_time: None,
+        }
+    }
+
+    /// Run a single benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let sample_size = self.sample_size;
+        self.run_one(&id, sample_size, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, id: &str, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(id);
+    }
+}
+
+/// A set of benchmarks sharing a name prefix and (optionally) settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Override the wall-clock budget for the timed phase of each
+    /// benchmark in the group (scoped to the group, like real criterion).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    /// Run one benchmark inside the group (reported as `group/id`).
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let saved = self.criterion.measurement_time;
+        if let Some(d) = self.measurement_time {
+            self.criterion.measurement_time = d;
+        }
+        self.criterion.run_one(&full, sample_size, f);
+        self.criterion.measurement_time = saved;
+        self
+    }
+
+    /// Finish the group (kept for API compatibility; reporting is
+    /// per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; drives the timed loop.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    samples_ns: Vec<u128>,
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly: warm up, then time iterations until
+    /// the sample target or the measurement budget is reached.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up: at least one call, at most the warm-up budget.
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+
+        let measure_start = Instant::now();
+        self.samples_ns.clear();
+        while self.samples_ns.len() < self.sample_size {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples_ns.push(t.elapsed().as_nanos());
+            if measure_start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples_ns.is_empty() {
+            println!("bench {id:<52} (no samples — did the closure call iter?)");
+            return;
+        }
+        let n = self.samples_ns.len() as u128;
+        let mean = self.samples_ns.iter().sum::<u128>() / n;
+        let min = *self.samples_ns.iter().min().expect("non-empty");
+        let max = *self.samples_ns.iter().max().expect("non-empty");
+        println!(
+            "bench {id:<52} mean {mean:>12} ns  min {min:>12} ns  max {max:>12} ns  ({n} iters)"
+        );
+        if let Ok(path) = std::env::var("LC_BENCH_JSON") {
+            use std::io::Write;
+            let line = format!(
+                "{{\"name\":\"{id}\",\"mean_ns\":{mean},\"min_ns\":{min},\"max_ns\":{max},\"iters\":{n}}}\n"
+            );
+            let written = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut f| f.write_all(line.as_bytes()));
+            if let Err(e) = written {
+                eprintln!("LC_BENCH_JSON: cannot append to {path}: {e}");
+            }
+        }
+    }
+}
+
+/// Define a benchmark group function, optionally with a custom
+/// [`Criterion`] configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        /// Benchmark group entry point (generated by `criterion_group!`).
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define `fn main` running the given groups (for `harness = false`
+/// bench targets).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmarks_run_and_record_samples() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(20));
+        let mut ran = 0u32;
+        c.bench_function("smoke/add", |b| {
+            b.iter(|| {
+                ran += 1;
+                2u64 + 2
+            })
+        });
+        assert!(ran >= 1, "routine should have run during warm-up + measurement");
+    }
+
+    #[test]
+    fn groups_prefix_names_and_finish() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(10));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| ()));
+        group.finish();
+    }
+}
