@@ -1,0 +1,118 @@
+//! Serving-layer latency: the single-request path vs the micro-batched
+//! path, and the estimate cache hit/miss split.
+//!
+//! `single_path_64` and `micro_batched_64` run the *same* service request
+//! path (annotate → submit → flush → wait, deterministic `workers: 0`
+//! mode so thread scheduling noise stays out of the numbers); the only
+//! difference is the coalescing bound — `max_batch: 1` forces one forward
+//! pass per request, `max_batch: 64` coalesces all 64 requests into one
+//! ragged forward pass. `direct_inference_64` is the reference floor: raw
+//! annotation + per-query inference with no serving machinery at all.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lc_bench::BenchFixture;
+use lc_core::{train, FeatureMode, TrainConfig};
+use lc_query::{annotate_query, CardinalityEstimator, Query};
+use lc_serve::{BatcherConfig, CacheConfig, EstimationService, ModelRegistry, ServiceConfig};
+
+const BATCH: usize = 64;
+
+/// A deterministic (manually flushed) service with the given coalescing
+/// bound and no cache, so both serve benches measure exactly the request
+/// path.
+fn manual_service(
+    f: &BenchFixture,
+    registry: &Arc<ModelRegistry>,
+    max_batch: usize,
+    cache: CacheConfig,
+) -> EstimationService {
+    EstimationService::new(
+        f.db.clone(),
+        f.samples.clone(),
+        Arc::clone(registry),
+        ServiceConfig {
+            cache,
+            batcher: BatcherConfig { workers: 0, max_batch, ..BatcherConfig::default() },
+        },
+    )
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let f = BenchFixture::small();
+    let cfg =
+        TrainConfig { epochs: 3, hidden: 64, mode: FeatureMode::Bitmaps, ..TrainConfig::default() };
+    let trained = train(&f.db, f.samples.sample_size, f.queries(), cfg);
+    let est = trained.estimator;
+    let registry = Arc::new(ModelRegistry::new(est.clone()));
+    let queries: Vec<Query> = f.queries()[..BATCH].iter().map(|l| l.query.clone()).collect();
+
+    let no_cache = CacheConfig { capacity: 0, ..CacheConfig::default() };
+    let single = manual_service(&f, &registry, 1, no_cache);
+    let batched = manual_service(&f, &registry, BATCH, no_cache);
+    // Cached service for the hit path; warmed with the benched query.
+    let cached = manual_service(&f, &registry, BATCH, CacheConfig::default());
+    {
+        let pending = cached.submit(&queries[0]);
+        cached.flush_now();
+        pending.wait().expect("warm-up estimate");
+    }
+    // Miss path: a capacity-1 cache cycled over several distinct queries
+    // guarantees every probe misses while still paying the full miss
+    // cost — key construction, shard probe, eviction, and insert.
+    let thrashed = manual_service(&f, &registry, BATCH, CacheConfig { capacity: 1, shards: 1 });
+
+    let mut group = c.benchmark_group("serve");
+    group.bench_function("direct_inference_64", |b| {
+        b.iter(|| {
+            let mut total = 0.0f64;
+            for q in &queries {
+                let annotated = annotate_query(&f.db, &f.samples, q.clone());
+                total += est.estimate(&annotated);
+            }
+            total
+        })
+    });
+    group.bench_function("single_path_64", |b| {
+        b.iter(|| {
+            let mut total = 0.0f64;
+            for q in &queries {
+                let pending = single.submit(q);
+                single.flush_now();
+                total += pending.wait().expect("estimate").cardinality;
+            }
+            total
+        })
+    });
+    group.bench_function("micro_batched_64", |b| {
+        b.iter(|| {
+            let pending: Vec<_> = queries.iter().map(|q| batched.submit(q)).collect();
+            batched.flush_now();
+            pending.into_iter().map(|p| p.wait().expect("estimate").cardinality).sum::<f64>()
+        })
+    });
+    group.bench_function("cache_hit", |b| {
+        b.iter(|| cached.estimate(&queries[0]).expect("cache hit").cardinality)
+    });
+    group.bench_function("cache_miss", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let pending = thrashed.submit(&queries[i % 8]);
+            i += 1;
+            thrashed.flush_now();
+            pending.wait().expect("estimate").cardinality
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(40)
+        .measurement_time(std::time::Duration::from_secs(6))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_serve
+}
+criterion_main!(benches);

@@ -175,6 +175,14 @@ impl Featurizer {
         self.mode
     }
 
+    /// The materialized-sample size this featurizer was fitted for.
+    /// Queries must be annotated against a sample set of exactly this
+    /// size (bitmap widths and count normalization bake it in) — a
+    /// serving deployment should check this before accepting a model.
+    pub fn sample_size(&self) -> usize {
+        self.sample_size
+    }
+
     /// Label normalization fitted on the training set.
     pub fn label_norm(&self) -> &LabelNorm {
         &self.label_norm

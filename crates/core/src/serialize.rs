@@ -93,6 +93,12 @@ impl MscnEstimator {
     }
 
     /// Deserialize an estimator written by [`MscnEstimator::to_bytes`].
+    ///
+    /// Strict: the buffer must contain exactly one well-formed payload.
+    /// Truncated, corrupt, or trailing-byte input returns a
+    /// [`DecodeError`] — this function never panics, so it is safe to feed
+    /// it bytes received from the network (the `lc_serve` model registry
+    /// loads snapshots through this path).
     pub fn from_bytes(mut data: &[u8]) -> Result<Self, DecodeError> {
         fn need(data: &[u8], n: usize) -> Result<(), DecodeError> {
             if data.remaining() < n {
@@ -115,6 +121,10 @@ impl MscnEstimator {
         let num_columns = data.get_u32_le() as usize;
         let sample_size = data.get_u32_le() as usize;
         let n_tables = data.get_u32_le() as usize;
+        // Each table entry is at least one length word; checking up front
+        // bounds the Vec reservation by the actual input size, so a corrupt
+        // count cannot trigger an absurd allocation.
+        need(data, 4 * n_tables)?;
         let mut column_index = Vec::with_capacity(n_tables);
         for _ in 0..n_tables {
             need(data, 4)?;
@@ -151,6 +161,31 @@ impl MscnEstimator {
         });
 
         let hidden = data.get_u32_le() as usize;
+        // The architecture is fully determined by the featurizer dims and
+        // `hidden`, so the exact byte length of the network section is
+        // known before any weight is read. Requiring equality (not just
+        // sufficiency) rejects both truncated payloads and trailing
+        // garbage in one check, and does so *before* allocating the model
+        // — a corrupt `hidden` cannot provoke a giant allocation. u128
+        // arithmetic keeps adversarial dimension products from wrapping.
+        fn mlp_bytes(input: usize, hidden: usize, output: usize) -> u128 {
+            let (i, h, o) = (input as u128, hidden as u128, output as u128);
+            // Two layers, each: u32 input + u32 output dims, then
+            // f32 weights (in×out) and f32 biases (out).
+            (8 + 4 * (i * h + h)) + (8 + 4 * (h * o + o))
+        }
+        let (td, jd, pd) = (featurizer.table_dim(), featurizer.join_dim(), featurizer.pred_dim());
+        let expected = mlp_bytes(td, hidden, hidden)
+            + mlp_bytes(jd, hidden, hidden)
+            + mlp_bytes(pd, hidden, hidden)
+            + mlp_bytes(3 * hidden, hidden, 1);
+        if data.remaining() as u128 != expected {
+            return Err(DecodeError(format!(
+                "network payload size mismatch: expected {expected} bytes for dims \
+                 ({td},{jd},{pd})×{hidden}, found {}",
+                data.remaining()
+            )));
+        }
         let mut model = MscnModel::new(
             featurizer.table_dim(),
             featurizer.join_dim(),
@@ -238,5 +273,69 @@ mod tests {
         assert!(MscnEstimator::from_bytes(&bytes).is_err());
         // Empty.
         assert!(MscnEstimator::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let (t, _) = trained(FeatureMode::NoSamples);
+        let mut bytes = t.estimator.to_bytes();
+        bytes.push(0);
+        let err = MscnEstimator::from_bytes(&bytes).unwrap_err();
+        assert!(err.0.contains("size mismatch"), "unexpected error: {err}");
+        // A whole second copy appended must fail too.
+        let mut doubled = t.estimator.to_bytes();
+        doubled.extend(t.estimator.to_bytes());
+        assert!(MscnEstimator::from_bytes(&doubled).is_err());
+    }
+
+    #[test]
+    fn every_truncation_errors_without_panicking() {
+        let (t, _) = trained(FeatureMode::SampleCounts);
+        let bytes = t.estimator.to_bytes();
+        // Exhaustive over the metadata region (where parsing branches
+        // live), strided through the large flat weight region.
+        let cuts = (0..256.min(bytes.len()))
+            .chain((256..bytes.len()).step_by(97))
+            .chain(bytes.len().saturating_sub(8)..bytes.len());
+        for cut in cuts {
+            assert!(
+                MscnEstimator::from_bytes(&bytes[..cut]).is_err(),
+                "truncation at {cut}/{} decoded successfully",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_counts_error_instead_of_allocating() {
+        let (t, _) = trained(FeatureMode::Bitmaps);
+        let bytes = t.estimator.to_bytes();
+        // Overwrite each metadata count word (after magic+version+mode:
+        // num_tables, num_joins, num_columns, sample_size, n_tables) with
+        // u32::MAX; decode must fail cleanly, not OOM or panic.
+        for word in 0..5 {
+            let at = 9 + 4 * word;
+            let mut bad = bytes.clone();
+            bad[at..at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+            assert!(MscnEstimator::from_bytes(&bad).is_err(), "corrupt word {word} accepted");
+        }
+        // A corrupt hidden width likewise fails via the exact-size check.
+        // `hidden` sits right after the featurizer section; find it by
+        // re-encoding with a sentinel... simpler: flip the last 4 bytes of
+        // the buffer (inside the output layer's bias) is a value change,
+        // not a structural one, so instead corrupt the first network word
+        // by truncating to the featurizer section + a bogus hidden.
+        let meta_len = bytes.len() - network_bytes(&t.estimator);
+        let mut bogus = bytes[..meta_len].to_vec();
+        bogus.extend(u32::MAX.to_le_bytes());
+        assert!(MscnEstimator::from_bytes(&bogus).is_err());
+    }
+
+    /// Byte length of the serialized network section (dims headers +
+    /// weights + biases), mirroring the encoder's layout.
+    fn network_bytes(est: &MscnEstimator) -> usize {
+        // 4 bytes for `hidden`, then per layer: 8 header + 4 per param.
+        4 + est.model().mlps().iter().map(|m| m.layers().len() * 8).sum::<usize>()
+            + 4 * est.model().num_params()
     }
 }

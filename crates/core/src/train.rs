@@ -143,6 +143,13 @@ impl CardinalityEstimator for MscnEstimator {
         self.estimate_cards(std::slice::from_ref(q))[0]
     }
 
+    /// Vectorized override of the per-query default: the whole slice is
+    /// featurized and pushed through [`RaggedBatch`] forward passes (one
+    /// per 1024-query chunk) instead of one tiny matrix pipeline per
+    /// query. Because every matrix row is reduced in the same order
+    /// regardless of batch composition, the results are bitwise identical
+    /// to the sequential path — `lc_serve`'s micro-batcher relies on this
+    /// to coalesce concurrent requests without changing any answer.
     fn estimate_all(&self, qs: &[LabeledQuery]) -> Vec<f64> {
         self.estimate_cards(qs)
     }
@@ -430,6 +437,22 @@ mod tests {
             trained.estimator.estimate_cards(&data[..10]),
             restored.estimate_cards(&data[..10])
         );
+    }
+
+    #[test]
+    fn estimate_all_matches_per_query_bitwise() {
+        let db = generate(&ImdbConfig::tiny());
+        let mut rng = SmallRng::seed_from_u64(8);
+        let samples = SampleSet::draw(&db, 24, &mut rng);
+        let data = workloads::synthetic(&db, &samples, 150, 2, 41).queries;
+        let cfg = TrainConfig { epochs: 2, hidden: 16, ..TrainConfig::default() };
+        let est = train(&db, 24, &data, cfg).estimator;
+        let batched = (&est as &dyn CardinalityEstimator).estimate_all(&data);
+        let sequential: Vec<f64> = data.iter().map(|q| est.estimate(q)).collect();
+        // Bitwise equality, not approximate: the batched forward pass must
+        // reduce every row in the same order as the single-query pass, so
+        // micro-batching in the serving layer cannot change any estimate.
+        assert_eq!(batched, sequential);
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! Canonical binary encoding of [`Query`] values.
+//!
+//! One byte layout serves three roles in the serving layer (`lc_serve`):
+//! the payload of estimation-request wire frames, the key of the estimate
+//! cache, and a stable fingerprint for logs. Because [`Query`] stores its
+//! three sets sorted and deduplicated, two *equal* queries always encode to
+//! *identical* bytes — the encoding is canonical, not merely deterministic,
+//! which is exactly what a cache key needs.
+//!
+//! Layout (all little-endian, following `lc_core::serialize`'s discipline
+//! of explicit, auditable layouts):
+//!
+//! ```text
+//! u16 n_tables | n_tables × u16 table_id
+//! u16 n_joins  | n_joins  × u16 join_id
+//! u16 n_preds  | n_preds  × (u16 table_id, u16 column, u8 op_tag, i64 value)
+//! ```
+//!
+//! Decoding is strict and panic-free: every read is bounds-checked and any
+//! malformed input yields a [`QueryDecodeError`]. Decoding goes through
+//! [`Query::new`], so non-canonical (unsorted / duplicated) input bytes
+//! still produce a canonical query.
+
+use bytes::{Buf, BufMut};
+use lc_engine::{CmpOp, JoinId, Predicate, TableId};
+
+use crate::query::Query;
+
+/// Error returned by [`Query::decode`] on malformed input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryDecodeError(pub String);
+
+impl std::fmt::Display for QueryDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "query decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for QueryDecodeError {}
+
+fn need(buf: &[u8], n: usize, what: &str) -> Result<(), QueryDecodeError> {
+    if buf.remaining() < n {
+        return Err(QueryDecodeError(format!(
+            "truncated {what}: need {n} bytes, have {}",
+            buf.remaining()
+        )));
+    }
+    Ok(())
+}
+
+impl Query {
+    /// Append the canonical encoding of `self` to `buf`.
+    ///
+    /// # Panics
+    /// If any of the three sets holds more than `u16::MAX` elements (far
+    /// beyond any query this repository can represent).
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        fn count(n: usize) -> u16 {
+            u16::try_from(n).expect("query set larger than u16::MAX")
+        }
+        buf.put_u16_le(count(self.tables().len()));
+        for &t in self.tables() {
+            buf.put_u16_le(t.0);
+        }
+        buf.put_u16_le(count(self.joins().len()));
+        for &j in self.joins() {
+            buf.put_u16_le(j.0);
+        }
+        buf.put_u16_le(count(self.predicates().len()));
+        for p in self.predicates() {
+            buf.put_u16_le(p.table.0);
+            buf.put_u16_le(u16::try_from(p.column).expect("column index larger than u16::MAX"));
+            buf.put_u8(p.op.index() as u8);
+            buf.put_i64_le(p.value);
+        }
+    }
+
+    /// The canonical encoding as an owned buffer (the estimate-cache key).
+    pub fn to_canonical_bytes(&self) -> Vec<u8> {
+        // 6 count bytes + 2 per table/join + 13 per predicate.
+        let mut buf = Vec::with_capacity(
+            6 + 2 * (self.tables().len() + self.joins().len()) + 13 * self.predicates().len(),
+        );
+        self.encode(&mut buf);
+        buf
+    }
+
+    /// Decode a query written by [`Query::encode`], consuming its bytes
+    /// from the front of `buf`. Never panics; malformed input returns a
+    /// [`QueryDecodeError`]. Trailing bytes after the query are left in
+    /// `buf` for the caller (wire frames follow the query with nothing,
+    /// and enforce that themselves).
+    pub fn decode(buf: &mut &[u8]) -> Result<Self, QueryDecodeError> {
+        need(buf, 2, "table count")?;
+        let n_tables = buf.get_u16_le() as usize;
+        need(buf, 2 * n_tables, "table ids")?;
+        let tables = (0..n_tables).map(|_| TableId(buf.get_u16_le())).collect();
+
+        need(buf, 2, "join count")?;
+        let n_joins = buf.get_u16_le() as usize;
+        need(buf, 2 * n_joins, "join ids")?;
+        let joins = (0..n_joins).map(|_| JoinId(buf.get_u16_le())).collect();
+
+        need(buf, 2, "predicate count")?;
+        let n_preds = buf.get_u16_le() as usize;
+        need(buf, 13 * n_preds, "predicates")?;
+        let mut predicates = Vec::with_capacity(n_preds);
+        for _ in 0..n_preds {
+            let table = TableId(buf.get_u16_le());
+            let column = buf.get_u16_le() as usize;
+            let tag = buf.get_u8() as usize;
+            let op = *CmpOp::ALL
+                .get(tag)
+                .ok_or_else(|| QueryDecodeError(format!("unknown operator tag {tag}")))?;
+            let value = buf.get_i64_le();
+            predicates.push(Predicate { table, column, op, value });
+        }
+        Ok(Query::new(tables, joins, predicates))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pred(t: u16, c: usize, op: CmpOp, v: i64) -> Predicate {
+        Predicate { table: TableId(t), column: c, op, value: v }
+    }
+
+    #[test]
+    fn roundtrip_is_exact_and_consumes_everything() {
+        let q = Query::new(
+            vec![TableId(0), TableId(3)],
+            vec![JoinId(2)],
+            vec![pred(0, 2, CmpOp::Gt, 1990), pred(3, 1, CmpOp::Eq, -7)],
+        );
+        let bytes = q.to_canonical_bytes();
+        let mut cursor: &[u8] = &bytes;
+        let back = Query::decode(&mut cursor).expect("decode");
+        assert_eq!(back, q);
+        assert!(cursor.is_empty(), "decode must consume the full encoding");
+        assert_eq!(back.to_canonical_bytes(), bytes, "re-encoding is stable");
+    }
+
+    #[test]
+    fn equal_queries_share_one_encoding() {
+        // Different construction order, same canonical bytes.
+        let a = Query::new(
+            vec![TableId(2), TableId(0)],
+            vec![JoinId(1), JoinId(0)],
+            vec![pred(0, 1, CmpOp::Lt, 5), pred(2, 1, CmpOp::Eq, 3)],
+        );
+        let b = Query::new(
+            vec![TableId(0), TableId(2)],
+            vec![JoinId(0), JoinId(1)],
+            vec![pred(2, 1, CmpOp::Eq, 3), pred(0, 1, CmpOp::Lt, 5), pred(0, 1, CmpOp::Lt, 5)],
+        );
+        assert_eq!(a.to_canonical_bytes(), b.to_canonical_bytes());
+    }
+
+    #[test]
+    fn empty_query_encodes_to_six_bytes() {
+        let q = Query::new(vec![], vec![], vec![]);
+        let bytes = q.to_canonical_bytes();
+        assert_eq!(bytes, vec![0, 0, 0, 0, 0, 0]);
+        let mut cursor: &[u8] = &bytes;
+        assert_eq!(Query::decode(&mut cursor).unwrap(), q);
+    }
+
+    #[test]
+    fn every_truncation_of_a_valid_encoding_errors() {
+        let q = Query::new(
+            vec![TableId(0), TableId(1), TableId(2)],
+            vec![JoinId(0), JoinId(1)],
+            vec![pred(1, 1, CmpOp::Eq, 42), pred(2, 3, CmpOp::Gt, -1)],
+        );
+        let bytes = q.to_canonical_bytes();
+        for cut in 0..bytes.len() {
+            let mut cursor: &[u8] = &bytes[..cut];
+            // A strict prefix can never parse as a complete query *and*
+            // consume exactly `cut` bytes unless the original had trailing
+            // bytes — which to_canonical_bytes never produces.
+            assert!(
+                Query::decode(&mut cursor).is_err(),
+                "truncation at {cut}/{} decoded successfully",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn bad_operator_tag_is_rejected() {
+        let q = Query::new(vec![TableId(0)], vec![], vec![pred(0, 1, CmpOp::Eq, 9)]);
+        let mut bytes = q.to_canonical_bytes();
+        // The op tag sits after 3 counts (6), 1 table id (2), pred table +
+        // column (4).
+        let tag_at = 6 + 2 + 4;
+        bytes[tag_at] = 0xFF;
+        let mut cursor: &[u8] = &bytes;
+        let err = Query::decode(&mut cursor).unwrap_err();
+        assert!(err.0.contains("operator tag"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn non_canonical_bytes_decode_to_canonical_query() {
+        // Hand-build an encoding with unsorted tables; decode must
+        // canonicalize (sort + dedup) via Query::new.
+        let mut bytes = Vec::new();
+        bytes.put_u16_le(3); // tables: 2, 0, 2
+        bytes.put_u16_le(2);
+        bytes.put_u16_le(0);
+        bytes.put_u16_le(2);
+        bytes.put_u16_le(0); // joins
+        bytes.put_u16_le(0); // predicates
+        let mut cursor: &[u8] = &bytes;
+        let q = Query::decode(&mut cursor).unwrap();
+        assert_eq!(q.tables(), &[TableId(0), TableId(2)]);
+        assert_ne!(q.to_canonical_bytes(), bytes, "canonical form differs from wire form");
+    }
+}

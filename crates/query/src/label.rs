@@ -31,20 +31,9 @@ impl LabeledQuery {
     /// Build one labeled query by executing it and probing the samples.
     pub fn compute(db: &Database, samples: &SampleSet, query: Query) -> Self {
         let cardinality = count_star(db, &query.spec());
-        let mut sample_counts = Vec::with_capacity(query.tables().len());
-        let mut bitmaps = Vec::with_capacity(query.tables().len());
-        for &t in query.tables() {
-            let preds = query.predicates_on(t);
-            let bm = samples.bitmap(db, t, &preds);
-            sample_counts.push(bm.count_ones());
-            bitmaps.push(bm);
-        }
-        let pred_bitmaps = query
-            .predicates()
-            .iter()
-            .map(|p| samples.bitmap(db, p.table, std::slice::from_ref(p)))
-            .collect();
-        LabeledQuery { query, cardinality, sample_counts, bitmaps, pred_bitmaps }
+        let mut labeled = annotate_query(db, samples, query);
+        labeled.cardinality = cardinality;
+        labeled
     }
 
     /// True if *every* participating table has zero qualifying sample
@@ -58,6 +47,32 @@ impl LabeledQuery {
     pub fn has_empty_sample(&self) -> bool {
         self.sample_counts.contains(&0)
     }
+}
+
+/// Annotate `query` with materialized-sample information **without
+/// executing it** — the serving-time counterpart of
+/// [`LabeledQuery::compute`]. An estimation service answering live traffic
+/// has no ground truth (computing it would defeat the estimator's
+/// purpose); it only probes the materialized samples, which is exactly what
+/// the paper's runtime featurization needs (§3.4). The returned
+/// [`LabeledQuery::cardinality`] is 0, a value the
+/// [`crate::CardinalityEstimator`] contract already forbids
+/// implementations from reading.
+pub fn annotate_query(db: &Database, samples: &SampleSet, query: Query) -> LabeledQuery {
+    let mut sample_counts = Vec::with_capacity(query.tables().len());
+    let mut bitmaps = Vec::with_capacity(query.tables().len());
+    for &t in query.tables() {
+        let preds = query.predicates_on(t);
+        let bm = samples.bitmap(db, t, &preds);
+        sample_counts.push(bm.count_ones());
+        bitmaps.push(bm);
+    }
+    let pred_bitmaps = query
+        .predicates()
+        .iter()
+        .map(|p| samples.bitmap(db, p.table, std::slice::from_ref(p)))
+        .collect();
+    LabeledQuery { query, cardinality: 0, sample_counts, bitmaps, pred_bitmaps }
 }
 
 /// Label a batch of queries. When `skip_empty` is set, queries with an
@@ -148,6 +163,23 @@ mod tests {
                     assert_eq!(l.sample_counts[i], expected);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn annotate_matches_compute_except_cardinality() {
+        let db = generate(&ImdbConfig::tiny());
+        let mut rng = SmallRng::seed_from_u64(9);
+        let samples = SampleSet::draw(&db, 48, &mut rng);
+        let mut g = QueryGenerator::new(&db, GeneratorConfig { max_joins: 2, seed: 12 });
+        for _ in 0..20 {
+            let q = g.generate();
+            let full = LabeledQuery::compute(&db, &samples, q.clone());
+            let cheap = annotate_query(&db, &samples, q);
+            assert_eq!(cheap.cardinality, 0, "annotation must not execute the query");
+            assert_eq!(cheap.sample_counts, full.sample_counts);
+            assert_eq!(cheap.bitmaps, full.bitmaps);
+            assert_eq!(cheap.pred_bitmaps, full.pred_bitmaps);
         }
     }
 

@@ -5,7 +5,10 @@
 //! crate provides:
 //!
 //! * [`Query`]: the canonical set-based representation (order-free equality
-//!   and hashing, so `(A ⋈ B) ⋈ C` and `A ⋈ (B ⋈ C)` are the same query);
+//!   and hashing, so `(A ⋈ B) ⋈ C` and `A ⋈ (B ⋈ C)` are the same query),
+//!   with a canonical binary encoding ([`Query::encode`] /
+//!   [`Query::decode`]) shared by the serving wire protocol and the
+//!   estimate cache;
 //! * [`QueryGenerator`]: the paper's uniform random query generator (§3.3) —
 //!   uniform join count, uniform joinable-table walk, uniform predicate
 //!   count/operator, literals drawn from actual column values, duplicate
@@ -18,13 +21,15 @@
 //! * [`CardinalityEstimator`]: the trait implemented by MSCN and all
 //!   baselines, so the evaluation harness can treat them uniformly.
 
+mod codec;
 mod estimator;
 mod generator;
 mod label;
 mod query;
 pub mod workloads;
 
+pub use codec::QueryDecodeError;
 pub use estimator::CardinalityEstimator;
 pub use generator::{GeneratorConfig, QueryGenerator};
-pub use label::{label_queries, LabeledQuery};
+pub use label::{annotate_query, label_queries, LabeledQuery};
 pub use query::Query;

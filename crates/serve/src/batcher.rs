@@ -1,0 +1,386 @@
+//! The micro-batcher: coalesces concurrent single-query requests into one
+//! ragged-batch forward pass.
+//!
+//! The paper's §4.8 timing shows where the win is: MSCN prediction is
+//! dominated by fixed per-invocation cost at batch size 1, while the
+//! batched path amortizes matrix setup across queries. A serving process
+//! receives *concurrent singles*, not batches — so this module provides
+//! the missing piece: requests enqueue into a shared queue, and a worker
+//! drains up to [`BatcherConfig::max_batch`] of them into one
+//! [`RaggedBatch`](lc_core::RaggedBatch) forward pass via
+//! `CardinalityEstimator::estimate_all`.
+//!
+//! The flush policy is size/time-bounded: a batch closes when it reaches
+//! `max_batch` queries, when the oldest enqueued request has waited
+//! `max_delay`, or when no new request arrives within `idle_flush` (so a
+//! lone request is not held hostage for the full window). Because
+//! `lc_core`'s kernels reduce every matrix row in the same order
+//! regardless of batch composition, coalescing is *semantically
+//! invisible*: batched results are bitwise identical to sequential ones.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use lc_query::{CardinalityEstimator, LabeledQuery};
+
+use crate::registry::ModelRegistry;
+
+/// Flush policy and worker sizing of a [`MicroBatcher`].
+#[derive(Clone, Copy, Debug)]
+pub struct BatcherConfig {
+    /// Largest coalesced batch (a flush never exceeds this).
+    pub max_batch: usize,
+    /// Hard latency bound: the oldest request in a forming batch waits at
+    /// most this long before the batch is flushed.
+    pub max_delay: Duration,
+    /// Early-flush bound: if no new request arrives within this window
+    /// the forming batch is flushed immediately, so sparse traffic pays
+    /// `idle_flush`, not `max_delay`, of queueing latency.
+    pub idle_flush: Duration,
+    /// Inference worker threads. 0 means no background workers: batches
+    /// are only processed by explicit [`MicroBatcher::flush_now`] calls
+    /// (deterministic mode, used by benches and tests).
+    pub workers: usize,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> Self {
+        BatcherConfig {
+            max_batch: 64,
+            max_delay: Duration::from_micros(200),
+            idle_flush: Duration::from_micros(50),
+            workers: 1,
+        }
+    }
+}
+
+/// What the batcher returns for one request.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BatchedEstimate {
+    /// Estimated cardinality in rows (≥ 1).
+    pub cardinality: f64,
+    /// Version of the model snapshot the batch ran against.
+    pub model_version: u32,
+    /// Number of requests coalesced into the same forward pass.
+    pub micro_batch: u32,
+}
+
+/// Aggregate counters exposed by [`MicroBatcher::stats`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Requests submitted.
+    pub requests: u64,
+    /// Forward passes executed.
+    pub batches: u64,
+    /// Largest batch flushed so far.
+    pub max_batch: u64,
+}
+
+impl BatchStats {
+    /// Mean requests per forward pass (1.0 when nothing coalesced).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.requests as f64 / self.batches as f64
+        }
+    }
+}
+
+struct Pending {
+    query: LabeledQuery,
+    tx: Sender<BatchedEstimate>,
+}
+
+struct State {
+    queue: VecDeque<Pending>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    available: Condvar,
+    requests: AtomicU64,
+    batches: AtomicU64,
+    max_batch_seen: AtomicU64,
+}
+
+/// The request-coalescing inference front of the service.
+pub struct MicroBatcher {
+    shared: Arc<Shared>,
+    registry: Arc<ModelRegistry>,
+    config: BatcherConfig,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl MicroBatcher {
+    /// Start a batcher (and its worker threads) serving models from
+    /// `registry`.
+    pub fn new(registry: Arc<ModelRegistry>, config: BatcherConfig) -> Self {
+        assert!(config.max_batch >= 1, "max_batch must be at least 1");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State { queue: VecDeque::new(), shutdown: false }),
+            available: Condvar::new(),
+            requests: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            max_batch_seen: AtomicU64::new(0),
+        });
+        let workers = (0..config.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let registry = Arc::clone(&registry);
+                std::thread::spawn(move || worker_loop(&shared, &registry, config))
+            })
+            .collect();
+        MicroBatcher { shared, registry, config, workers: Mutex::new(workers) }
+    }
+
+    /// Enqueue one sample-annotated query; the returned channel yields the
+    /// estimate once the request's batch has been flushed. If the batcher
+    /// shuts down first, the channel disconnects.
+    pub fn submit(&self, query: LabeledQuery) -> Receiver<BatchedEstimate> {
+        let (tx, rx) = channel();
+        let mut state = self.lock();
+        if state.shutdown {
+            return rx; // tx drops here: the receiver reports disconnect.
+        }
+        state.queue.push_back(Pending { query, tx });
+        self.shared.requests.fetch_add(1, Ordering::Relaxed);
+        drop(state);
+        self.shared.available.notify_one();
+        rx
+    }
+
+    /// Synchronously drain and infer at most one batch; returns its size
+    /// (0 when the queue was empty). This is the deterministic
+    /// counterpart of the background workers, for benches and tests —
+    /// with `workers: 0` it is the *only* way batches run.
+    pub fn flush_now(&self) -> usize {
+        let batch = {
+            let mut state = self.lock();
+            drain_batch(&mut state, self.config.max_batch)
+        };
+        run_batch(&self.shared, &self.registry, batch)
+    }
+
+    /// Aggregate request/batch counters.
+    pub fn stats(&self) -> BatchStats {
+        BatchStats {
+            requests: self.shared.requests.load(Ordering::Relaxed),
+            batches: self.shared.batches.load(Ordering::Relaxed),
+            max_batch: self.shared.max_batch_seen.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop accepting requests, let workers drain the queue, and join
+    /// them. Idempotent; also invoked by `Drop`.
+    pub fn shutdown(&self) {
+        {
+            let mut state = self.lock();
+            state.shutdown = true;
+        }
+        self.shared.available.notify_all();
+        let handles: Vec<_> =
+            self.workers.lock().expect("batcher workers poisoned").drain(..).collect();
+        for worker in handles {
+            worker.join().expect("batcher worker panicked");
+        }
+        // With no workers (deterministic mode), drain what is left so
+        // submitted requests get answers instead of disconnects.
+        while self.flush_now() > 0 {}
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.shared.state.lock().expect("batcher state poisoned")
+    }
+}
+
+impl Drop for MicroBatcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Pop up to `max_batch` requests off the queue.
+fn drain_batch(state: &mut State, max_batch: usize) -> Vec<Pending> {
+    let n = state.queue.len().min(max_batch);
+    state.queue.drain(..n).collect()
+}
+
+/// Run one coalesced forward pass and deliver the per-request results.
+/// Returns the batch size.
+fn run_batch(shared: &Shared, registry: &ModelRegistry, batch: Vec<Pending>) -> usize {
+    if batch.is_empty() {
+        return 0;
+    }
+    let n = batch.len();
+    // The snapshot is pinned for the whole batch: a concurrent hot-swap
+    // affects the *next* batch, never a running one.
+    let snapshot = registry.current();
+    let (queries, txs): (Vec<LabeledQuery>, Vec<Sender<BatchedEstimate>>) =
+        batch.into_iter().map(|p| (p.query, p.tx)).unzip();
+    let estimates = snapshot.estimator.estimate_all(&queries);
+    shared.batches.fetch_add(1, Ordering::Relaxed);
+    shared.max_batch_seen.fetch_max(n as u64, Ordering::Relaxed);
+    for (tx, cardinality) in txs.into_iter().zip(estimates) {
+        // A receiver that gave up (client disconnected) is not an error.
+        let _ = tx.send(BatchedEstimate {
+            cardinality,
+            model_version: snapshot.version,
+            micro_batch: n as u32,
+        });
+    }
+    n
+}
+
+fn worker_loop(shared: &Shared, registry: &ModelRegistry, config: BatcherConfig) {
+    loop {
+        let batch = {
+            let mut state = shared.state.lock().expect("batcher state poisoned");
+            // Sleep until there is work (or shutdown).
+            while state.queue.is_empty() && !state.shutdown {
+                state = shared.available.wait(state).expect("batcher state poisoned");
+            }
+            if state.queue.is_empty() && state.shutdown {
+                return;
+            }
+            // Accumulate: wait for more requests until the batch is full,
+            // the hard deadline passes, or an idle gap says traffic
+            // paused. Shutdown flushes immediately so draining is prompt.
+            let deadline = Instant::now() + config.max_delay;
+            while state.queue.len() < config.max_batch && !state.shutdown {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let wait = config.idle_flush.min(deadline - now);
+                let before = state.queue.len();
+                let (guard, timeout) =
+                    shared.available.wait_timeout(state, wait).expect("batcher state poisoned");
+                state = guard;
+                if timeout.timed_out() && state.queue.len() == before {
+                    break; // idle gap: nothing new arrived, flush early
+                }
+            }
+            drain_batch(&mut state, config.max_batch)
+        };
+        run_batch(shared, registry, batch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lc_core::{train, FeatureMode, MscnEstimator, TrainConfig};
+    use lc_engine::{Database, SampleSet};
+    use lc_imdb::{generate, ImdbConfig};
+    use lc_query::workloads;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn fixture() -> (Database, MscnEstimator, Vec<LabeledQuery>) {
+        let db = generate(&ImdbConfig::tiny());
+        let mut rng = SmallRng::seed_from_u64(77);
+        let samples = SampleSet::draw(&db, 24, &mut rng);
+        let data = workloads::synthetic(&db, &samples, 140, 2, 55).queries;
+        let cfg = TrainConfig {
+            epochs: 2,
+            hidden: 16,
+            mode: FeatureMode::Bitmaps,
+            ..TrainConfig::default()
+        };
+        let est = train(&db, 24, &data, cfg).estimator;
+        (db, est, data)
+    }
+
+    #[test]
+    fn manual_flush_coalesces_deterministically() {
+        let (_, est, data) = fixture();
+        let expected: Vec<f64> = data[..10].iter().map(|q| est.estimate(q)).collect();
+        let registry = Arc::new(ModelRegistry::new(est));
+        let batcher =
+            MicroBatcher::new(registry, BatcherConfig { workers: 0, ..BatcherConfig::default() });
+        let rxs: Vec<_> = data[..10].iter().map(|q| batcher.submit(q.clone())).collect();
+        assert_eq!(batcher.flush_now(), 10, "one flush drains all queued requests");
+        for (rx, want) in rxs.into_iter().zip(expected) {
+            let got = rx.recv().expect("estimate delivered");
+            // Coalescing must not change results: bitwise equality.
+            assert_eq!(got.cardinality, want);
+            assert_eq!(got.micro_batch, 10);
+            assert_eq!(got.model_version, 1);
+        }
+        let stats = batcher.stats();
+        assert_eq!((stats.requests, stats.batches, stats.max_batch), (10, 1, 10));
+        assert!((stats.mean_batch() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_batch_bounds_every_flush() {
+        let (_, est, data) = fixture();
+        let registry = Arc::new(ModelRegistry::new(est));
+        let batcher = MicroBatcher::new(
+            registry,
+            BatcherConfig { workers: 0, max_batch: 4, ..BatcherConfig::default() },
+        );
+        let rxs: Vec<_> = data[..10].iter().map(|q| batcher.submit(q.clone())).collect();
+        assert_eq!(batcher.flush_now(), 4);
+        assert_eq!(batcher.flush_now(), 4);
+        assert_eq!(batcher.flush_now(), 2);
+        assert_eq!(batcher.flush_now(), 0, "queue fully drained");
+        let sizes: Vec<u32> = rxs.into_iter().map(|rx| rx.recv().unwrap().micro_batch).collect();
+        assert_eq!(sizes, vec![4, 4, 4, 4, 4, 4, 4, 4, 2, 2]);
+        assert_eq!(batcher.stats().max_batch, 4);
+    }
+
+    #[test]
+    fn background_workers_serve_concurrent_submitters() {
+        let (_, est, data) = fixture();
+        let expected: Vec<f64> = data.iter().map(|q| est.estimate(q)).collect();
+        let registry = Arc::new(ModelRegistry::new(est));
+        let batcher = MicroBatcher::new(registry, BatcherConfig::default());
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for chunk in 0..4 {
+                let batcher = &batcher;
+                let data = &data;
+                handles.push(s.spawn(move || {
+                    let lo = chunk * data.len() / 4;
+                    let hi = (chunk + 1) * data.len() / 4;
+                    (lo..hi)
+                        .map(|i| (i, batcher.submit(data[i].clone()).recv().expect("served")))
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for handle in handles {
+                for (i, got) in handle.join().expect("submitter panicked") {
+                    assert_eq!(got.cardinality, expected[i], "query {i} changed under batching");
+                    assert!(got.micro_batch >= 1);
+                }
+            }
+        });
+        let stats = batcher.stats();
+        assert_eq!(stats.requests, data.len() as u64);
+        assert!(stats.batches >= 1 && stats.batches <= stats.requests);
+    }
+
+    #[test]
+    fn shutdown_drains_pending_requests() {
+        let (_, est, data) = fixture();
+        let registry = Arc::new(ModelRegistry::new(est));
+        let batcher =
+            MicroBatcher::new(registry, BatcherConfig { workers: 0, ..BatcherConfig::default() });
+        let rxs: Vec<_> = data[..5].iter().map(|q| batcher.submit(q.clone())).collect();
+        batcher.shutdown();
+        for rx in rxs {
+            assert!(rx.recv().is_ok(), "pending request dropped on shutdown");
+        }
+        // After shutdown, new submissions disconnect immediately.
+        let rx = batcher.submit(data[0].clone());
+        assert!(rx.recv().is_err());
+        assert_eq!(batcher.stats().requests, 5);
+    }
+}

@@ -1,0 +1,55 @@
+//! `loadgen` — closed-loop load generator for the `serve` binary.
+//!
+//! Opens `--connections` TCP connections, drives `--requests` total
+//! estimation requests through them closed-loop, and prints a QPS /
+//! latency / cache report. The final stdout line is machine-readable
+//! (`RESULT qps=… requests=… errors=…`) for CI smoke checks. Exits
+//! non-zero if any request failed or the run produced no throughput.
+//!
+//! Flags (all optional):
+//!
+//! * `--addr HOST:PORT`   server address        (default 127.0.0.1:7878)
+//! * `--requests N`       total requests        (default 1000)
+//! * `--connections N`    concurrent workers    (default 4)
+//! * `--max-joins N`      joins per query bound (default 2)
+//! * `--seed N`           base RNG seed         (default 42)
+
+use std::process::exit;
+use std::time::Duration;
+
+use lc_serve::flags::get;
+use lc_serve::LoadgenConfig;
+
+const FLAGS: &[&str] = &["addr", "requests", "connections", "max-joins", "seed"];
+
+fn main() {
+    if let Err(message) = run() {
+        eprintln!("loadgen: {message}");
+        exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
+    let flags = lc_serve::flags::parse(FLAGS)?;
+    let config = LoadgenConfig {
+        addr: flags.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:7878".into()),
+        requests: get(&flags, "requests", 1000)?,
+        connections: get(&flags, "connections", 4)?,
+        max_joins: get(&flags, "max-joins", 2)?,
+        seed: get(&flags, "seed", 42)?,
+        connect_timeout: Duration::from_secs(10),
+    };
+    eprintln!(
+        "loadgen: {} requests over {} connections against {} ...",
+        config.requests, config.connections, config.addr
+    );
+    let report = lc_serve::loadgen::run(&config).map_err(|e| format!("run failed: {e}"))?;
+    println!("{report}");
+    if report.errors > 0 {
+        return Err(format!("{} requests failed", report.errors));
+    }
+    if report.requests == 0 || report.qps <= 0.0 {
+        return Err("no throughput measured".into());
+    }
+    Ok(())
+}

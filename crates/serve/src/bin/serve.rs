@@ -1,0 +1,145 @@
+//! `serve` — the estimation server binary.
+//!
+//! Boots a database snapshot + materialized samples, obtains a model
+//! (either by training a bootstrap MSCN in-process or by loading a
+//! serialized snapshot from `--model`), and serves the wire protocol
+//! until killed. Drive it with the sibling `loadgen` binary:
+//!
+//! ```text
+//! cargo run --release -p lc-serve --bin serve -- --addr 127.0.0.1:7878 &
+//! cargo run --release -p lc-serve --bin loadgen -- --addr 127.0.0.1:7878 --requests 1000
+//! ```
+//!
+//! Flags (all optional):
+//!
+//! * `--addr HOST:PORT`    listen address          (default 127.0.0.1:7878)
+//! * `--model PATH`        load `MscnEstimator::to_bytes` output instead
+//!   of training (must have been trained with sample size 64)
+//! * `--queries N`         bootstrap training corpus size  (default 400)
+//! * `--epochs N`          bootstrap training epochs       (default 3)
+//! * `--hidden N`          bootstrap hidden width          (default 32)
+//! * `--cache-capacity N`  estimate-cache entries, 0 disables (default 4096)
+//! * `--max-batch N`       micro-batch size bound          (default 64)
+//! * `--max-delay-us N`    micro-batch hard flush bound    (default 200)
+//! * `--workers N`         inference worker threads        (default 1)
+
+use std::process::exit;
+use std::sync::Arc;
+use std::time::Duration;
+
+use lc_core::{train, FeatureMode, MscnEstimator, TrainConfig};
+use lc_engine::SampleSet;
+use lc_imdb::ImdbConfig;
+use lc_query::workloads;
+use lc_serve::flags::get;
+use lc_serve::{
+    serve, BatcherConfig, CacheConfig, EstimationService, ModelRegistry, ServiceConfig,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Sample size every served model must be trained with (the loadgen and
+/// the bootstrap trainer agree on it).
+const SAMPLE_SIZE: usize = 64;
+
+const FLAGS: &[&str] = &[
+    "addr",
+    "model",
+    "queries",
+    "epochs",
+    "hidden",
+    "cache-capacity",
+    "max-batch",
+    "max-delay-us",
+    "workers",
+];
+
+fn main() {
+    if let Err(message) = run() {
+        eprintln!("serve: {message}");
+        exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
+    let flags = lc_serve::flags::parse(FLAGS)?;
+    let addr = flags.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:7878".into());
+    let queries: usize = get(&flags, "queries", 400)?;
+    let epochs: usize = get(&flags, "epochs", 3)?;
+    let hidden: usize = get(&flags, "hidden", 32)?;
+    let cache_capacity: usize = get(&flags, "cache-capacity", 4096)?;
+    let max_batch: usize = get(&flags, "max-batch", 64)?;
+    let max_delay_us: u64 = get(&flags, "max-delay-us", 200)?;
+    let workers: usize = get(&flags, "workers", 1)?;
+    if workers == 0 {
+        // workers: 0 is the library's manual-flush mode; with no one
+        // calling flush_now a server would hang every request.
+        return Err("--workers must be at least 1".into());
+    }
+    if max_batch == 0 {
+        return Err("--max-batch must be at least 1".into());
+    }
+
+    eprintln!("serve: generating database snapshot + samples ...");
+    let db = lc_imdb::generate(&ImdbConfig::tiny());
+    let mut rng = SmallRng::seed_from_u64(1);
+    let samples = SampleSet::draw(&db, SAMPLE_SIZE, &mut rng);
+
+    let estimator = match flags.get("model") {
+        Some(path) => {
+            eprintln!("serve: loading model from {path} ...");
+            let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let est = MscnEstimator::from_bytes(&bytes)
+                .map_err(|e| format!("cannot decode {path}: {e}"))?;
+            // A mismatched sample size would make runtime featurization
+            // index out of bounds on the first request; refuse up front.
+            let trained_with = est.featurizer().sample_size();
+            if trained_with != SAMPLE_SIZE {
+                return Err(format!(
+                    "{path} was trained with sample size {trained_with}, but this server \
+                     annotates queries with sample size {SAMPLE_SIZE}"
+                ));
+            }
+            est
+        }
+        None => {
+            eprintln!("serve: training bootstrap model ({queries} queries, {epochs} epochs) ...");
+            let data = workloads::synthetic(&db, &samples, queries, 2, 7).queries;
+            let cfg = TrainConfig {
+                epochs,
+                hidden,
+                mode: FeatureMode::Bitmaps,
+                ..TrainConfig::default()
+            };
+            train(&db, SAMPLE_SIZE, &data, cfg).estimator
+        }
+    };
+    let params = estimator.model().num_params();
+
+    let registry = Arc::new(ModelRegistry::new(estimator));
+    let config = ServiceConfig {
+        cache: CacheConfig { capacity: cache_capacity, ..CacheConfig::default() },
+        batcher: BatcherConfig {
+            max_batch,
+            max_delay: Duration::from_micros(max_delay_us),
+            workers,
+            ..BatcherConfig::default()
+        },
+    };
+    let service = Arc::new(EstimationService::new(db, samples, Arc::clone(&registry), config));
+    let handle = serve(Arc::clone(&service), addr.as_str())
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    // The startup banner goes to stdout: scripts wait for it.
+    println!(
+        "lc-serve listening on {} (model v{}, {} params, cache {}, max batch {}, {} worker{})",
+        handle.local_addr(),
+        registry.active_version(),
+        params,
+        cache_capacity,
+        max_batch,
+        workers,
+        if workers == 1 { "" } else { "s" },
+    );
+    handle.wait();
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! # lc-serve — the concurrent estimation service
+//!
+//! The paper's headline systems claim is that MSCN inference is cheap
+//! enough to live inside a query optimizer's hot path (§4.8: batched
+//! prediction runs in microseconds per query). This crate is the layer
+//! that cashes that claim in: a long-lived service that loads trained
+//! [`MscnEstimator`](lc_core::MscnEstimator) snapshots and answers streams
+//! of estimation requests from concurrent clients.
+//!
+//! Architecture — a request flows `wire → cache → batcher → model`:
+//!
+//! ```text
+//!            TCP frame                  miss                 flush (≤ max_batch
+//! client ──► [wire]  ──► [EstimateCache] ──► [MicroBatcher] ──  or ≤ max_delay)
+//!                         ▲    sharded LRU        │ coalesces concurrent
+//!                         │                       ▼ requests
+//!                         └──── insert ──── [ModelRegistry::current()]
+//!                                            one RaggedBatch forward pass
+//! ```
+//!
+//! * [`wire`] — a length-prefixed binary protocol (requests carry the
+//!   canonical [`Query`](lc_query::Query) encoding; responses carry the
+//!   estimate plus serving metadata). Decoding is strict and panic-free.
+//! * [`registry`] — versioned model snapshots with **atomic hot-swap**:
+//!   publishing a new model never pauses in-flight requests; each
+//!   micro-batch runs against the `Arc` snapshot it grabbed at flush time.
+//! * [`batcher`] — coalesces concurrent single-query requests into one
+//!   ragged-batch forward pass (size/time-bounded flush), so service
+//!   throughput scales with the matrix kernels instead of per-query
+//!   vector pipelines. Batched results are bitwise identical to
+//!   sequential ones (guaranteed by `lc_core`'s row-independent kernels).
+//! * [`cache`] — a sharded LRU keyed by the canonical query encoding plus
+//!   the active model version, so repeated optimizer probes of the same
+//!   subquery skip inference entirely and stale entries age out after a
+//!   hot-swap.
+//! * [`service`] — glues the four together behind
+//!   [`EstimationService::estimate`].
+//! * [`server`] / [`loadgen`] — a threaded TCP server binary (`serve`)
+//!   and a closed-loop load-generator binary (`loadgen`) with a latency
+//!   histogram and QPS report.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//!
+//! use lc_engine::SampleSet;
+//! use lc_query::Query;
+//! use lc_serve::{EstimationService, ModelRegistry, ServiceConfig};
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//!
+//! // Train a tiny model (a deployment would load bytes from disk).
+//! let db = lc_imdb::generate(&lc_imdb::ImdbConfig::tiny());
+//! let mut rng = SmallRng::seed_from_u64(1);
+//! let samples = SampleSet::draw(&db, 24, &mut rng);
+//! let data = lc_query::workloads::synthetic(&db, &samples, 120, 2, 5).queries;
+//! let cfg = lc_core::TrainConfig { epochs: 2, hidden: 16, ..Default::default() };
+//! let trained = lc_core::train(&db, 24, &data, cfg);
+//!
+//! let registry = Arc::new(ModelRegistry::new(trained.estimator));
+//! let service =
+//!     EstimationService::new(db, samples, registry, ServiceConfig::default());
+//! let estimate = service.estimate(&data[0].query).unwrap();
+//! assert!(estimate.cardinality >= 1.0);
+//! // The same query again is a cache hit — no inference.
+//! assert!(service.estimate(&data[0].query).unwrap().cache_hit);
+//! ```
+
+pub mod batcher;
+pub mod cache;
+pub mod flags;
+pub mod loadgen;
+pub mod registry;
+pub mod server;
+pub mod service;
+pub mod wire;
+
+pub use batcher::{BatchStats, BatchedEstimate, BatcherConfig, MicroBatcher};
+pub use cache::{CacheConfig, CacheStats, EstimateCache};
+pub use loadgen::{LatencyHistogram, LoadReport, LoadgenConfig};
+pub use registry::{ModelRegistry, ModelSnapshot, RegistryError};
+pub use server::{serve, ServerHandle};
+pub use service::{Estimate, EstimationService, PendingEstimate, ServeError, ServiceConfig};
+pub use wire::{Frame, WireError};

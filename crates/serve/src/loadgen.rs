@@ -1,0 +1,368 @@
+//! Closed-loop load generation against a running estimation server.
+//!
+//! Each worker owns one TCP connection and drives it closed-loop: send a
+//! request, block for the response, record the latency, repeat. With `n`
+//! workers the server sees up to `n` concurrent requests — exactly the
+//! traffic shape the micro-batcher coalesces. Latencies land in a
+//! log-scaled histogram (no per-request allocation), and the run is
+//! summarized as QPS, latency quantiles, cache hit counts, and the mean
+//! micro-batch size observed.
+//!
+//! Queries are drawn from the paper's §3.3 random generator over the
+//! fixed IMDb-style schema, so the generator needs no coordination with
+//! the server beyond that shared schema.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use lc_imdb::ImdbConfig;
+use lc_query::{GeneratorConfig, QueryGenerator};
+
+use crate::wire::{read_frame, write_frame, Frame};
+
+/// Configuration of one load-generation run.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Server address, e.g. `127.0.0.1:7878`.
+    pub addr: String,
+    /// Concurrent closed-loop connections.
+    pub connections: usize,
+    /// Total requests across all connections.
+    pub requests: usize,
+    /// Maximum joins per generated query.
+    pub max_joins: usize,
+    /// Base RNG seed; worker `i` uses `seed + i`.
+    pub seed: u64,
+    /// How long to retry the initial connection (covers server startup).
+    pub connect_timeout: Duration,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:7878".into(),
+            connections: 4,
+            requests: 1000,
+            max_joins: 2,
+            seed: 42,
+            connect_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Power-of-two-bucketed latency histogram over nanoseconds.
+///
+/// Bucket `i` covers `[2^i, 2^(i+1))` ns; quantiles report a bucket's
+/// upper bound, so they are exact to within a factor of two — plenty for
+/// a throughput report, with O(1) recording and a fixed 512-byte
+/// footprint.
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    buckets: [u64; 64],
+    count: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram { buckets: [0; 64], count: 0, max_ns: 0 }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one latency.
+    pub fn record(&mut self, latency: Duration) {
+        let ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let bucket = 63 - ns.max(1).leading_zeros() as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded latency in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Upper bound of the bucket containing quantile `q ∈ [0, 1]`
+    /// (0 when empty).
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        self.max_ns
+    }
+}
+
+/// Result of a load-generation run.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Requests answered with an estimate.
+    pub requests: u64,
+    /// Requests answered with an error frame (or a transport failure).
+    pub errors: u64,
+    /// Responses flagged as cache hits.
+    pub cache_hits: u64,
+    /// Wall-clock duration of the whole run in seconds.
+    pub seconds: f64,
+    /// Successful requests per second.
+    pub qps: f64,
+    /// Median latency (µs, bucket upper bound).
+    pub p50_us: f64,
+    /// 95th-percentile latency (µs, bucket upper bound).
+    pub p95_us: f64,
+    /// 99th-percentile latency (µs, bucket upper bound).
+    pub p99_us: f64,
+    /// Worst observed latency (µs).
+    pub max_us: f64,
+    /// Mean micro-batch size over non-cache-hit responses (1.0 = no
+    /// coalescing happened).
+    pub mean_micro_batch: f64,
+}
+
+impl std::fmt::Display for LoadReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} requests in {:.2}s — {:.0} QPS, {} errors, {} cache hits ({:.1}%)",
+            self.requests,
+            self.seconds,
+            self.qps,
+            self.errors,
+            self.cache_hits,
+            100.0 * self.cache_hits as f64 / (self.requests.max(1)) as f64,
+        )?;
+        writeln!(
+            f,
+            "latency  p50 ≤ {:.0}µs   p95 ≤ {:.0}µs   p99 ≤ {:.0}µs   max {:.0}µs",
+            self.p50_us, self.p95_us, self.p99_us, self.max_us
+        )?;
+        writeln!(f, "mean micro-batch of inference responses: {:.2}", self.mean_micro_batch)?;
+        // Stable machine-readable trailer (CI greps this line).
+        write!(
+            f,
+            "RESULT qps={:.1} requests={} errors={} cache_hits={}",
+            self.qps, self.requests, self.errors, self.cache_hits
+        )
+    }
+}
+
+/// Connect with retries until `timeout` elapses — the server may still be
+/// training its bootstrap model when the load generator starts.
+pub fn connect_with_retry(addr: &str, timeout: Duration) -> io::Result<TcpStream> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) if Instant::now() >= deadline => return Err(e),
+            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+struct WorkerOutcome {
+    histogram: LatencyHistogram,
+    ok: u64,
+    errors: u64,
+    cache_hits: u64,
+    batch_sum: u64,
+    batch_n: u64,
+}
+
+fn worker(
+    db: &lc_engine::Database,
+    addr: &str,
+    requests: usize,
+    max_joins: usize,
+    seed: u64,
+    timeout: Duration,
+) -> io::Result<WorkerOutcome> {
+    let mut generator = QueryGenerator::new(db, GeneratorConfig { max_joins, seed });
+    let stream = connect_with_retry(addr, timeout)?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut out = WorkerOutcome {
+        histogram: LatencyHistogram::new(),
+        ok: 0,
+        errors: 0,
+        cache_hits: 0,
+        batch_sum: 0,
+        batch_n: 0,
+    };
+    for id in 0..requests as u64 {
+        let query = generator.generate();
+        let start = Instant::now();
+        write_frame(&mut writer, &Frame::EstimateRequest { id, query })?;
+        writer.flush()?;
+        match read_frame(&mut reader)? {
+            Some(Frame::EstimateResponse { id: rid, estimate, micro_batch, cache_hit, .. })
+                if rid == id && estimate.is_finite() && estimate >= 1.0 =>
+            {
+                out.histogram.record(start.elapsed());
+                out.ok += 1;
+                if cache_hit {
+                    out.cache_hits += 1;
+                } else {
+                    out.batch_sum += u64::from(micro_batch);
+                    out.batch_n += 1;
+                }
+            }
+            _ => out.errors += 1,
+        }
+    }
+    Ok(out)
+}
+
+/// Run a closed-loop load test and aggregate the per-worker results.
+///
+/// Transport-level failures of a whole worker (e.g. the server is not
+/// running) surface as `Err`; per-request error frames are counted in
+/// [`LoadReport::errors`].
+pub fn run(config: &LoadgenConfig) -> io::Result<LoadReport> {
+    let connections = config.connections.max(1);
+    // The schema is fixed by the generator config, so one tiny local
+    // instance (built before the clock starts, shared by every worker)
+    // is enough to drive query generation for any server.
+    let db = lc_imdb::generate(&ImdbConfig::tiny());
+    let start = Instant::now();
+    let mut outcomes: Vec<io::Result<WorkerOutcome>> = Vec::with_capacity(connections);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..connections)
+            .map(|w| {
+                let per_worker =
+                    config.requests / connections + usize::from(w < config.requests % connections);
+                let db = &db;
+                let addr = config.addr.as_str();
+                let seed = config.seed + w as u64;
+                let (max_joins, timeout) = (config.max_joins, config.connect_timeout);
+                s.spawn(move || worker(db, addr, per_worker, max_joins, seed, timeout))
+            })
+            .collect();
+        for handle in handles {
+            outcomes.push(handle.join().expect("load worker panicked"));
+        }
+    });
+    let seconds = start.elapsed().as_secs_f64();
+
+    let mut histogram = LatencyHistogram::new();
+    let (mut ok, mut errors, mut cache_hits, mut batch_sum, mut batch_n) = (0, 0, 0, 0, 0);
+    for outcome in outcomes {
+        let o = outcome?;
+        histogram.merge(&o.histogram);
+        ok += o.ok;
+        errors += o.errors;
+        cache_hits += o.cache_hits;
+        batch_sum += o.batch_sum;
+        batch_n += o.batch_n;
+    }
+    Ok(LoadReport {
+        requests: ok,
+        errors,
+        cache_hits,
+        seconds,
+        qps: if seconds > 0.0 { ok as f64 / seconds } else { 0.0 },
+        p50_us: histogram.quantile_ns(0.50) as f64 / 1_000.0,
+        p95_us: histogram.quantile_ns(0.95) as f64 / 1_000.0,
+        p99_us: histogram.quantile_ns(0.99) as f64 / 1_000.0,
+        max_us: histogram.max_ns() as f64 / 1_000.0,
+        mean_micro_batch: if batch_n > 0 { batch_sum as f64 / batch_n as f64 } else { 0.0 },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_recorded_values() {
+        let mut h = LatencyHistogram::new();
+        for us in [10u64, 20, 40, 80, 5000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 5);
+        // p50 upper bound must cover the median (40µs) but stay well
+        // below the outlier.
+        let p50 = h.quantile_ns(0.5);
+        assert!(p50 >= 40_000, "p50 bound {p50} below median");
+        assert!(p50 < 1_000_000, "p50 bound {p50} absorbed the outlier");
+        // p100 covers the maximum.
+        assert!(h.quantile_ns(1.0) >= 5_000_000 || h.max_ns() >= 5_000_000);
+        assert_eq!(h.quantile_ns(0.0).max(1), h.quantile_ns(0.0)); // no panic on edges
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for _ in 0..10 {
+            a.record(Duration::from_micros(100));
+            b.record(Duration::from_micros(200));
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 20);
+        assert!(a.max_ns() >= 200_000);
+    }
+
+    #[test]
+    fn empty_histogram_is_silent() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_ns(0.99), 0);
+        assert_eq!(h.max_ns(), 0);
+    }
+
+    #[test]
+    fn report_display_includes_machine_trailer() {
+        let report = LoadReport {
+            requests: 100,
+            errors: 0,
+            cache_hits: 25,
+            seconds: 0.5,
+            qps: 200.0,
+            p50_us: 100.0,
+            p95_us: 400.0,
+            p99_us: 800.0,
+            max_us: 1000.0,
+            mean_micro_batch: 3.5,
+        };
+        let text = report.to_string();
+        assert!(text.contains("RESULT qps=200.0 requests=100 errors=0 cache_hits=25"));
+        assert!(text.contains("p95"));
+    }
+
+    #[test]
+    fn connect_with_retry_times_out_cleanly() {
+        // Port 1 on localhost is essentially never listening.
+        let err = connect_with_retry("127.0.0.1:1", Duration::from_millis(120));
+        assert!(err.is_err());
+    }
+}

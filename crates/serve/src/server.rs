@@ -1,0 +1,232 @@
+//! The threaded TCP front of the estimation service.
+//!
+//! One accept loop, one thread per connection, one in-flight request per
+//! connection (clients that want concurrency open several connections —
+//! that is what the load generator does). Micro-batching happens *behind*
+//! the connection threads, in the service's batcher, so concurrent
+//! connections coalesce into shared forward passes without any
+//! cross-connection coordination here.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::service::EstimationService;
+use crate::wire::{read_frame, write_frame, Frame};
+
+/// Cap on outgoing error-frame messages, so an Error reply echoing
+/// client-supplied content can never exceed [`crate::wire::MAX_FRAME_LEN`]
+/// and become undecodable by a conforming client.
+const MAX_ERROR_MESSAGE: usize = 512;
+
+fn error_frame(id: u64, mut message: String) -> Frame {
+    if message.len() > MAX_ERROR_MESSAGE {
+        let mut cut = MAX_ERROR_MESSAGE;
+        while !message.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        message.truncate(cut);
+        message.push('…');
+    }
+    Frame::Error { id, message }
+}
+
+/// A running server: its bound address plus shutdown control.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Block the calling thread until the accept loop exits (i.e. until
+    /// [`ServerHandle::shutdown`] is called from elsewhere or the process
+    /// dies). This is what the `serve` binary parks on.
+    pub fn wait(mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            handle.join().expect("accept loop panicked");
+        }
+    }
+
+    /// Stop accepting connections and join the accept loop. Existing
+    /// connections are quiesced cooperatively: each connection thread
+    /// notices the stop flag after answering its current request (or
+    /// when its client disconnects) and closes. Threads blocked waiting
+    /// for a client's *next* request linger until that client sends one
+    /// or hangs up — no in-flight work is ever aborted. The service
+    /// itself (and its batcher) stays usable until dropped.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop only re-checks `stop` when accept() returns, so
+        // poke it with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            handle.join().expect("accept loop panicked");
+        }
+    }
+}
+
+/// Bind `addr` and serve `service` until the handle is shut down.
+///
+/// Connection threads are detached; each exits when its peer disconnects
+/// or sends a malformed frame.
+pub fn serve(
+    service: Arc<EstimationService>,
+    addr: impl ToSocketAddrs,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_stop = Arc::clone(&stop);
+    let accept_thread = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if accept_stop.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(stream) => {
+                    let service = Arc::clone(&service);
+                    let stop = Arc::clone(&accept_stop);
+                    std::thread::spawn(move || {
+                        // A torn connection is the client's problem, not
+                        // the server's; log-and-forget would go here.
+                        let _ = handle_connection(&service, stream, &stop);
+                    });
+                }
+                Err(_) => continue,
+            }
+        }
+    });
+    Ok(ServerHandle { addr: local, stop, accept_thread: Some(accept_thread) })
+}
+
+fn handle_connection(
+    service: &EstimationService,
+    stream: TcpStream,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    // Responses are single small frames; Nagle would add artificial
+    // latency to every estimate.
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return Ok(()), // clean disconnect
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Malformed frame: report and drop the connection (the
+                // stream position is unrecoverable).
+                write_frame(&mut writer, &error_frame(0, e.to_string()))?;
+                writer.flush()?;
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        let response = match frame {
+            Frame::EstimateRequest { id, query } => match service.estimate(&query) {
+                Ok(est) => Frame::EstimateResponse {
+                    id,
+                    estimate: est.cardinality,
+                    model_version: est.model_version,
+                    micro_batch: est.micro_batch,
+                    cache_hit: est.cache_hit,
+                },
+                Err(e) => error_frame(id, e.to_string()),
+            },
+            Frame::Ping { id } => Frame::Pong { id },
+            other => error_frame(0, format!("unexpected client frame: {other:?}")),
+        };
+        write_frame(&mut writer, &response)?;
+        writer.flush()?;
+        if stop.load(Ordering::SeqCst) {
+            // Server is quiescing: answer the request in flight, then
+            // close instead of waiting for the client's next frame.
+            return Ok(());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ModelRegistry;
+    use crate::service::ServiceConfig;
+    use lc_core::{train, TrainConfig};
+    use lc_engine::SampleSet;
+    use lc_imdb::{generate, ImdbConfig};
+    use lc_query::workloads;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn tiny_service() -> (Arc<EstimationService>, Vec<lc_query::LabeledQuery>) {
+        let db = generate(&ImdbConfig::tiny());
+        let mut rng = SmallRng::seed_from_u64(13);
+        let samples = SampleSet::draw(&db, 24, &mut rng);
+        let data = workloads::synthetic(&db, &samples, 120, 2, 91).queries;
+        let cfg = TrainConfig { epochs: 2, hidden: 16, ..TrainConfig::default() };
+        let est = train(&db, 24, &data, cfg).estimator;
+        let registry = Arc::new(ModelRegistry::new(est));
+        (Arc::new(EstimationService::new(db, samples, registry, ServiceConfig::default())), data)
+    }
+
+    #[test]
+    fn serves_requests_pings_and_rejects_garbage() {
+        let (service, data) = tiny_service();
+        let handle = serve(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+        let addr = handle.local_addr();
+
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+
+        // Ping / pong.
+        write_frame(&mut writer, &Frame::Ping { id: 5 }).unwrap();
+        writer.flush().unwrap();
+        assert_eq!(read_frame(&mut reader).unwrap(), Some(Frame::Pong { id: 5 }));
+
+        // A real estimate round-trip, twice (second hits the cache).
+        for expect_hit in [false, true] {
+            write_frame(
+                &mut writer,
+                &Frame::EstimateRequest { id: 77, query: data[0].query.clone() },
+            )
+            .unwrap();
+            writer.flush().unwrap();
+            match read_frame(&mut reader).unwrap() {
+                Some(Frame::EstimateResponse { id, estimate, cache_hit, .. }) => {
+                    assert_eq!(id, 77);
+                    assert!(estimate >= 1.0);
+                    assert_eq!(cache_hit, expect_hit);
+                }
+                other => panic!("unexpected reply: {other:?}"),
+            }
+        }
+
+        // Garbage: declared length 16, bodies of zeros → decode error,
+        // server answers with an Error frame and closes the connection.
+        let garbage = TcpStream::connect(addr).expect("connect");
+        let mut greader = BufReader::new(garbage.try_clone().unwrap());
+        let mut gwriter = BufWriter::new(garbage);
+        gwriter.write_all(&16u32.to_le_bytes()).unwrap();
+        gwriter.write_all(&[0u8; 16]).unwrap();
+        gwriter.flush().unwrap();
+        match read_frame(&mut greader).unwrap() {
+            Some(Frame::Error { id: 0, message }) => {
+                assert!(message.contains("wire protocol error"), "got: {message}");
+            }
+            other => panic!("expected Error frame, got {other:?}"),
+        }
+        assert_eq!(read_frame(&mut greader).unwrap(), None, "server closed after error");
+
+        handle.shutdown();
+        service.shutdown();
+    }
+}

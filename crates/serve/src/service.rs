@@ -1,0 +1,367 @@
+//! The estimation service: registry → cache → batcher glued behind one
+//! call.
+//!
+//! [`EstimationService::estimate`] is the whole request path of the
+//! server, in process form: compute the canonical cache key, probe the
+//! sharded LRU, annotate the query against the materialized samples on a
+//! miss (§3.4 runtime featurization — no query execution), enqueue into
+//! the micro-batcher, and cache the result under the producing model's
+//! version. [`EstimationService::submit`] exposes the non-blocking half
+//! so callers holding many queries can enqueue them all before waiting —
+//! that is what makes the coalesced path reachable from a single thread.
+
+use std::sync::mpsc::Receiver;
+use std::sync::Arc;
+
+use lc_engine::{Database, SampleSet};
+use lc_query::{annotate_query, Query};
+
+use crate::batcher::{BatchStats, BatchedEstimate, BatcherConfig, MicroBatcher};
+use crate::cache::{CacheConfig, CacheStats, EstimateCache};
+use crate::registry::ModelRegistry;
+
+/// Configuration of an [`EstimationService`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceConfig {
+    /// Estimate-cache sizing (capacity 0 disables caching).
+    pub cache: CacheConfig,
+    /// Micro-batcher flush policy and worker count.
+    pub batcher: BatcherConfig,
+}
+
+/// Error returned by [`EstimationService::estimate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The service shut down before the request was answered.
+    Shutdown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Shutdown => write!(f, "estimation service shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One served estimate plus its serving metadata.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Estimate {
+    /// Estimated cardinality in rows (≥ 1).
+    pub cardinality: f64,
+    /// Version of the model snapshot that produced (or originally
+    /// produced, for cache hits) the estimate.
+    pub model_version: u32,
+    /// True if the answer came from the cache without inference.
+    pub cache_hit: bool,
+    /// Requests coalesced into the same forward pass (0 for cache hits).
+    pub micro_batch: u32,
+}
+
+/// A long-lived, thread-safe estimation service. Share it across
+/// connection threads behind an `Arc`.
+pub struct EstimationService {
+    db: Database,
+    samples: SampleSet,
+    registry: Arc<ModelRegistry>,
+    cache: EstimateCache,
+    batcher: MicroBatcher,
+}
+
+/// An estimate in flight: either answered from the cache at submit time
+/// or waiting on the micro-batcher. Produced by
+/// [`EstimationService::submit`]; redeem it with
+/// [`PendingEstimate::wait`].
+pub struct PendingEstimate<'a> {
+    service: &'a EstimationService,
+    state: PendingState,
+}
+
+enum PendingState {
+    Ready(Estimate),
+    Waiting {
+        /// Canonical query bytes — the version suffix is appended when
+        /// the batch result (and thus the producing version) is known.
+        query_key: Vec<u8>,
+        rx: Receiver<BatchedEstimate>,
+    },
+}
+
+impl PendingEstimate<'_> {
+    /// True if the answer is already available (cache hit).
+    pub fn is_ready(&self) -> bool {
+        matches!(self.state, PendingState::Ready(_))
+    }
+
+    /// Block until the estimate is available, inserting batch-produced
+    /// results into the cache.
+    pub fn wait(self) -> Result<Estimate, ServeError> {
+        match self.state {
+            PendingState::Ready(estimate) => Ok(estimate),
+            PendingState::Waiting { mut query_key, rx } => {
+                let batched = rx.recv().map_err(|_| ServeError::Shutdown)?;
+                if self.service.cache.enabled() {
+                    query_key.extend_from_slice(&batched.model_version.to_le_bytes());
+                    self.service.cache.insert(query_key, batched.cardinality);
+                }
+                Ok(Estimate {
+                    cardinality: batched.cardinality,
+                    model_version: batched.model_version,
+                    cache_hit: false,
+                    micro_batch: batched.micro_batch,
+                })
+            }
+        }
+    }
+}
+
+impl EstimationService {
+    /// Build a service over a database snapshot and its materialized
+    /// samples. `samples` must be the sample set whose size the
+    /// registry's models were trained with (their featurizers bake the
+    /// bitmap width in).
+    pub fn new(
+        db: Database,
+        samples: SampleSet,
+        registry: Arc<ModelRegistry>,
+        config: ServiceConfig,
+    ) -> Self {
+        EstimationService {
+            db,
+            samples,
+            cache: EstimateCache::new(config.cache),
+            batcher: MicroBatcher::new(Arc::clone(&registry), config.batcher),
+            registry,
+        }
+    }
+
+    /// Non-blocking request entry: probe the cache, and on a miss
+    /// annotate + enqueue into the micro-batcher. Submitting many
+    /// queries before waiting on any lets one thread fill a whole
+    /// micro-batch.
+    pub fn submit(&self, query: &Query) -> PendingEstimate<'_> {
+        // When the cache is disabled, skip key construction entirely —
+        // the hot path then carries zero cache overhead.
+        let mut query_key = Vec::new();
+        if self.cache.enabled() {
+            // Probe with the version suffix appended in place, then
+            // strip it again for the Waiting state (wait() re-appends
+            // the *producing* version) — one allocation, no clone.
+            query_key = query.to_canonical_bytes();
+            let version = self.registry.active_version();
+            query_key.extend_from_slice(&version.to_le_bytes());
+            if let Some(cardinality) = self.cache.get(&query_key) {
+                return PendingEstimate {
+                    service: self,
+                    state: PendingState::Ready(Estimate {
+                        cardinality,
+                        model_version: version,
+                        cache_hit: true,
+                        micro_batch: 0,
+                    }),
+                };
+            }
+            query_key.truncate(query_key.len() - 4);
+        }
+        let annotated = annotate_query(&self.db, &self.samples, query.clone());
+        let rx = self.batcher.submit(annotated);
+        PendingEstimate { service: self, state: PendingState::Waiting { query_key, rx } }
+    }
+
+    /// Estimate one query, blocking until the answer is available.
+    pub fn estimate(&self, query: &Query) -> Result<Estimate, ServeError> {
+        self.submit(query).wait()
+    }
+
+    /// The model registry (hot-swap entry point).
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// Estimate-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Micro-batcher counters.
+    pub fn batch_stats(&self) -> BatchStats {
+        self.batcher.stats()
+    }
+
+    /// Synchronously process at most one queued batch (deterministic
+    /// mode, `workers: 0`); returns its size.
+    pub fn flush_now(&self) -> usize {
+        self.batcher.flush_now()
+    }
+
+    /// Stop the batcher: drain queued requests, join workers, and refuse
+    /// new submissions. Idempotent (also runs on drop).
+    pub fn shutdown(&self) {
+        self.batcher.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lc_core::{train, FeatureMode, MscnEstimator, TrainConfig};
+    use lc_imdb::{generate, ImdbConfig};
+    use lc_query::{workloads, CardinalityEstimator, LabeledQuery};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn fixture() -> (Database, SampleSet, MscnEstimator, MscnEstimator, Vec<LabeledQuery>) {
+        let db = generate(&ImdbConfig::tiny());
+        let mut rng = SmallRng::seed_from_u64(3);
+        let samples = SampleSet::draw(&db, 24, &mut rng);
+        let data = workloads::synthetic(&db, &samples, 140, 2, 71).queries;
+        let cfg = TrainConfig {
+            epochs: 2,
+            hidden: 16,
+            mode: FeatureMode::Bitmaps,
+            ..TrainConfig::default()
+        };
+        let a = train(&db, 24, &data, cfg).estimator;
+        let b = train(&db, 24, &data, TrainConfig { seed: 1234, ..cfg }).estimator;
+        (db, samples, a, b, data)
+    }
+
+    fn service(workers: usize) -> (EstimationService, MscnEstimator, Vec<LabeledQuery>) {
+        let (db, samples, a, _, data) = fixture();
+        let registry = Arc::new(ModelRegistry::new(a.clone()));
+        let config = ServiceConfig {
+            batcher: BatcherConfig { workers, ..BatcherConfig::default() },
+            ..ServiceConfig::default()
+        };
+        (EstimationService::new(db, samples, registry, config), a, data)
+    }
+
+    #[test]
+    fn estimates_match_direct_inference_and_cache_on_repeat() {
+        let (svc, est, data) = service(1);
+        let q = &data[0].query;
+        let direct = est.estimate(&data[0]);
+        let first = svc.estimate(q).unwrap();
+        assert_eq!(first.cardinality, direct, "service must not change the estimate");
+        assert!(!first.cache_hit);
+        assert!(first.micro_batch >= 1);
+        let second = svc.estimate(q).unwrap();
+        assert!(second.cache_hit, "repeat of the same query must hit the cache");
+        assert_eq!(second.cardinality, direct);
+        assert_eq!(second.micro_batch, 0);
+        let stats = svc.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn submit_then_wait_coalesces_a_whole_batch() {
+        let (svc, est, data) = service(0);
+        let expected: Vec<f64> = data[..16].iter().map(|q| est.estimate(q)).collect();
+        let pending: Vec<_> = data[..16].iter().map(|l| svc.submit(&l.query)).collect();
+        assert_eq!(svc.flush_now(), 16);
+        for (p, want) in pending.into_iter().zip(expected) {
+            let got = p.wait().unwrap();
+            assert_eq!(got.cardinality, want);
+            assert_eq!(got.micro_batch, 16);
+        }
+        assert_eq!(svc.batch_stats().batches, 1);
+        // All 16 answers were cached on wait().
+        assert_eq!(svc.cache_stats().entries, 16);
+        for l in &data[..16] {
+            assert!(svc.submit(&l.query).is_ready());
+        }
+    }
+
+    #[test]
+    fn hot_swap_under_concurrent_load_switches_versions_without_errors() {
+        let (db, samples, a, b, data) = fixture();
+        let expect_v1: Vec<f64> = data.iter().map(|q| a.estimate(q)).collect();
+        let expect_v2: Vec<f64> = data.iter().map(|q| b.estimate(q)).collect();
+        let registry = Arc::new(ModelRegistry::new(a));
+        // Cache disabled so every request exercises inference against
+        // whichever snapshot is active at flush time.
+        let config = ServiceConfig {
+            cache: CacheConfig { capacity: 0, ..CacheConfig::default() },
+            ..ServiceConfig::default()
+        };
+        let svc = EstimationService::new(db, samples, Arc::clone(&registry), config);
+        // 3 clients + the swapping main thread. Clients hammer the
+        // service across the swap; the barrier guarantees requests land
+        // both before and after it, so the assertions are deterministic.
+        let swap_point = std::sync::Barrier::new(4);
+        let swapped = std::sync::Barrier::new(4);
+        std::thread::scope(|s| {
+            let mut clients = Vec::new();
+            for t in 0..3usize {
+                let svc = &svc;
+                let data = &data;
+                let (swap_point, swapped) = (&swap_point, &swapped);
+                let (expect_v1, expect_v2) = (&expect_v1, &expect_v2);
+                clients.push(s.spawn(move || {
+                    let mut saw = [false, false];
+                    for round in 0..6 {
+                        if round == 3 {
+                            swap_point.wait(); // main publishes v2 between
+                            swapped.wait(); // these two rendezvous
+                        }
+                        for (i, l) in data.iter().enumerate().skip(t * 7).step_by(3) {
+                            let got = svc.estimate(&l.query).expect("serving during hot-swap");
+                            // Every answer is exactly one version's answer
+                            // — never a blend, whatever the swap timing.
+                            match got.model_version {
+                                1 => assert_eq!(got.cardinality, expect_v1[i]),
+                                2 => assert_eq!(got.cardinality, expect_v2[i]),
+                                v => panic!("unexpected version {v}"),
+                            }
+                            saw[got.model_version as usize - 1] = true;
+                        }
+                    }
+                    saw
+                }));
+            }
+            swap_point.wait();
+            let v2 = registry.publish(b.clone());
+            assert_eq!(v2, 2);
+            swapped.wait();
+            for client in clients {
+                let saw = client.join().expect("client panicked");
+                assert!(saw[0], "client never served by v1 before the swap");
+                assert!(saw[1], "client never served by v2 after the swap");
+            }
+        });
+        svc.shutdown();
+    }
+
+    #[test]
+    fn cache_keys_include_the_model_version() {
+        let (db, samples, a, b, data) = fixture();
+        let q = &data[3].query;
+        let registry = Arc::new(ModelRegistry::new(a.clone()));
+        let svc =
+            EstimationService::new(db, samples, Arc::clone(&registry), ServiceConfig::default());
+        let v1_answer = svc.estimate(q).unwrap();
+        assert!(svc.estimate(q).unwrap().cache_hit);
+        registry.publish(b.clone());
+        // The v1 entry must not answer for v2.
+        let after_swap = svc.estimate(q).unwrap();
+        assert!(!after_swap.cache_hit, "stale cache entry served across a hot-swap");
+        assert_eq!(after_swap.model_version, 2);
+        assert_eq!(after_swap.cardinality, b.estimate(&data[3]));
+        // Rolling back reuses the old entry: it is still keyed under v1.
+        registry.activate(1).unwrap();
+        let rolled_back = svc.estimate(q).unwrap();
+        assert!(rolled_back.cache_hit);
+        assert_eq!(rolled_back.cardinality, v1_answer.cardinality);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn estimate_after_shutdown_reports_shutdown() {
+        let (svc, _, data) = service(1);
+        svc.shutdown();
+        assert_eq!(svc.estimate(&data[0].query), Err(ServeError::Shutdown));
+    }
+}

@@ -1,0 +1,463 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! Every message is one *frame*: a `u32` little-endian body length
+//! followed by the body; the body's first byte is the message kind tag.
+//! The layout discipline follows `lc_core::serialize` — explicit
+//! little-endian fields via the `bytes` accessors, no self-describing
+//! format — so the protocol stays auditable byte by byte:
+//!
+//! ```text
+//! frame     := u32 body_len | body            (body_len ≤ MAX_FRAME_LEN)
+//! body      := u8 kind | payload
+//! request   := kind 1 | u64 id | canonical query encoding
+//! response  := kind 2 | u64 id | f64 estimate | u32 model_version
+//!                     | u32 micro_batch | u8 flags      (bit 0: cache hit)
+//! error     := kind 3 | u64 id | u32 len | utf-8 message
+//! ping      := kind 4 | u64 id
+//! pong      := kind 5 | u64 id
+//! ```
+//!
+//! The request `id` is an opaque client token echoed back in the matching
+//! response, so a client may pipeline requests on one connection.
+//! Decoding is strict: every read is bounds-checked, a body must be
+//! consumed exactly, and malformed input yields [`WireError`] — never a
+//! panic, since these bytes arrive from the network.
+
+use std::io::{self, Read, Write};
+
+use bytes::{Buf, BufMut};
+use lc_query::Query;
+
+/// Upper bound on a frame body, bounding per-connection buffer growth. A
+/// maximal query (hundreds of predicates) encodes to a few KiB; 1 MiB
+/// leaves two orders of magnitude of headroom.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Error produced by frame decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Response metadata flag: the estimate was answered from the cache.
+const FLAG_CACHE_HIT: u8 = 1;
+
+/// One protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client → server: estimate the cardinality of `query`.
+    EstimateRequest {
+        /// Client-chosen token echoed back in the response.
+        id: u64,
+        /// The query to estimate.
+        query: Query,
+    },
+    /// Server → client: the estimate plus serving metadata.
+    EstimateResponse {
+        /// Token of the request this answers.
+        id: u64,
+        /// Estimated cardinality in rows (≥ 1).
+        estimate: f64,
+        /// Version of the model snapshot that produced the estimate (0
+        /// for cache hits recorded under an older key layout — in
+        /// practice always the producing version).
+        model_version: u32,
+        /// Size of the coalesced micro-batch this request rode in (0 for
+        /// cache hits, which skip inference).
+        micro_batch: u32,
+        /// True if the estimate came from the cache.
+        cache_hit: bool,
+    },
+    /// Server → client: the request could not be served.
+    Error {
+        /// Token of the offending request, 0 if it could not be decoded.
+        id: u64,
+        /// Human-readable reason.
+        message: String,
+    },
+    /// Liveness probe.
+    Ping {
+        /// Echo token.
+        id: u64,
+    },
+    /// Liveness reply.
+    Pong {
+        /// Echo token.
+        id: u64,
+    },
+}
+
+fn need(buf: &[u8], n: usize, what: &str) -> Result<(), WireError> {
+    if buf.remaining() < n {
+        return Err(WireError(format!(
+            "truncated {what}: need {n} bytes, have {}",
+            buf.remaining()
+        )));
+    }
+    Ok(())
+}
+
+impl Frame {
+    /// Append the full frame (length prefix + body) to `buf`.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        let start = buf.len();
+        buf.put_u32_le(0); // patched below
+        match self {
+            Frame::EstimateRequest { id, query } => {
+                buf.put_u8(1);
+                buf.put_u64_le(*id);
+                query.encode(buf);
+            }
+            Frame::EstimateResponse { id, estimate, model_version, micro_batch, cache_hit } => {
+                buf.put_u8(2);
+                buf.put_u64_le(*id);
+                buf.put_f64_le(*estimate);
+                buf.put_u32_le(*model_version);
+                buf.put_u32_le(*micro_batch);
+                buf.put_u8(if *cache_hit { FLAG_CACHE_HIT } else { 0 });
+            }
+            Frame::Error { id, message } => {
+                buf.put_u8(3);
+                buf.put_u64_le(*id);
+                let bytes = message.as_bytes();
+                buf.put_u32_le(bytes.len() as u32);
+                buf.put_slice(bytes);
+            }
+            Frame::Ping { id } => {
+                buf.put_u8(4);
+                buf.put_u64_le(*id);
+            }
+            Frame::Pong { id } => {
+                buf.put_u8(5);
+                buf.put_u64_le(*id);
+            }
+        }
+        let body_len = (buf.len() - start - 4) as u32;
+        buf[start..start + 4].copy_from_slice(&body_len.to_le_bytes());
+    }
+
+    /// The encoded frame as an owned buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64);
+        self.encode(&mut buf);
+        buf
+    }
+
+    /// Decode one frame *body* (everything after the length prefix).
+    /// Strict: the body must be consumed exactly; trailing bytes are a
+    /// protocol violation.
+    pub fn decode_body(body: &[u8]) -> Result<Frame, WireError> {
+        let mut buf = body;
+        need(buf, 1, "kind tag")?;
+        let kind = buf.get_u8();
+        need(buf, 8, "message id")?;
+        let id = buf.get_u64_le();
+        let frame = match kind {
+            1 => {
+                let query =
+                    Query::decode(&mut buf).map_err(|e| WireError(format!("request: {}", e.0)))?;
+                Frame::EstimateRequest { id, query }
+            }
+            2 => {
+                need(buf, 8 + 4 + 4 + 1, "response payload")?;
+                let estimate = buf.get_f64_le();
+                let model_version = buf.get_u32_le();
+                let micro_batch = buf.get_u32_le();
+                let flags = buf.get_u8();
+                if flags & !FLAG_CACHE_HIT != 0 {
+                    return Err(WireError(format!("unknown response flags {flags:#04x}")));
+                }
+                Frame::EstimateResponse {
+                    id,
+                    estimate,
+                    model_version,
+                    micro_batch,
+                    cache_hit: flags & FLAG_CACHE_HIT != 0,
+                }
+            }
+            3 => {
+                need(buf, 4, "error length")?;
+                let len = buf.get_u32_le() as usize;
+                need(buf, len, "error message")?;
+                let message = String::from_utf8(buf.take_bytes(len).to_vec())
+                    .map_err(|_| WireError("error message is not UTF-8".into()))?;
+                Frame::Error { id, message }
+            }
+            4 => Frame::Ping { id },
+            5 => Frame::Pong { id },
+            t => return Err(WireError(format!("unknown frame kind {t}"))),
+        };
+        if !buf.is_empty() {
+            return Err(WireError(format!("{} trailing bytes after frame body", buf.len())));
+        }
+        Ok(frame)
+    }
+
+    /// Try to decode one full frame from the front of `buf`.
+    ///
+    /// Returns `Ok(None)` when `buf` holds only an incomplete frame (read
+    /// more bytes and retry), `Ok(Some((frame, consumed)))` on success,
+    /// and `Err` on a malformed frame.
+    pub fn decode_prefix(buf: &[u8]) -> Result<Option<(Frame, usize)>, WireError> {
+        if buf.len() < 4 {
+            return Ok(None);
+        }
+        let body_len = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes")) as usize;
+        if body_len > MAX_FRAME_LEN {
+            return Err(WireError(format!("frame body of {body_len} bytes exceeds MAX_FRAME_LEN")));
+        }
+        if buf.len() < 4 + body_len {
+            return Ok(None);
+        }
+        let frame = Frame::decode_body(&buf[4..4 + body_len])?;
+        Ok(Some((frame, 4 + body_len)))
+    }
+}
+
+/// Read one frame from a blocking stream. Returns `Ok(None)` only on a
+/// *clean* EOF — the peer closed exactly on a frame boundary. An EOF
+/// inside the length prefix or the body is a torn frame and surfaces as
+/// [`io::ErrorKind::InvalidData`], like every other wire error.
+pub fn read_frame(reader: &mut impl Read) -> io::Result<Option<Frame>> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < len_bytes.len() {
+        match reader.read(&mut len_bytes[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    WireError(format!("connection closed mid length prefix ({filled}/4 bytes)")),
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let body_len = u32::from_le_bytes(len_bytes) as usize;
+    if body_len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            WireError(format!("frame body of {body_len} bytes exceeds MAX_FRAME_LEN")),
+        ));
+    }
+    let mut body = vec![0u8; body_len];
+    reader.read_exact(&mut body).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                WireError(format!("connection closed mid frame body ({body_len} bytes expected)")),
+            )
+        } else {
+            e
+        }
+    })?;
+    let frame =
+        Frame::decode_body(&body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    Ok(Some(frame))
+}
+
+/// Write one frame to a blocking stream (the caller flushes).
+pub fn write_frame(writer: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    writer.write_all(&frame.to_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lc_engine::{CmpOp, JoinId, Predicate, TableId};
+    use proptest::prelude::*;
+
+    fn sample_query() -> Query {
+        Query::new(
+            vec![TableId(0), TableId(2)],
+            vec![JoinId(1)],
+            vec![
+                Predicate { table: TableId(0), column: 2, op: CmpOp::Gt, value: 1995 },
+                Predicate { table: TableId(2), column: 1, op: CmpOp::Eq, value: -3 },
+            ],
+        )
+    }
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::EstimateRequest { id: 7, query: sample_query() },
+            Frame::EstimateRequest { id: u64::MAX, query: Query::new(vec![], vec![], vec![]) },
+            Frame::EstimateResponse {
+                id: 9,
+                estimate: 12345.75,
+                model_version: 3,
+                micro_batch: 64,
+                cache_hit: true,
+            },
+            Frame::Error { id: 0, message: "no such model".into() },
+            Frame::Error { id: 1, message: String::new() },
+            Frame::Ping { id: 42 },
+            Frame::Pong { id: 42 },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_kind() {
+        for frame in sample_frames() {
+            let bytes = frame.to_bytes();
+            let (back, consumed) = Frame::decode_prefix(&bytes).expect("decode").expect("complete");
+            assert_eq!(back, frame);
+            assert_eq!(consumed, bytes.len());
+        }
+    }
+
+    #[test]
+    fn decode_prefix_handles_partial_and_concatenated_frames() {
+        let a = Frame::Ping { id: 1 }.to_bytes();
+        let b = Frame::EstimateRequest { id: 2, query: sample_query() }.to_bytes();
+        let mut stream = a.clone();
+        stream.extend_from_slice(&b);
+        // Concatenated: first decode consumes exactly `a`, second exactly `b`.
+        let (f1, c1) = Frame::decode_prefix(&stream).unwrap().unwrap();
+        assert_eq!(f1, Frame::Ping { id: 1 });
+        assert_eq!(c1, a.len());
+        let (f2, c2) = Frame::decode_prefix(&stream[c1..]).unwrap().unwrap();
+        assert_eq!(c2, b.len());
+        assert!(matches!(f2, Frame::EstimateRequest { id: 2, .. }));
+        // Partial: any prefix of one frame is incomplete, not an error.
+        for cut in 0..b.len() {
+            assert_eq!(Frame::decode_prefix(&b[..cut]).unwrap(), None, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn every_truncation_of_every_body_errors() {
+        for frame in sample_frames() {
+            let bytes = frame.to_bytes();
+            let body = &bytes[4..];
+            for cut in 0..body.len() {
+                assert!(
+                    Frame::decode_body(&body[..cut]).is_err(),
+                    "{frame:?}: body truncated at {cut}/{} decoded successfully",
+                    body.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_and_bad_tags_error() {
+        let mut body = Frame::Ping { id: 3 }.to_bytes()[4..].to_vec();
+        body.push(0xAB);
+        assert!(Frame::decode_body(&body).unwrap_err().0.contains("trailing"));
+
+        let mut bad_kind = Frame::Ping { id: 3 }.to_bytes()[4..].to_vec();
+        bad_kind[0] = 99;
+        assert!(Frame::decode_body(&bad_kind).unwrap_err().0.contains("unknown frame kind"));
+
+        let resp = Frame::EstimateResponse {
+            id: 1,
+            estimate: 2.0,
+            model_version: 1,
+            micro_batch: 1,
+            cache_hit: false,
+        };
+        let mut bad_flags = resp.to_bytes()[4..].to_vec();
+        let last = bad_flags.len() - 1;
+        bad_flags[last] = 0xF0;
+        assert!(Frame::decode_body(&bad_flags).unwrap_err().0.contains("flags"));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut bytes = Vec::new();
+        bytes.put_u32_le((MAX_FRAME_LEN + 1) as u32);
+        bytes.put_u8(4);
+        assert!(Frame::decode_prefix(&bytes).is_err());
+        let mut reader: &[u8] = &bytes;
+        assert!(read_frame(&mut reader).is_err());
+    }
+
+    #[test]
+    fn torn_streams_error_but_clean_eof_does_not() {
+        // Empty stream: clean EOF.
+        let mut reader: &[u8] = &[];
+        assert_eq!(read_frame(&mut reader).unwrap(), None);
+        // EOF inside the length prefix: torn frame, not a disconnect.
+        let frame_bytes = Frame::Ping { id: 1 }.to_bytes();
+        for cut in 1..4 {
+            let mut torn: &[u8] = &frame_bytes[..cut];
+            let err = read_frame(&mut torn).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "cut at {cut}");
+        }
+        // EOF inside the body: also a torn frame.
+        for cut in 4..frame_bytes.len() {
+            let mut torn: &[u8] = &frame_bytes[..cut];
+            let err = read_frame(&mut torn).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn stream_read_write_roundtrip() {
+        let mut stream = Vec::new();
+        for frame in sample_frames() {
+            write_frame(&mut stream, &frame).unwrap();
+        }
+        let mut reader: &[u8] = &stream;
+        for frame in sample_frames() {
+            assert_eq!(read_frame(&mut reader).unwrap(), Some(frame));
+        }
+        assert_eq!(read_frame(&mut reader).unwrap(), None, "clean EOF");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+        /// Arbitrary request/response frames survive an encode → decode
+        /// round trip byte-exactly.
+        #[test]
+        fn request_response_roundtrip(
+            id in 0u64..u64::MAX,
+            tables in proptest::collection::btree_set(0u16..8, 0..4),
+            joins in proptest::collection::btree_set(0u16..6, 0..3),
+            preds in proptest::collection::vec((0u16..8, 0usize..4, 0usize..3, -500i64..500), 0..5),
+            estimate in 0u64..1 << 52,
+            version in 0u32..1000,
+            batch in 0u32..65,
+            hit in 0usize..2,
+        ) {
+            let query = Query::new(
+                tables.into_iter().map(TableId).collect(),
+                joins.into_iter().map(JoinId).collect(),
+                preds
+                    .into_iter()
+                    .map(|(t, c, op, v)| Predicate {
+                        table: TableId(t),
+                        column: c,
+                        op: CmpOp::ALL[op],
+                        value: v,
+                    })
+                    .collect(),
+            );
+            let req = Frame::EstimateRequest { id, query };
+            let resp = Frame::EstimateResponse {
+                id,
+                estimate: estimate as f64,
+                model_version: version,
+                micro_batch: batch,
+                cache_hit: hit == 1,
+            };
+            for frame in [req, resp] {
+                let bytes = frame.to_bytes();
+                let (back, consumed) =
+                    Frame::decode_prefix(&bytes).expect("decode").expect("complete");
+                prop_assert_eq!(consumed, bytes.len());
+                prop_assert_eq!(back, frame);
+            }
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! End-to-end: real TCP server + the load generator + a hot-swap while
+//! traffic is in flight.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use lc_core::{train, FeatureMode, TrainConfig};
+use lc_engine::SampleSet;
+use lc_imdb::ImdbConfig;
+use lc_query::workloads;
+use lc_serve::{serve, EstimationService, LoadgenConfig, ModelRegistry, ServiceConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Must match the sample size the load-generated queries are annotated
+/// with server-side (the server owns the samples; 64 mirrors the bins).
+const SAMPLE_SIZE: usize = 64;
+
+fn boot() -> (Arc<EstimationService>, Arc<ModelRegistry>, lc_core::MscnEstimator) {
+    let db = lc_imdb::generate(&ImdbConfig::tiny());
+    let mut rng = SmallRng::seed_from_u64(17);
+    let samples = SampleSet::draw(&db, SAMPLE_SIZE, &mut rng);
+    let data = workloads::synthetic(&db, &samples, 150, 2, 19).queries;
+    let cfg =
+        TrainConfig { epochs: 2, hidden: 16, mode: FeatureMode::Bitmaps, ..TrainConfig::default() };
+    let v1 = train(&db, SAMPLE_SIZE, &data, cfg).estimator;
+    let v2 = train(&db, SAMPLE_SIZE, &data, TrainConfig { seed: 4242, ..cfg }).estimator;
+    let registry = Arc::new(ModelRegistry::new(v1));
+    let service = Arc::new(EstimationService::new(
+        db,
+        samples,
+        Arc::clone(&registry),
+        ServiceConfig::default(),
+    ));
+    (service, registry, v2)
+}
+
+#[test]
+fn loadgen_against_live_server_reports_throughput_across_a_hot_swap() {
+    let (service, registry, v2) = boot();
+    let handle = serve(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let addr = handle.local_addr().to_string();
+
+    let config = LoadgenConfig {
+        addr,
+        connections: 4,
+        requests: 300,
+        max_joins: 2,
+        seed: 7,
+        connect_timeout: Duration::from_secs(5),
+    };
+    let report = std::thread::scope(|s| {
+        let loadgen = s.spawn(|| lc_serve::loadgen::run(&config).expect("loadgen run"));
+        // Hot-swap the model while the load generator is mid-run. If the
+        // run finishes first the swap still must not disturb anything.
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(registry.publish(v2), 2);
+        loadgen.join().expect("loadgen thread panicked")
+    });
+
+    assert_eq!(report.requests, 300, "every request must be answered");
+    assert_eq!(report.errors, 0, "no request may fail, hot-swap included");
+    assert!(report.qps > 0.0, "QPS report must be non-zero");
+    assert!(report.seconds > 0.0);
+    assert!(report.p50_us > 0.0 && report.p99_us >= report.p50_us);
+
+    // The server actually exercised the serving stack.
+    let batch = service.batch_stats();
+    assert!(batch.batches >= 1);
+    let cache = service.cache_stats();
+    assert_eq!(cache.hits + cache.misses, 300, "every request probed the cache");
+
+    handle.shutdown();
+    service.shutdown();
+}
+
+#[test]
+fn loadgen_reports_connection_failure_when_no_server_listens() {
+    let config = LoadgenConfig {
+        addr: "127.0.0.1:1".into(),
+        connections: 1,
+        requests: 1,
+        connect_timeout: Duration::from_millis(100),
+        ..LoadgenConfig::default()
+    };
+    assert!(lc_serve::loadgen::run(&config).is_err());
+}

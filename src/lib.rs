@@ -36,7 +36,11 @@
 //!
 //! See the crate-level docs of the member crates for the full design:
 //! [`lc_engine`], [`lc_imdb`], [`lc_query`], [`lc_baselines`], [`lc_nn`],
-//! [`lc_core`], [`lc_eval`].
+//! [`lc_core`], [`lc_serve`], [`lc_eval`].
+//!
+//! To *serve* a trained model to concurrent clients — micro-batched
+//! inference, versioned hot-swappable model registry, sharded estimate
+//! cache, TCP wire protocol — see [`lc_serve`].
 
 pub use lc_baselines;
 pub use lc_core;
@@ -45,6 +49,7 @@ pub use lc_eval;
 pub use lc_imdb;
 pub use lc_nn;
 pub use lc_query;
+pub use lc_serve;
 
 /// One-stop imports for the common workflow (see the crate example).
 pub mod prelude {
@@ -57,7 +62,10 @@ pub mod prelude {
     };
     pub use lc_imdb::ImdbConfig;
     pub use lc_nn::LossKind;
-    pub use lc_query::{workloads, CardinalityEstimator, LabeledQuery, Query};
+    pub use lc_query::{annotate_query, workloads, CardinalityEstimator, LabeledQuery, Query};
+    pub use lc_serve::{
+        BatcherConfig, CacheConfig, Estimate, EstimationService, ModelRegistry, ServiceConfig,
+    };
     pub use rand::rngs::SmallRng;
     pub use rand::SeedableRng;
 }

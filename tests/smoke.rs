@@ -18,6 +18,27 @@ fn prelude_reexports_resolve() {
     assert!(imdb.num_titles > 0);
     let _loss = LossKind::MeanQError; // lc_nn
     let _rng = SmallRng::seed_from_u64(0); // rand re-exports
+    let serve_cfg = ServiceConfig::default(); // lc_serve
+    assert!(serve_cfg.batcher.max_batch >= 1);
+    assert!(CacheConfig::default().capacity > 0);
+}
+
+#[test]
+fn prelude_serving_pipeline_estimates_and_caches() {
+    // The serving layer through the facade: train → registry → service.
+    let db = lc_imdb::generate(&ImdbConfig::tiny());
+    let mut rng = SmallRng::seed_from_u64(3);
+    let samples = SampleSet::draw(&db, 24, &mut rng);
+    let data = workloads::synthetic(&db, &samples, 120, 2, 13).queries;
+    let cfg = TrainConfig { epochs: 2, hidden: 16, ..TrainConfig::default() };
+    let trained = train(&db, 24, &data, cfg);
+    let registry = std::sync::Arc::new(ModelRegistry::new(trained.estimator));
+    let service = EstimationService::new(db, samples, registry, ServiceConfig::default());
+    let first: Estimate = service.estimate(&data[0].query).expect("serve");
+    assert!(first.cardinality >= 1.0 && !first.cache_hit);
+    let second = service.estimate(&data[0].query).expect("serve");
+    assert!(second.cache_hit && second.cardinality == first.cardinality);
+    service.shutdown();
 }
 
 #[test]

@@ -23,6 +23,11 @@ pub trait Buf {
         self.take_bytes(1)[0]
     }
 
+    /// Read a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        u16::from_le_bytes(self.take_bytes(2).try_into().expect("2 bytes"))
+    }
+
     /// Read a little-endian `u32`.
     fn get_u32_le(&mut self) -> u32 {
         u32::from_le_bytes(self.take_bytes(4).try_into().expect("4 bytes"))
@@ -72,6 +77,11 @@ pub trait BufMut {
         self.put_slice(&[v]);
     }
 
+    /// Write a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
     /// Write a little-endian `u32`.
     fn put_u32_le(&mut self, v: u32) {
         self.put_slice(&v.to_le_bytes());
@@ -112,6 +122,7 @@ mod tests {
     fn roundtrip_all_accessors() {
         let mut buf = Vec::new();
         buf.put_u8(7);
+        buf.put_u16_le(0xBEAD);
         buf.put_u32_le(0xDEAD_BEEF);
         buf.put_u64_le(u64::MAX - 1);
         buf.put_i64_le(-42);
@@ -120,6 +131,7 @@ mod tests {
         let mut r: &[u8] = &buf;
         assert_eq!(r.remaining(), buf.len());
         assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16_le(), 0xBEAD);
         assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
         assert_eq!(r.get_u64_le(), u64::MAX - 1);
         assert_eq!(r.get_i64_le(), -42);
