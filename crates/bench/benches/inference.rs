@@ -36,12 +36,19 @@ fn bench_inference(c: &mut Criterion) {
     group.finish();
 }
 
+/// `LC_BENCH_QUICK=1` shrinks the run to a smoke test (CI).
+fn config() -> Criterion {
+    let quick = std::env::var("LC_BENCH_QUICK").is_ok_and(|v| v != "0");
+    let (meas, warm, samples) = if quick { (400, 100, 10) } else { (4000, 500, 20) };
+    Criterion::default()
+        .sample_size(samples)
+        .measurement_time(std::time::Duration::from_millis(meas))
+        .warm_up_time(std::time::Duration::from_millis(warm))
+}
+
 criterion_group! {
     name = benches;
-    config = Criterion::default()
-        .sample_size(20)
-        .measurement_time(std::time::Duration::from_secs(4))
-        .warm_up_time(std::time::Duration::from_millis(500));
+    config = config();
     targets = bench_inference
 }
 criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! Compute-kernel micro-benchmarks: the blocked/tiled `lc_nn` product
+//! kernels vs a textbook naive ijk reference, at MSCN-realistic shapes.
+//!
+//! Shapes mirror the hot paths: `input` is the set-module first layer
+//! (one-hot + bitmap features, mostly zeros), `hidden` the dense second
+//! layer, `concat` the output network's first layer, and the `trans*`
+//! kernels the two backward products. Set `LC_BENCH_QUICK=1` for a
+//! sub-second smoke run (used by CI to catch kernel regressions loudly);
+//! every variant is also checked against the naive reference before
+//! timing, so a correctness regression aborts the bench run.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lc_nn::Matrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic matrix with the given fraction of zero entries.
+fn random_matrix(rows: usize, cols: usize, zero_frac: f64, rng: &mut SmallRng) -> Matrix {
+    let data = (0..rows * cols)
+        .map(|_| if rng.gen_bool(zero_frac) { 0.0 } else { rng.gen_range(-1.0f32..1.0) })
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Textbook ijk reference (also the correctness oracle).
+fn naive_matmul(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    out.resize(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut acc = 0.0f32;
+            for k in 0..a.cols() {
+                acc += a.get(i, k) * b.get(k, j);
+            }
+            out.set(i, j, acc);
+        }
+    }
+}
+
+fn assert_close(tiled: &Matrix, naive: &Matrix, what: &str) {
+    let diff = tiled.max_abs_diff(naive);
+    assert!(diff < 1e-2, "{what}: tiled kernel diverged from naive by {diff}");
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(42);
+    // (name, rows, k, cols, zero fraction of the left operand)
+    let shapes = [
+        ("matmul/input_512x70x64", 512usize, 70usize, 64usize, 0.85),
+        ("matmul/hidden_512x64x64", 512, 64, 64, 0.5),
+        ("matmul/concat_256x192x64", 256, 192, 64, 0.0),
+    ];
+
+    let mut group = c.benchmark_group("kernels");
+    for (name, rows, k, cols, zeros) in shapes {
+        let a = random_matrix(rows, k, zeros, &mut rng);
+        let b = random_matrix(k, cols, 0.0, &mut rng);
+        let mut reference = Matrix::zeros(0, 0);
+        naive_matmul(&a, &b, &mut reference);
+        let mut out = Matrix::zeros(0, 0);
+        a.matmul_into(&b, &mut out);
+        assert_close(&out, &reference, name);
+        group.bench_function(name, |bencher| {
+            bencher.iter(|| {
+                black_box(&a).matmul_into(black_box(&b), &mut out);
+                out.get(0, 0)
+            })
+        });
+        group.bench_function(format!("{}_naive", name), |bencher| {
+            bencher.iter(|| {
+                naive_matmul(black_box(&a), black_box(&b), &mut out);
+                out.get(0, 0)
+            })
+        });
+    }
+
+    // Backward products at their training shapes — each checked against
+    // the naive reference before timing, like the forward kernels.
+    let g = random_matrix(512, 64, 0.5, &mut rng); // upstream gradient (post-ReLU mask)
+    let w = random_matrix(70, 64, 0.0, &mut rng);
+    let x = random_matrix(512, 70, 0.85, &mut rng);
+    let mut out = Matrix::zeros(0, 0);
+    let mut tmp = Matrix::zeros(0, 0);
+    {
+        let mut wt = Matrix::zeros(0, 0);
+        w.transpose_into(&mut wt);
+        let mut reference = Matrix::zeros(0, 0);
+        naive_matmul(&g, &wt, &mut reference);
+        g.matmul_transb_into(&w, &mut out);
+        assert_close(&out, &reference, "transb/grad_in");
+        g.matmul_transb_scratch(&w, &mut out, &mut tmp);
+        assert_close(&out, &reference, "transb/grad_in_scratch");
+    }
+    group.bench_function("transb/grad_in_512x64_x_70x64t", |bencher| {
+        bencher.iter(|| {
+            black_box(&g).matmul_transb_into(black_box(&w), &mut out);
+            out.get(0, 0)
+        })
+    });
+    group.bench_function("transb/grad_in_scratch_512x64_x_70x64t", |bencher| {
+        bencher.iter(|| {
+            black_box(&g).matmul_transb_scratch(black_box(&w), &mut out, &mut tmp);
+            out.get(0, 0)
+        })
+    });
+    let mut grad_w = Matrix::zeros(70, 64);
+    {
+        let mut xt = Matrix::zeros(0, 0);
+        x.transpose_into(&mut xt);
+        let mut reference = Matrix::zeros(0, 0);
+        naive_matmul(&xt, &g, &mut reference);
+        x.matmul_transa_into(&g, &mut grad_w);
+        assert_close(&grad_w, &reference, "transa/grad_w");
+    }
+    group.bench_function("transa/grad_w_512x70t_x_512x64", |bencher| {
+        bencher.iter(|| {
+            grad_w.fill_zero();
+            black_box(&x).matmul_transa_into(black_box(&g), &mut grad_w);
+            grad_w.get(0, 0)
+        })
+    });
+    group.finish();
+}
+
+/// `LC_BENCH_QUICK=1` shrinks the run to a smoke test.
+fn config() -> Criterion {
+    let quick = std::env::var("LC_BENCH_QUICK").is_ok_and(|v| v != "0");
+    let (meas, warm, samples) = if quick { (300, 100, 10) } else { (3000, 500, 50) };
+    Criterion::default()
+        .sample_size(samples)
+        .measurement_time(std::time::Duration::from_millis(meas))
+        .warm_up_time(std::time::Duration::from_millis(warm))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_kernels
+}
+criterion_main!(benches);

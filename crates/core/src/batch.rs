@@ -91,14 +91,30 @@ impl RaggedBatch {
 /// Masked average pooling: `out[q] = mean(elems[offset..offset+len])`, the
 /// zero vector for empty segments.
 pub fn segment_mean(elems: &Matrix, segs: &[(u32, u32)]) -> Matrix {
+    let mut out = Matrix::zeros(segs.len(), elems.cols());
+    segment_mean_into_cols(elems, segs, &mut out, 0);
+    out
+}
+
+/// Masked average pooling written into a **column window** of `out`:
+/// `out[q][col0 .. col0 + elems.cols()] = mean(segment q)`, zeros for an
+/// empty segment. Writing straight into a window of the concatenation
+/// matrix removes both the pooled temporaries and the copy pass the
+/// allocating path needed.
+///
+/// # Panics
+/// If `out` has fewer rows than `segs` or the window exceeds its width.
+pub fn segment_mean_into_cols(elems: &Matrix, segs: &[(u32, u32)], out: &mut Matrix, col0: usize) {
     let d = elems.cols();
-    let mut out = Matrix::zeros(segs.len(), d);
+    assert!(out.rows() >= segs.len(), "segment_mean output too short");
+    assert!(col0 + d <= out.cols(), "segment_mean column window out of range");
     for (qi, &(offset, len)) in segs.iter().enumerate() {
+        let out_row = &mut out.row_mut(qi)[col0..col0 + d];
+        out_row.iter_mut().for_each(|o| *o = 0.0);
         if len == 0 {
             continue;
         }
         let inv = 1.0 / len as f32;
-        let out_row = out.row_mut(qi);
         for e in offset..offset + len {
             for (o, &v) in out_row.iter_mut().zip(elems.row(e as usize)) {
                 *o += v;
@@ -108,7 +124,6 @@ pub fn segment_mean(elems: &Matrix, segs: &[(u32, u32)]) -> Matrix {
             *o *= inv;
         }
     }
-    out
 }
 
 /// Backward of [`segment_mean`]: each element of segment `q` receives
@@ -118,21 +133,45 @@ pub fn segment_mean_backward(
     segs: &[(u32, u32)],
     num_elems: usize,
 ) -> Matrix {
-    let d = grad_pooled.cols();
-    let mut out = Matrix::zeros(num_elems, d);
+    let mut out = Matrix::zeros(num_elems, grad_pooled.cols());
+    segment_mean_backward_from_cols(grad_pooled, 0, grad_pooled.cols(), segs, &mut out);
+    out
+}
+
+/// Backward of [`segment_mean_into_cols`], reading the pooled gradient
+/// from a **column window** of `grad_pooled` and writing the expanded
+/// per-element gradient into `out` (pre-sized by the caller).
+/// Allocation-free. Each covered row is **overwritten**, so when the
+/// segments tile `out`'s rows exactly — which [`RaggedBatch::assemble`]
+/// guarantees: offsets advance by each segment's length and empty
+/// segments own no rows — the caller may pre-size `out` with
+/// [`Matrix::resize_for_overwrite`]. Rows outside every segment keep
+/// their prior contents; zero them beforehand if they are meaningful.
+///
+/// # Panics
+/// If the window exceeds `grad_pooled`'s width or `out`'s width is not
+/// exactly `d`.
+pub fn segment_mean_backward_from_cols(
+    grad_pooled: &Matrix,
+    col0: usize,
+    d: usize,
+    segs: &[(u32, u32)],
+    out: &mut Matrix,
+) {
+    assert!(col0 + d <= grad_pooled.cols(), "segment_mean_backward window out of range");
+    assert_eq!(out.cols(), d, "segment_mean_backward output width");
     for (qi, &(offset, len)) in segs.iter().enumerate() {
         if len == 0 {
             continue;
         }
         let inv = 1.0 / len as f32;
-        let g_row: Vec<f32> = grad_pooled.row(qi).iter().map(|&g| g * inv).collect();
+        let g_row = &grad_pooled.row(qi)[col0..col0 + d];
         for e in offset..offset + len {
-            for (o, &g) in out.row_mut(e as usize).iter_mut().zip(&g_row) {
-                *o += g;
+            for (o, &g) in out.row_mut(e as usize).iter_mut().zip(g_row) {
+                *o = g * inv;
             }
         }
     }
-    out
 }
 
 #[cfg(test)]

@@ -38,5 +38,5 @@ pub mod train;
 pub use batch::RaggedBatch;
 pub use ensemble::{DeepEnsemble, UncertainEstimate};
 pub use featurize::{FeatureMode, Featurizer, LabelNorm};
-pub use model::{ForwardCache, MscnModel};
+pub use model::{ForwardCache, MscnGrads, MscnModel, MscnScratch};
 pub use train::{train, train_incremental, MscnEstimator, TrainConfig, TrainReport, TrainedModel};

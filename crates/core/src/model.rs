@@ -1,12 +1,28 @@
 //! The MSCN network (§3.2, Fig. 1): three per-element set MLPs with shared
 //! weights, masked average pooling, concatenation, and an output MLP with a
 //! sigmoid scalar head.
+//!
+//! Two compute surfaces coexist. The classic `&mut self` pair
+//! [`MscnModel::forward`] / [`MscnModel::backward`] allocates its
+//! intermediates per call and accumulates gradients inside the layers —
+//! convenient for tests and one-shot use. The scratch pair
+//! [`MscnModel::forward_scratch`] / [`MscnModel::backward_scratch`] is the
+//! hot path: `&self` (so shards of a mini-batch can run on worker threads
+//! against shared weights), all intermediates live in a reusable
+//! [`MscnScratch`], and gradients accumulate into an external
+//! [`MscnGrads`] — after one warm-up pass the whole step touches the
+//! allocator exactly zero times.
 
-use lc_nn::{FinalActivation, Matrix, Mlp, MlpCache};
+use std::sync::Mutex;
+
+use lc_nn::{FinalActivation, Matrix, Mlp, MlpCache, MlpGrads, Scratch};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use crate::batch::{segment_mean, segment_mean_backward, RaggedBatch};
+use crate::batch::{
+    segment_mean, segment_mean_backward, segment_mean_backward_from_cols, segment_mean_into_cols,
+    RaggedBatch,
+};
 
 /// Forward-pass intermediates kept for the backward pass.
 pub struct ForwardCache {
@@ -15,6 +31,124 @@ pub struct ForwardCache {
     pred_cache: MlpCache,
     concat: Matrix,
     out_cache: MlpCache,
+}
+
+/// External gradient buffers for all four MLPs, in canonical order. Each
+/// data-parallel shard accumulates into its own `MscnGrads`; the trainer
+/// then reduces them shard-by-shard in fixed order, which is what keeps
+/// training bitwise reproducible at any thread count.
+#[derive(Clone, Debug)]
+pub struct MscnGrads {
+    /// Table set-module gradients.
+    pub table: MlpGrads,
+    /// Join set-module gradients.
+    pub join: MlpGrads,
+    /// Predicate set-module gradients.
+    pub pred: MlpGrads,
+    /// Output-network gradients.
+    pub out: MlpGrads,
+}
+
+impl MscnGrads {
+    /// Reset every gradient to zero, keeping the allocations.
+    pub fn zero(&mut self) {
+        self.table.zero();
+        self.join.zero();
+        self.pred.zero();
+        self.out.zero();
+    }
+
+    /// Element-wise `self += other` — one step of the deterministic
+    /// fixed-order shard reduction.
+    pub fn add_assign(&mut self, other: &MscnGrads) {
+        self.table.add_assign(&other.table);
+        self.join.add_assign(&other.join);
+        self.pred.add_assign(&other.pred);
+        self.out.add_assign(&other.out);
+    }
+
+    /// The four module gradients in canonical (table, join, predicate,
+    /// output) order — mirrors [`MscnModel::mlps_mut`] for the optimizer.
+    pub fn mlps(&self) -> [&MlpGrads; 4] {
+        [&self.table, &self.join, &self.pred, &self.out]
+    }
+}
+
+/// Reusable working memory for one scratch-based forward/backward pass:
+/// activation caches, the concatenation matrix, gradient temporaries, the
+/// prediction vector, and a buffer arena for layer-internal temporaries.
+///
+/// Shape-agnostic: every buffer is resized in place per call (capacity
+/// only grows), so one scratch serves batches of any size and models of
+/// any width. Allocate one per worker/thread, keep it warm, and the
+/// steady-state step is allocation-free.
+pub struct MscnScratch {
+    table_cache: MlpCache,
+    join_cache: MlpCache,
+    pred_cache: MlpCache,
+    concat: Matrix,
+    out_cache: MlpCache,
+    grad_out: Matrix,
+    grad_concat: Matrix,
+    g_elems: Matrix,
+    arena: Scratch,
+    /// Predictions of the last [`MscnModel::forward_scratch`] call.
+    pub preds: Vec<f32>,
+    /// `∂L/∂w_out` per query — fill before
+    /// [`MscnModel::backward_scratch`] (same length as `preds`).
+    pub grad_pred: Vec<f32>,
+    /// Scratch slot for the caller's per-shard loss total.
+    pub loss: f64,
+}
+
+impl Default for MscnScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MscnScratch {
+    /// An empty scratch; buffers grow to their steady-state sizes during
+    /// the first pass.
+    pub fn new() -> Self {
+        MscnScratch {
+            table_cache: MlpCache::new(),
+            join_cache: MlpCache::new(),
+            pred_cache: MlpCache::new(),
+            concat: Matrix::zeros(0, 0),
+            out_cache: MlpCache::new(),
+            grad_out: Matrix::zeros(0, 0),
+            grad_concat: Matrix::zeros(0, 0),
+            g_elems: Matrix::zeros(0, 0),
+            arena: Scratch::new(),
+            preds: Vec::new(),
+            grad_pred: Vec::new(),
+            loss: 0.0,
+        }
+    }
+}
+
+/// Process-wide pool of warm inference scratches backing
+/// [`MscnModel::predict`] and the block-parallel batch-inference path.
+/// A pool (rather than a thread-local) matters because inference fans
+/// out onto short-lived scoped threads: thread-locals would be built,
+/// warmed, and dropped per call, while pooled scratches survive and are
+/// reused across calls, workers, and serving flushes. Capped so a burst
+/// of concurrency cannot pin memory forever.
+static PREDICT_SCRATCH_POOL: Mutex<Vec<MscnScratch>> = Mutex::new(Vec::new());
+
+/// Upper bound on pooled inference scratches.
+const PREDICT_POOL_CAP: usize = 16;
+
+fn pool_take() -> MscnScratch {
+    PREDICT_SCRATCH_POOL.lock().expect("scratch pool poisoned").pop().unwrap_or_default()
+}
+
+fn pool_put(scratch: MscnScratch) {
+    let mut pool = PREDICT_SCRATCH_POOL.lock().expect("scratch pool poisoned");
+    if pool.len() < PREDICT_POOL_CAP {
+        pool.push(scratch);
+    }
 }
 
 /// The multi-set convolutional network.
@@ -88,9 +222,123 @@ impl MscnModel {
         (preds, ForwardCache { table_cache, join_cache, pred_cache, concat, out_cache })
     }
 
-    /// Predictions only (inference path).
+    /// Predictions only (inference path) — arena-backed via the pooled
+    /// inference scratches, so repeated calls are allocation-free apart
+    /// from the returned vector.
     pub fn predict(&self, batch: &RaggedBatch) -> Vec<f32> {
-        self.forward(batch).0
+        let mut s = pool_take();
+        self.forward_scratch(batch, &mut s);
+        let preds = s.preds.clone();
+        pool_put(s);
+        preds
+    }
+
+    /// Arena-backed inference into a caller-provided slice: runs the
+    /// forward pass on a pooled scratch and copies the normalized
+    /// predictions into `out` (`out.len()` must equal `batch.len()`).
+    pub(crate) fn predict_into(&self, batch: &RaggedBatch, out: &mut [f32]) {
+        let mut s = pool_take();
+        self.forward_scratch(batch, &mut s);
+        out.copy_from_slice(&s.preds);
+        pool_put(s);
+    }
+
+    /// Allocation-free forward pass: activations, pooled representations,
+    /// and predictions are written into `s` (buffers resized in place).
+    /// After this call `s.preds` holds `w_out ∈ [0,1]` per query and the
+    /// caches are positioned for [`MscnModel::backward_scratch`].
+    pub fn forward_scratch(&self, batch: &RaggedBatch, s: &mut MscnScratch) {
+        self.table_mlp.forward_into(&batch.tables, &mut s.table_cache);
+        self.join_mlp.forward_into(&batch.joins, &mut s.join_cache);
+        self.pred_mlp.forward_into(&batch.preds, &mut s.pred_cache);
+        let n = batch.len();
+        let d = self.hidden;
+        // The three pooling windows overwrite every element, so the
+        // reshape can skip its zero-fill.
+        s.concat.resize_for_overwrite(n, 3 * d);
+        segment_mean_into_cols(&s.table_cache.output, &batch.table_segs, &mut s.concat, 0);
+        segment_mean_into_cols(&s.join_cache.output, &batch.join_segs, &mut s.concat, d);
+        segment_mean_into_cols(&s.pred_cache.output, &batch.pred_segs, &mut s.concat, 2 * d);
+        self.out_mlp.forward_into(&s.concat, &mut s.out_cache);
+        s.preds.clear();
+        s.preds.extend((0..n).map(|q| s.out_cache.output.get(q, 0)));
+    }
+
+    /// Allocation-free backward pass against external gradient buffers.
+    ///
+    /// Reads `s.grad_pred` (`∂L/∂w_out` per query, filled by the caller
+    /// after [`MscnModel::forward_scratch`]) and *accumulates* parameter
+    /// gradients into `grads`. `&self`: shards of one mini-batch can run
+    /// concurrently against shared weights, each with its own scratch
+    /// and gradient buffers. Unlike the allocating path, the set-module
+    /// input gradients (which nothing consumes) are never computed.
+    ///
+    /// # Panics
+    /// If `s.grad_pred.len() != batch.len()`.
+    pub fn backward_scratch(
+        &self,
+        batch: &RaggedBatch,
+        s: &mut MscnScratch,
+        grads: &mut MscnGrads,
+    ) {
+        let n = batch.len();
+        assert_eq!(s.grad_pred.len(), n, "grad_pred must match the batch");
+        let d = self.hidden;
+        s.grad_out.resize_for_overwrite(n, 1);
+        s.grad_out.data_mut().copy_from_slice(&s.grad_pred);
+        self.out_mlp.backward_scratch(
+            &s.concat,
+            &s.out_cache,
+            &mut s.grad_out,
+            &mut grads.out,
+            &mut s.arena,
+            Some(&mut s.grad_concat),
+        );
+        // Expand each module's slice of the concatenated gradient straight
+        // back to element rows (no per-module pooled temporaries), then
+        // backprop through the set MLPs in leaf mode. Batch segments tile
+        // the element rows exactly, so the expansion overwrites every row
+        // and the reshapes can skip their zero-fill.
+        s.g_elems.resize_for_overwrite(batch.tables.rows(), d);
+        segment_mean_backward_from_cols(&s.grad_concat, 0, d, &batch.table_segs, &mut s.g_elems);
+        self.table_mlp.backward_scratch(
+            &batch.tables,
+            &s.table_cache,
+            &mut s.g_elems,
+            &mut grads.table,
+            &mut s.arena,
+            None,
+        );
+        s.g_elems.resize_for_overwrite(batch.joins.rows(), d);
+        segment_mean_backward_from_cols(&s.grad_concat, d, d, &batch.join_segs, &mut s.g_elems);
+        self.join_mlp.backward_scratch(
+            &batch.joins,
+            &s.join_cache,
+            &mut s.g_elems,
+            &mut grads.join,
+            &mut s.arena,
+            None,
+        );
+        s.g_elems.resize_for_overwrite(batch.preds.rows(), d);
+        segment_mean_backward_from_cols(&s.grad_concat, 2 * d, d, &batch.pred_segs, &mut s.g_elems);
+        self.pred_mlp.backward_scratch(
+            &batch.preds,
+            &s.pred_cache,
+            &mut s.g_elems,
+            &mut grads.pred,
+            &mut s.arena,
+            None,
+        );
+    }
+
+    /// Fresh zeroed external gradient buffers matching this model.
+    pub fn new_grads(&self) -> MscnGrads {
+        MscnGrads {
+            table: self.table_mlp.new_grads(),
+            join: self.join_mlp.new_grads(),
+            pred: self.pred_mlp.new_grads(),
+            out: self.out_mlp.new_grads(),
+        }
     }
 
     /// Backward pass: `grad_pred[q] = ∂L/∂w_out[q]`. Accumulates parameter
@@ -253,6 +501,52 @@ mod tests {
                 (numeric - analytic).abs() < 2e-3,
                 "mlp {mlp_idx} layer {layer_idx} w {w_idx}: numeric {numeric} analytic {analytic}"
             );
+        }
+    }
+
+    /// The scratch compute surface must reproduce the allocating one
+    /// bitwise: same predictions, same parameter gradients — warm or
+    /// cold, across differently shaped batches reusing one scratch.
+    #[test]
+    fn scratch_path_matches_allocating_path_bitwise() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut model = MscnModel::new(5, 3, 4, 8, 12);
+        let mut scratch = MscnScratch::new();
+        let mut ext = model.new_grads();
+        for batch_size in [4usize, 7, 2, 7] {
+            let qs: Vec<_> = (0..batch_size).map(|_| random_query(&mut rng, (5, 3, 4))).collect();
+            let refs: Vec<&FeaturizedQuery> = qs.iter().collect();
+            let batch = RaggedBatch::assemble(&refs, 5, 3, 4);
+
+            let (preds, cache) = model.forward(&batch);
+            let grad: Vec<f32> = preds.iter().map(|p| 0.3 - p).collect();
+            model.zero_grad();
+            model.backward(&batch, &cache, &grad);
+            let internal: Vec<f32> = model
+                .mlps_mut()
+                .iter_mut()
+                .flat_map(|m| m.layers_mut())
+                .flat_map(|l| {
+                    let pg = l.params_and_grads();
+                    [pg[0].1.to_vec(), pg[1].1.to_vec()]
+                })
+                .flatten()
+                .collect();
+
+            model.forward_scratch(&batch, &mut scratch);
+            assert_eq!(scratch.preds, preds, "scratch preds must match bitwise");
+            scratch.grad_pred.clear();
+            scratch.grad_pred.extend_from_slice(&grad);
+            ext.zero();
+            model.backward_scratch(&batch, &mut scratch, &mut ext);
+            let external: Vec<f32> = ext
+                .mlps()
+                .iter()
+                .flat_map(|m| m.layers())
+                .flat_map(|l| [l.tensors()[0].to_vec(), l.tensors()[1].to_vec()])
+                .flatten()
+                .collect();
+            assert_eq!(external, internal, "scratch grads must match bitwise");
         }
     }
 

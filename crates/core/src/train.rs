@@ -2,6 +2,30 @@
 //! q-error, per-epoch validation error (the convergence curve of Fig. 6),
 //! and a [`lc_query::CardinalityEstimator`] implementation for the trained
 //! model.
+//!
+//! # The data-parallel, allocation-free training step
+//!
+//! Every mini-batch is partitioned into **fixed gradient shards** whose
+//! boundaries depend only on the batch size — never on the thread count.
+//! Each shard runs the scratch-based forward/backward
+//! ([`MscnModel::forward_scratch`] / [`MscnModel::backward_scratch`])
+//! against the shared weights, accumulating into its own [`MscnGrads`];
+//! the shards are then reduced **in shard order** and a single Adam step
+//! is applied serially. Because shard boundaries, per-shard reduction
+//! order, and the final reduction order are all thread-count-independent,
+//! training is **bitwise reproducible at any `threads` setting** — the
+//! same seed gives byte-identical weights at 1, 2, or 4 workers. Worker
+//! threads ([`TrainConfig::threads`]; `LC_TRAIN_THREADS` steers
+//! default-config runs) only decide *which* worker computes which shard.
+//!
+//! All shard scratches and gradient buffers are allocated once per
+//! training run and resized in place, and each epoch's ragged batches are
+//! assembled up front — in steady state the compute of a step (forward,
+//! loss, backward, reduce, Adam) performs **zero heap allocations**
+//! (asserted by the counting-allocator test in `tests/alloc.rs`). The
+//! one allocation source left on the stepped path is `thread::scope`
+//! itself when more than one worker runs — a fixed spawn cost per step,
+//! not per-element churn (a persistent worker pool is a ROADMAP item).
 
 use std::time::Instant;
 
@@ -14,7 +38,73 @@ use rand::SeedableRng;
 
 use crate::batch::RaggedBatch;
 use crate::featurize::{FeatureMode, FeaturizedQuery, Featurizer};
-use crate::model::MscnModel;
+use crate::model::{MscnGrads, MscnModel, MscnScratch};
+
+/// Upper bound on gradient shards per mini-batch. The shard partition is
+/// a pure function of the batch size, so this also caps how many worker
+/// threads can be productive inside one step.
+const MAX_SHARDS: usize = 8;
+
+/// Smallest shard worth the per-shard bookkeeping (queries).
+const MIN_SHARD: usize = 8;
+
+/// Below this many queries a step runs its shards serially even when
+/// workers are configured — spawning threads would cost more than the
+/// compute. Purely a scheduling decision; results are identical.
+const PARALLEL_STEP_MIN: usize = 64;
+
+/// Queries per inference block. Blocks are the unit of inference
+/// parallelism and of scratch reuse; the partition is fixed, so block
+/// results concatenate to the same bytes at any thread count.
+const INFER_BLOCK: usize = 256;
+
+/// Minimum queries before batch inference fans out to worker threads.
+const PARALLEL_INFER_MIN: usize = 2 * INFER_BLOCK;
+
+/// Fixed shard partition of an `n`-query mini-batch (thread-count
+/// independent — this is the cornerstone of reproducible parallelism).
+fn shard_ranges(n: usize) -> impl Iterator<Item = std::ops::Range<usize>> {
+    let size = n.div_ceil(MAX_SHARDS).max(MIN_SHARD);
+    (0..n).step_by(size).map(move |lo| lo..(lo + size).min(n))
+}
+
+/// Hardware-derived default worker count (capped: beyond a few workers
+/// the per-step shards are too small to amortize).
+fn auto_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get()).min(4)
+}
+
+/// Shared worker-count resolution: an explicit `configured` value wins;
+/// for the default (`0`) the environment variable `var` (if a positive
+/// integer) decides, else the hardware-derived default. Code that pins a
+/// count — like the thread-determinism tests and the t1/t2/t4 scaling
+/// benches — therefore keeps it even when CI steers every
+/// default-config run via the env. Used by both the training and
+/// inference knobs so their precedence rules can never drift apart.
+fn threads_from_env(var: &str, configured: usize) -> usize {
+    if configured != 0 {
+        return configured;
+    }
+    std::env::var(var)
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or_else(auto_threads)
+}
+
+/// Worker count for batch inference over `n` queries: `LC_INFER_THREADS`
+/// if set to a positive integer, else a hardware-derived default — and
+/// always 1 below the fan-out threshold. Like training parallelism, the
+/// choice never changes a single output byte. Resolved once per process
+/// (inference calls are hot; the environment is not re-read per batch).
+fn infer_threads(n: usize) -> usize {
+    static RESOLVED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    if n < PARALLEL_INFER_MIN {
+        1
+    } else {
+        *RESOLVED.get_or_init(|| threads_from_env("LC_INFER_THREADS", 0))
+    }
+}
 
 /// Training hyperparameters (§4.6). The defaults are the paper's tuned
 /// configuration scaled for a single CPU core: the paper settles on 100
@@ -39,6 +129,13 @@ pub struct TrainConfig {
     pub validation_fraction: f64,
     /// Seed for weight init and epoch shuffling.
     pub seed: u64,
+    /// Data-parallel worker threads per training step. An explicit count
+    /// wins over the environment; `0` (the default) defers to the
+    /// `LC_TRAIN_THREADS` environment variable, else a hardware-derived
+    /// count; everything is capped at the per-batch shard limit (8). Any
+    /// value produces bitwise-identical training results — see the
+    /// module docs.
+    pub threads: usize,
 }
 
 impl Default for TrainConfig {
@@ -52,7 +149,20 @@ impl Default for TrainConfig {
             mode: FeatureMode::Bitmaps,
             validation_fraction: 0.1,
             seed: 7,
+            threads: 0,
         }
+    }
+}
+
+impl TrainConfig {
+    /// The worker count a training run will actually use: an explicit
+    /// [`TrainConfig::threads`] wins; the default (`0`) resolves to
+    /// `LC_TRAIN_THREADS` if set to a positive integer, else a
+    /// hardware-derived count. Either way the result is capped at the
+    /// shard limit (8) — more workers than shards can never be
+    /// productive. Never affects results, only wall-clock time.
+    pub fn effective_threads(&self) -> usize {
+        threads_from_env("LC_TRAIN_THREADS", self.threads).min(MAX_SHARDS)
     }
 }
 
@@ -98,9 +208,10 @@ impl MscnEstimator {
 
     /// Batched inference: estimated cardinalities (≥ 1) for `queries`.
     pub fn estimate_cards(&self, queries: &[LabeledQuery]) -> Vec<f64> {
-        let feats: Vec<FeaturizedQuery> =
-            queries.iter().map(|q| self.featurizer.featurize(q)).collect();
-        self.estimate_featurized(&feats)
+        let mut normalized = vec![0.0f32; queries.len()];
+        self.predict_normalized_into(queries, &mut normalized);
+        let label = self.featurizer.label_norm();
+        normalized.iter().map(|&p| label.denormalize(p).max(1.0)).collect()
     }
 
     /// Raw normalized predictions `w_out ∈ [0,1]` (before denormalization).
@@ -108,29 +219,47 @@ impl MscnEstimator {
     /// is at or beyond the edge of the trained range — the saturation
     /// check used by the §5 uncertainty extension.
     pub fn estimate_normalized(&self, queries: &[LabeledQuery]) -> Vec<f32> {
-        let (td, jd, pd) = self.model.input_dims();
-        let mut out = Vec::with_capacity(queries.len());
-        for chunk in queries.chunks(1024) {
-            let feats: Vec<FeaturizedQuery> =
-                chunk.iter().map(|q| self.featurizer.featurize(q)).collect();
-            let refs: Vec<&FeaturizedQuery> = feats.iter().collect();
-            let batch = RaggedBatch::assemble(&refs, td, jd, pd);
-            out.extend(self.model.predict(&batch));
-        }
-        out
+        let mut normalized = vec![0.0f32; queries.len()];
+        self.predict_normalized_into(queries, &mut normalized);
+        normalized
     }
 
-    fn estimate_featurized(&self, feats: &[FeaturizedQuery]) -> Vec<f64> {
-        let mut out = Vec::with_capacity(feats.len());
+    /// The shared batch-inference engine: fixed blocks of
+    /// [`INFER_BLOCK`] queries, each featurized, assembled, and pushed
+    /// through the arena-backed forward pass; large batches fan the
+    /// blocks out across scoped worker threads. The block partition is
+    /// independent of the worker count and every per-query reduction
+    /// runs in a fixed order, so the output bytes never depend on either
+    /// the batch composition or the parallelism.
+    fn predict_normalized_into(&self, queries: &[LabeledQuery], out: &mut [f32]) {
+        debug_assert_eq!(queries.len(), out.len());
         let (td, jd, pd) = self.model.input_dims();
-        for chunk in feats.chunks(1024) {
-            let refs: Vec<&FeaturizedQuery> = chunk.iter().collect();
+        let run_block = |qs: &[LabeledQuery], o: &mut [f32]| {
+            let feats: Vec<FeaturizedQuery> =
+                qs.iter().map(|q| self.featurizer.featurize(q)).collect();
+            let refs: Vec<&FeaturizedQuery> = feats.iter().collect();
             let batch = RaggedBatch::assemble(&refs, td, jd, pd);
-            for p in self.model.predict(&batch) {
-                out.push(self.featurizer.label_norm().denormalize(p).max(1.0));
+            self.model.predict_into(&batch, o);
+        };
+        let threads = infer_threads(queries.len());
+        if threads <= 1 {
+            for (qs, o) in queries.chunks(INFER_BLOCK).zip(out.chunks_mut(INFER_BLOCK)) {
+                run_block(qs, o);
             }
+        } else {
+            let mut work: Vec<(&[LabeledQuery], &mut [f32])> =
+                queries.chunks(INFER_BLOCK).zip(out.chunks_mut(INFER_BLOCK)).collect();
+            let per = work.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                for group in work.chunks_mut(per) {
+                    scope.spawn(|| {
+                        for (qs, o) in group.iter_mut() {
+                            run_block(qs, o);
+                        }
+                    });
+                }
+            });
         }
-        out
     }
 }
 
@@ -144,12 +273,13 @@ impl CardinalityEstimator for MscnEstimator {
     }
 
     /// Vectorized override of the per-query default: the whole slice is
-    /// featurized and pushed through [`RaggedBatch`] forward passes (one
-    /// per 1024-query chunk) instead of one tiny matrix pipeline per
-    /// query. Because every matrix row is reduced in the same order
-    /// regardless of batch composition, the results are bitwise identical
-    /// to the sequential path — `lc_serve`'s micro-batcher relies on this
-    /// to coalesce concurrent requests without changing any answer.
+    /// featurized and pushed through arena-backed [`RaggedBatch`] forward
+    /// passes (one per fixed-size block, fanned out across worker threads
+    /// for large batches). Because every matrix row is reduced in the
+    /// same order regardless of batch composition or thread count, the
+    /// results are bitwise identical to the sequential path —
+    /// `lc_serve`'s micro-batcher relies on this to coalesce concurrent
+    /// requests without changing any answer.
     fn estimate_all(&self, qs: &[LabeledQuery]) -> Vec<f64> {
         self.estimate_cards(qs)
     }
@@ -166,60 +296,202 @@ pub struct TrainedModel {
     pub report: TrainReport,
 }
 
+/// One mini-batch, pre-partitioned into its fixed gradient shards.
+struct StepBatch {
+    shards: Vec<RaggedBatch>,
+    n: usize,
+}
+
+/// Everything a training run reuses across steps: the optimizer, one
+/// scratch + gradient buffer per shard slot, and the reduction target.
+/// Allocated once; every buffer is resized in place thereafter.
+struct Trainer {
+    adam: Adam,
+    slots: Vec<usize>,
+    scratches: Vec<MscnScratch>,
+    shard_grads: Vec<MscnGrads>,
+    total: MscnGrads,
+    threads: usize,
+    loss: LossKind,
+    scale: f32,
+    batch_size: usize,
+    dims: (usize, usize, usize),
+}
+
+impl Trainer {
+    fn new(model: &mut MscnModel, config: &TrainConfig, scale: f32) -> Self {
+        let mut adam = Adam::new(config.learning_rate);
+        let mut slots = Vec::new();
+        for mlp in model.mlps_mut() {
+            for layer in mlp.layers_mut() {
+                for params in layer.params_mut() {
+                    slots.push(adam.register(params.len()));
+                }
+            }
+        }
+        let dims = {
+            let (td, jd, pd) = model.input_dims();
+            (td, jd, pd)
+        };
+        Trainer {
+            adam,
+            slots,
+            scratches: (0..MAX_SHARDS).map(|_| MscnScratch::new()).collect(),
+            shard_grads: (0..MAX_SHARDS).map(|_| model.new_grads()).collect(),
+            total: model.new_grads(),
+            threads: config.effective_threads(),
+            loss: config.loss,
+            scale,
+            batch_size: config.batch_size.max(1),
+            dims,
+        }
+    }
+
+    /// Assemble one epoch's mini-batches (already sharded) up front, so
+    /// the steps themselves never build `Vec<&FeaturizedQuery>` views or
+    /// touch the allocator.
+    ///
+    /// Deliberate trade-off: this holds one dense copy of the epoch's
+    /// feature rows (roughly the size of `feats` itself) alive for the
+    /// epoch, in exchange for allocation-free steps and batches that are
+    /// ready the moment a worker is. At paper scale (~100k small
+    /// queries) that is tens of MB; revisit with a per-shard reusable
+    /// assembly buffer if corpora grow orders of magnitude beyond that.
+    fn assemble_epoch(&self, feats: &[FeaturizedQuery], order: &[usize]) -> Vec<StepBatch> {
+        let (td, jd, pd) = self.dims;
+        order
+            .chunks(self.batch_size)
+            .map(|chunk| StepBatch {
+                shards: shard_ranges(chunk.len())
+                    .map(|r| {
+                        let refs: Vec<&FeaturizedQuery> =
+                            chunk[r].iter().map(|&i| &feats[i]).collect();
+                        RaggedBatch::assemble(&refs, td, jd, pd)
+                    })
+                    .collect(),
+                n: chunk.len(),
+            })
+            .collect()
+    }
+
+    /// One optimizer step over a sharded mini-batch; returns its mean
+    /// training loss. Shards run serially or on scoped worker threads —
+    /// same bytes either way (fixed partition, fixed-order reduction).
+    fn run_step(&mut self, model: &mut MscnModel, step: &StepBatch) -> f64 {
+        let num_shards = step.shards.len();
+        {
+            let scratches = &mut self.scratches[..num_shards];
+            let shard_grads = &mut self.shard_grads[..num_shards];
+            let (loss, scale, n) = (self.loss, self.scale, step.n);
+            let model_ref: &MscnModel = model;
+            let do_shard = |batch: &RaggedBatch, scr: &mut MscnScratch, g: &mut MscnGrads| {
+                g.zero();
+                model_ref.forward_scratch(batch, scr);
+                scr.grad_pred.clear();
+                scr.grad_pred.resize(scr.preds.len(), 0.0);
+                scr.loss = loss.loss_and_grad_scaled(
+                    &scr.preds,
+                    &batch.targets,
+                    scale,
+                    n,
+                    &mut scr.grad_pred,
+                );
+                model_ref.backward_scratch(batch, scr, g);
+            };
+            let workers =
+                if step.n >= PARALLEL_STEP_MIN { self.threads.min(num_shards) } else { 1 };
+            if workers <= 1 {
+                for ((batch, scr), g) in
+                    step.shards.iter().zip(scratches.iter_mut()).zip(shard_grads.iter_mut())
+                {
+                    do_shard(batch, scr, g);
+                }
+            } else {
+                let per = num_shards.div_ceil(workers);
+                std::thread::scope(|scope| {
+                    for ((batches, scrs), gs) in step
+                        .shards
+                        .chunks(per)
+                        .zip(scratches.chunks_mut(per))
+                        .zip(shard_grads.chunks_mut(per))
+                    {
+                        scope.spawn(|| {
+                            for ((batch, scr), g) in
+                                batches.iter().zip(scrs.iter_mut()).zip(gs.iter_mut())
+                            {
+                                do_shard(batch, scr, g);
+                            }
+                        });
+                    }
+                });
+            }
+        }
+        // Deterministic fixed-order reduction, then one serial Adam step.
+        self.total.zero();
+        for g in &self.shard_grads[..num_shards] {
+            self.total.add_assign(g);
+        }
+        self.adam.begin_step();
+        let Trainer { adam, slots, total, .. } = self;
+        let mut slot_iter = slots.iter();
+        for (mlp, mlp_grads) in model.mlps_mut().into_iter().zip(total.mlps()) {
+            for (layer, layer_grads) in mlp.layers_mut().into_iter().zip(mlp_grads.layers()) {
+                for (params, grads) in layer.params_mut().into_iter().zip(layer_grads.tensors()) {
+                    adam.step_slot(*slot_iter.next().expect("slot registered"), params, grads);
+                }
+            }
+        }
+        self.scratches[..num_shards].iter().map(|scr| scr.loss).sum::<f64>() / step.n as f64
+    }
+
+    /// One pass over `order`; returns the mean per-batch training loss.
+    fn run_epoch(
+        &mut self,
+        model: &mut MscnModel,
+        feats: &[FeaturizedQuery],
+        order: &[usize],
+    ) -> f64 {
+        let steps = self.assemble_epoch(feats, order);
+        let mut epoch_loss = 0.0f64;
+        for step in &steps {
+            epoch_loss += self.run_step(model, step);
+        }
+        epoch_loss / steps.len().max(1) as f64
+    }
+}
+
 /// Continue training an existing model on new data (§5 "Updates",
 /// incremental training): the network weights are reused, only the new
 /// samples are seen, and the data encoding — one-hot layouts, value
 /// normalization, and label normalization — is kept frozen, exactly the
 /// constraint the paper describes for incremental updates.
 ///
-/// Fresh Adam state is used (the original moments are not serialized);
-/// `epochs` replaces the original epoch count. Note that the paper
-/// predicts — and `lc-eval`'s incremental experiment demonstrates —
-/// **catastrophic forgetting** when the new data's distribution shifts.
+/// `config` supplies the optimization hyperparameters — `epochs`,
+/// `batch_size`, `learning_rate`, `loss`, `seed`, and `threads` are all
+/// honored. The architecture/encoding fields (`hidden`, `mode`,
+/// `validation_fraction`) are ignored: they are frozen in `prev`.
+///
+/// Fresh Adam state is used (the original moments are not serialized).
+/// Note that the paper predicts — and `lc-eval`'s incremental experiment
+/// demonstrates — **catastrophic forgetting** when the new data's
+/// distribution shifts.
 pub fn train_incremental(
     prev: &MscnEstimator,
     new_data: &[LabeledQuery],
-    epochs: usize,
-    seed: u64,
+    config: TrainConfig,
 ) -> MscnEstimator {
     assert!(!new_data.is_empty(), "incremental training needs data");
     let featurizer = prev.featurizer.clone();
     let mut model = prev.model.clone();
     let scale = featurizer.label_norm().scale();
-    let (td, jd, pd) = (featurizer.table_dim(), featurizer.join_dim(), featurizer.pred_dim());
     let feats: Vec<FeaturizedQuery> = new_data.iter().map(|q| featurizer.featurize(q)).collect();
 
-    let mut adam = Adam::new(1e-3);
-    let mut slots = Vec::new();
-    for mlp in model.mlps_mut() {
-        for layer in mlp.layers_mut() {
-            for (params, _) in layer.params_and_grads() {
-                slots.push(adam.register(params.len()));
-            }
-        }
-    }
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut trainer = Trainer::new(&mut model, &config, scale);
+    let mut rng = SmallRng::seed_from_u64(config.seed);
     let mut order: Vec<usize> = (0..feats.len()).collect();
-    for _ in 0..epochs {
+    for _ in 0..config.epochs {
         order.shuffle(&mut rng);
-        for chunk in order.chunks(256) {
-            let refs: Vec<&FeaturizedQuery> = chunk.iter().map(|&i| &feats[i]).collect();
-            let batch = RaggedBatch::assemble(&refs, td, jd, pd);
-            model.zero_grad();
-            let (preds, cache) = model.forward(&batch);
-            let mut grad = vec![0.0f32; preds.len()];
-            LossKind::MeanQError.loss_and_grad(&preds, &batch.targets, scale, &mut grad);
-            model.backward(&batch, &cache, &grad);
-            adam.begin_step();
-            let mut slot_iter = slots.iter();
-            for mlp in model.mlps_mut() {
-                for layer in mlp.layers_mut() {
-                    for (params, grads) in layer.params_and_grads() {
-                        adam.step_slot(*slot_iter.next().unwrap(), params, grads);
-                    }
-                }
-            }
-        }
+        trainer.run_epoch(&mut model, &feats, &order);
     }
     MscnEstimator { model, featurizer }
 }
@@ -259,17 +531,17 @@ pub fn train(
 
     let (td, jd, pd) = (featurizer.table_dim(), featurizer.join_dim(), featurizer.pred_dim());
     let mut model = MscnModel::new(td, jd, pd, config.hidden, config.seed ^ 0x5eed);
+    let mut trainer = Trainer::new(&mut model, &config, scale);
 
-    // One Adam slot per parameter tensor, in canonical order.
-    let mut adam = Adam::new(config.learning_rate);
-    let mut slots = Vec::new();
-    for mlp in model.mlps_mut() {
-        for layer in mlp.layers_mut() {
-            for (params, _) in layer.params_and_grads() {
-                slots.push(adam.register(params.len()));
-            }
-        }
-    }
+    // The validation split never changes: assemble its inference blocks
+    // once instead of re-featurizing and re-batching every epoch.
+    let val_batches: Vec<RaggedBatch> = val_idx
+        .chunks(INFER_BLOCK)
+        .map(|chunk| {
+            let refs: Vec<&FeaturizedQuery> = chunk.iter().map(|&i| &feats[i]).collect();
+            RaggedBatch::assemble(&refs, td, jd, pd)
+        })
+        .collect();
 
     let mut report = TrainReport {
         num_train: train_idx.len(),
@@ -279,37 +551,25 @@ pub fn train(
     let mut order: Vec<usize> = train_idx.to_vec();
     for _epoch in 0..config.epochs {
         order.shuffle(&mut rng);
-        let mut epoch_loss = 0.0f64;
-        let mut batches = 0usize;
-        for chunk in order.chunks(config.batch_size) {
-            let refs: Vec<&FeaturizedQuery> = chunk.iter().map(|&i| &feats[i]).collect();
-            let batch = RaggedBatch::assemble(&refs, td, jd, pd);
-            model.zero_grad();
-            let (preds, cache) = model.forward(&batch);
-            let mut grad = vec![0.0f32; preds.len()];
-            epoch_loss += config.loss.loss_and_grad(&preds, &batch.targets, scale, &mut grad);
-            batches += 1;
-            model.backward(&batch, &cache, &grad);
-            adam.begin_step();
-            let mut slot_iter = slots.iter();
-            for mlp in model.mlps_mut() {
-                for layer in mlp.layers_mut() {
-                    for (params, grads) in layer.params_and_grads() {
-                        adam.step_slot(*slot_iter.next().unwrap(), params, grads);
-                    }
-                }
+        let mean_loss = trainer.run_epoch(&mut model, &feats, &order);
+        report.epoch_train_loss.push(mean_loss);
+
+        // Validation mean q-error in cardinality space (Fig. 6's metric),
+        // via the warm scratch of shard slot 0 — no per-epoch allocation.
+        let label = featurizer.label_norm();
+        let scratch = &mut trainer.scratches[0];
+        let mut q_sum = 0.0f64;
+        let mut vi = 0usize;
+        for batch in &val_batches {
+            model.forward_scratch(batch, scratch);
+            for &p in &scratch.preds {
+                let est = label.denormalize(p).max(1.0);
+                let truth = val_truth[vi];
+                vi += 1;
+                q_sum += (est / truth).max(truth / est);
             }
         }
-        report.epoch_train_loss.push(epoch_loss / batches.max(1) as f64);
-
-        // Validation mean q-error in cardinality space (Fig. 6's metric).
-        let est = MscnEstimator { model: model.clone(), featurizer: featurizer.clone() };
-        let val_feats: Vec<FeaturizedQuery> = val_idx.iter().map(|&i| feats[i].clone()).collect();
-        let val_preds = est.estimate_featurized(&val_feats);
-        let mean_q =
-            val_preds.iter().zip(&val_truth).map(|(&e, &t)| (e / t).max(t / e)).sum::<f64>()
-                / val_truth.len().max(1) as f64;
-        report.epoch_val_mean_qerror.push(mean_q);
+        report.epoch_val_mean_qerror.push(q_sum / val_truth.len().max(1) as f64);
     }
     report.train_seconds = start.elapsed().as_secs_f64();
     TrainedModel { estimator: MscnEstimator { model, featurizer }, config, report }
@@ -387,6 +647,46 @@ mod tests {
         assert_eq!(pa, pb);
     }
 
+    /// The determinism guarantee of the data-parallel trainer: the worker
+    /// count changes wall-clock time, never a single byte of the trained
+    /// weights, the training curve, or the estimates.
+    #[test]
+    fn training_is_bitwise_identical_across_thread_counts() {
+        let db = generate(&ImdbConfig::tiny());
+        let mut rng = SmallRng::seed_from_u64(9);
+        let samples = SampleSet::draw(&db, 16, &mut rng);
+        let data = workloads::synthetic(&db, &samples, 300, 2, 23).queries;
+        let base = TrainConfig { epochs: 3, hidden: 24, batch_size: 128, ..TrainConfig::default() };
+        let runs: Vec<_> = [1usize, 2, 4]
+            .into_iter()
+            .map(|threads| train(&db, 16, &data, TrainConfig { threads, ..base }))
+            .collect();
+        let reference_bytes = runs[0].estimator.to_bytes();
+        let reference_curve = &runs[0].report.epoch_val_mean_qerror;
+        let reference_loss = &runs[0].report.epoch_train_loss;
+        for run in &runs[1..] {
+            assert_eq!(
+                run.estimator.to_bytes(),
+                reference_bytes,
+                "trained weights must be byte-identical across thread counts"
+            );
+            assert_eq!(&run.report.epoch_val_mean_qerror, reference_curve);
+            assert_eq!(&run.report.epoch_train_loss, reference_loss);
+        }
+        // And incremental training upholds the same guarantee.
+        let new_data = workloads::job_light(&db, &samples, 25).queries;
+        let inc_cfg = TrainConfig { epochs: 4, seed: 99, ..base };
+        let inc: Vec<_> = [1usize, 2, 4]
+            .into_iter()
+            .map(|threads| {
+                train_incremental(&runs[0].estimator, &new_data, TrainConfig { threads, ..inc_cfg })
+                    .to_bytes()
+            })
+            .collect();
+        assert_eq!(inc[0], inc[1]);
+        assert_eq!(inc[0], inc[2]);
+    }
+
     #[test]
     fn incremental_training_learns_new_data_with_frozen_encoding() {
         let db = generate(&ImdbConfig::tiny());
@@ -399,7 +699,11 @@ mod tests {
         // New data from a shifted distribution (JOB-light style).
         let new_data = workloads::job_light(&db, &samples, 30).queries;
         let before = mean_qerror(&base.estimator, &new_data);
-        let updated = train_incremental(&base.estimator, &new_data, 20, 99);
+        let updated = train_incremental(
+            &base.estimator,
+            &new_data,
+            TrainConfig { epochs: 20, seed: 99, ..cfg },
+        );
         let after = mean_qerror(&updated, &new_data);
         assert!(
             after < before,
@@ -411,6 +715,63 @@ mod tests {
             updated.featurizer().label_norm().scale(),
             base.estimator.featurizer().label_norm().scale()
         );
+    }
+
+    /// Regression test for the hyperparameter-plumbing bug: incremental
+    /// training used to hardcode Adam's learning rate (1e-3) and the
+    /// batch size (256) whatever the caller configured. A zero learning
+    /// rate must leave the weights untouched, and different learning
+    /// rates must produce different weights.
+    #[test]
+    fn incremental_training_honors_the_callers_hyperparameters() {
+        let db = generate(&ImdbConfig::tiny());
+        let mut rng = SmallRng::seed_from_u64(6);
+        let samples = SampleSet::draw(&db, 16, &mut rng);
+        let data = workloads::synthetic(&db, &samples, 120, 2, 31).queries;
+        let cfg = TrainConfig { epochs: 2, hidden: 16, ..TrainConfig::default() };
+        let base = train(&db, 16, &data, cfg).estimator;
+        let new_data = workloads::job_light(&db, &samples, 20).queries;
+
+        let frozen = train_incremental(
+            &base,
+            &new_data,
+            TrainConfig { learning_rate: 0.0, epochs: 3, seed: 7, ..cfg },
+        );
+        assert_eq!(
+            frozen.to_bytes(),
+            base.to_bytes(),
+            "lr = 0 must leave the weights byte-identical (the old code ignored it)"
+        );
+
+        let small_lr = train_incremental(
+            &base,
+            &new_data,
+            TrainConfig { learning_rate: 1e-4, epochs: 3, seed: 7, ..cfg },
+        );
+        let large_lr = train_incremental(
+            &base,
+            &new_data,
+            TrainConfig { learning_rate: 1e-2, epochs: 3, seed: 7, ..cfg },
+        );
+        assert_ne!(
+            small_lr.to_bytes(),
+            large_lr.to_bytes(),
+            "different learning rates must train differently"
+        );
+
+        // Batch size is honored too: one batch of 20 vs four of 5 take
+        // different gradient trajectories.
+        let big_batch = train_incremental(
+            &base,
+            &new_data,
+            TrainConfig { batch_size: 64, epochs: 3, seed: 7, ..cfg },
+        );
+        let tiny_batch = train_incremental(
+            &base,
+            &new_data,
+            TrainConfig { batch_size: 5, epochs: 3, seed: 7, ..cfg },
+        );
+        assert_ne!(big_batch.to_bytes(), tiny_batch.to_bytes(), "batch size must be honored");
     }
 
     #[test]
@@ -444,7 +805,10 @@ mod tests {
         let db = generate(&ImdbConfig::tiny());
         let mut rng = SmallRng::seed_from_u64(8);
         let samples = SampleSet::draw(&db, 24, &mut rng);
-        let data = workloads::synthetic(&db, &samples, 150, 2, 41).queries;
+        // 600 queries crosses the parallel-inference fan-out threshold,
+        // so this doubles as the block-parallel bitwise check on
+        // multi-core hosts (and under LC_INFER_THREADS in CI).
+        let data = workloads::synthetic(&db, &samples, 600, 2, 41).queries;
         let cfg = TrainConfig { epochs: 2, hidden: 16, ..TrainConfig::default() };
         let est = train(&db, 24, &data, cfg).estimator;
         let batched = (&est as &dyn CardinalityEstimator).estimate_all(&data);

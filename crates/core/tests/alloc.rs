@@ -1,0 +1,183 @@
+//! The zero-allocation guarantee of the scratch compute surface, asserted
+//! with a counting global allocator: after one warm-up pass, the
+//! steady-state training step — forward, loss, backward, fixed-order
+//! gradient reduction, Adam — and the arena-backed inference forward must
+//! never touch the allocator.
+//!
+//! Both phases live in ONE `#[test]`: the allocation counter is
+//! process-global, so a second concurrently-running test's setup would
+//! bleed into the measured window and flake the assertion.
+#![allow(unsafe_code)] // a GlobalAlloc impl is unavoidably unsafe; it only counts and delegates
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use lc_core::{MscnModel, RaggedBatch};
+use lc_nn::{Adam, LossKind};
+
+/// Delegates to the system allocator, counting every allocation call.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// A small synthetic ragged batch (no database machinery — this test is
+/// about the compute core only).
+fn synthetic_batch(queries: usize, dims: (usize, usize, usize), salt: f32) -> RaggedBatch {
+    let (td, jd, pd) = dims;
+    let mut feats = Vec::new();
+    for q in 0..queries {
+        let row = |d: usize, lo: f32| (0..d).map(|i| lo + salt * (i + q) as f32 % 1.0).collect();
+        feats.push(lc_core::featurize::FeaturizedQuery {
+            table_rows: (0..1 + q % 3).map(|t| row(td, t as f32 * 0.1)).collect(),
+            join_rows: (0..q % 2).map(|j| row(jd, j as f32 * 0.2)).collect(),
+            pred_rows: (0..q % 4).map(|p| row(pd, p as f32 * 0.3)).collect(),
+            target: (q as f32 * 0.37 + salt) % 1.0,
+        });
+    }
+    let refs: Vec<&lc_core::featurize::FeaturizedQuery> = feats.iter().collect();
+    RaggedBatch::assemble(&refs, td, jd, pd)
+}
+
+/// One full training step on pre-assembled shards with warm buffers:
+/// forward, loss gradient, backward, shard reduction, Adam.
+#[allow(clippy::too_many_arguments)]
+fn train_step(
+    model: &mut MscnModel,
+    shards: &[RaggedBatch],
+    batch_n: usize,
+    scratches: &mut [lc_core::MscnScratch],
+    shard_grads: &mut [lc_core::MscnGrads],
+    total: &mut lc_core::MscnGrads,
+    adam: &mut Adam,
+    slots: &[usize],
+) {
+    for ((batch, scratch), grads) in
+        shards.iter().zip(scratches.iter_mut()).zip(shard_grads.iter_mut())
+    {
+        grads.zero();
+        model.forward_scratch(batch, scratch);
+        scratch.grad_pred.clear();
+        scratch.grad_pred.resize(scratch.preds.len(), 0.0);
+        LossKind::MeanQError.loss_and_grad_scaled(
+            &scratch.preds,
+            &batch.targets,
+            3.0,
+            batch_n,
+            &mut scratch.grad_pred,
+        );
+        model.backward_scratch(batch, scratch, grads);
+    }
+    total.zero();
+    for grads in shard_grads.iter() {
+        total.add_assign(grads);
+    }
+    adam.begin_step();
+    let mut slot_iter = slots.iter();
+    for (mlp, mlp_grads) in model.mlps_mut().into_iter().zip(total.mlps()) {
+        for (layer, layer_grads) in mlp.layers_mut().into_iter().zip(mlp_grads.layers()) {
+            for (params, grads) in layer.params_mut().into_iter().zip(layer_grads.tensors()) {
+                adam.step_slot(*slot_iter.next().unwrap(), params, grads);
+            }
+        }
+    }
+}
+
+#[test]
+fn steady_state_compute_paths_do_not_allocate() {
+    let dims = (9, 4, 7);
+    let mut model = MscnModel::new(dims.0, dims.1, dims.2, 16, 42);
+    // Two differently-shaped mini-batches (each pre-sharded in two), so
+    // "steady state" covers alternating shapes, not just one.
+    let shards_a = [synthetic_batch(16, dims, 0.11), synthetic_batch(16, dims, 0.23)];
+    let shards_b = [synthetic_batch(9, dims, 0.31), synthetic_batch(9, dims, 0.47)];
+
+    let mut adam = Adam::new(1e-3);
+    let mut slots = Vec::new();
+    for mlp in model.mlps_mut() {
+        for layer in mlp.layers_mut() {
+            for params in layer.params_mut() {
+                slots.push(adam.register(params.len()));
+            }
+        }
+    }
+    let mut scratches = [lc_core::MscnScratch::new(), lc_core::MscnScratch::new()];
+    let mut shard_grads = [model.new_grads(), model.new_grads()];
+    let mut total = model.new_grads();
+
+    // Warm-up: grow every scratch buffer to its steady-state capacity.
+    for _ in 0..3 {
+        for shards in [&shards_a, &shards_b] {
+            train_step(
+                &mut model,
+                shards,
+                32,
+                &mut scratches,
+                &mut shard_grads,
+                &mut total,
+                &mut adam,
+                &slots,
+            );
+        }
+    }
+
+    let before = allocation_count();
+    for _ in 0..5 {
+        for shards in [&shards_a, &shards_b] {
+            train_step(
+                &mut model,
+                shards,
+                32,
+                &mut scratches,
+                &mut shard_grads,
+                &mut total,
+                &mut adam,
+                &slots,
+            );
+        }
+    }
+    let after = allocation_count();
+    assert_eq!(
+        after - before,
+        0,
+        "the steady-state training step must perform zero heap allocations"
+    );
+
+    // Phase two: the arena-backed inference forward on a warm scratch.
+    let batch = synthetic_batch(24, dims, 0.19);
+    let mut scratch = lc_core::MscnScratch::new();
+    for _ in 0..3 {
+        model.forward_scratch(&batch, &mut scratch);
+    }
+    let before = allocation_count();
+    for _ in 0..10 {
+        model.forward_scratch(&batch, &mut scratch);
+    }
+    assert_eq!(
+        allocation_count() - before,
+        0,
+        "the steady-state inference forward pass must perform zero heap allocations"
+    );
+}

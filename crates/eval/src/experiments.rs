@@ -651,7 +651,11 @@ pub fn ext_incremental(h: &mut Harness) -> String {
     // trainer never produced (closed ranges, equality-heavy predicates).
     let new_data = h.job_light.queries.clone();
     let old_eval = h.synthetic.queries.clone();
-    let updated = train_incremental(&base, &new_data, (h.cfg.train.epochs / 2).max(2), 4242);
+    let updated = train_incremental(
+        &base,
+        &new_data,
+        lc_core::TrainConfig { epochs: (h.cfg.train.epochs / 2).max(2), seed: 4242, ..h.cfg.train },
+    );
 
     let mean_q = |est: &lc_core::MscnEstimator, qs: &[LabeledQuery]| {
         let v = evaluate(est, qs);

@@ -4,9 +4,12 @@
 //! immature for ragged set models, so this crate implements exactly the
 //! pieces MSCN needs, from scratch, with hand-derived gradients:
 //!
-//! * [`Matrix`] — row-major `f32` matrices with the four product kernels
-//!   backprop needs (`A·B`, `A·Bᵀ`, `Aᵀ·B`) written in cache-friendly
-//!   loop orders;
+//! * [`Matrix`] — row-major `f32` matrices with the product kernels
+//!   backprop needs (`A·B`, `A·Bᵀ`, `Aᵀ·B`, fused `A·B + bias`),
+//!   cache-blocked/tiled and each available as an allocation-free
+//!   `_into` variant writing into caller-provided buffers;
+//! * [`Scratch`] — a reusable buffer arena so forward/backward passes
+//!   run with zero steady-state allocations;
 //! * [`Linear`] — fully-connected layer with Xavier init and gradient
 //!   accumulation;
 //! * [`Mlp`] — the paper's two-layer MLP module with ReLU hidden
@@ -25,12 +28,14 @@ mod linear;
 mod loss;
 mod matrix;
 mod mlp;
+mod scratch;
 
 pub use adam::Adam;
-pub use linear::Linear;
+pub use linear::{Linear, LinearGrads};
 pub use loss::LossKind;
 pub use matrix::Matrix;
-pub use mlp::{FinalActivation, Mlp, MlpCache};
+pub use mlp::{FinalActivation, Mlp, MlpCache, MlpGrads};
+pub use scratch::Scratch;
 
 /// ReLU applied element-wise in place.
 pub fn relu_inplace(x: &mut Matrix) {

@@ -5,17 +5,65 @@ use rand::Rng;
 
 use crate::matrix::Matrix;
 
+/// Gradient buffers for one [`Linear`] layer, held *outside* the layer so
+/// data-parallel workers can each accumulate into their own copy against
+/// a shared `&Linear` and reduce deterministically afterwards.
+#[derive(Clone, Debug)]
+pub struct LinearGrads {
+    /// `∂L/∂W`, same shape as the weight matrix.
+    pub w: Matrix,
+    /// `∂L/∂b`.
+    pub b: Vec<f32>,
+}
+
+impl LinearGrads {
+    /// Zeroed gradients for an `input × output` layer.
+    pub fn zeros(input: usize, output: usize) -> Self {
+        LinearGrads { w: Matrix::zeros(input, output), b: vec![0.0; output] }
+    }
+
+    /// Reset to zero, keeping the allocations.
+    pub fn zero(&mut self) {
+        self.w.fill_zero();
+        self.b.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Element-wise `self += other` — the fixed-order reduction step of
+    /// the data-parallel trainer.
+    ///
+    /// # Panics
+    /// If shapes differ.
+    pub fn add_assign(&mut self, other: &LinearGrads) {
+        assert_eq!(self.w.shape(), other.w.shape(), "grad shape mismatch");
+        for (a, &b) in self.w.data_mut().iter_mut().zip(other.w.data()) {
+            *a += b;
+        }
+        for (a, &b) in self.b.iter_mut().zip(&other.b) {
+            *a += b;
+        }
+    }
+
+    /// The two gradient tensors in canonical order (weights, bias) —
+    /// mirrors [`Linear::params_mut`] for the optimizer loop.
+    pub fn tensors(&self) -> [&[f32]; 2] {
+        [self.w.data(), &self.b]
+    }
+}
+
 /// A dense layer `y = x·W + b` with `W: [in × out]`.
 ///
-/// Gradients accumulate across [`Linear::backward`] calls until
-/// [`Linear::zero_grad`]; this is what lets the MSCN set modules process
-/// several ragged segments per mini-batch with shared parameters.
+/// Two gradient paths exist: the classic `&mut self`
+/// [`Linear::backward`], which accumulates into internal buffers until
+/// [`Linear::zero_grad`] (what lets the MSCN set modules process several
+/// ragged segments per mini-batch with shared parameters), and the
+/// `&self` [`Linear::backward_scratch`], which accumulates into a
+/// caller-provided [`LinearGrads`] — the shape the data-parallel trainer
+/// needs, and allocation-free.
 #[derive(Clone, Debug)]
 pub struct Linear {
     w: Matrix,
     b: Vec<f32>,
-    grad_w: Matrix,
-    grad_b: Vec<f32>,
+    grads: LinearGrads,
 }
 
 impl Linear {
@@ -26,9 +74,13 @@ impl Linear {
         Linear {
             w: Matrix::from_vec(input, output, data),
             b: vec![0.0; output],
-            grad_w: Matrix::zeros(input, output),
-            grad_b: vec![0.0; output],
+            grads: LinearGrads::zeros(input, output),
         }
+    }
+
+    /// Fresh zeroed external gradient buffers matching this layer.
+    pub fn new_grads(&self) -> LinearGrads {
+        LinearGrads::zeros(self.input_dim(), self.output_dim())
     }
 
     /// Input width.
@@ -48,37 +100,68 @@ impl Linear {
 
     /// `x·W + b` for a batch `x: [n × in]`.
     pub fn forward(&self, x: &Matrix) -> Matrix {
-        let mut out = x.matmul(&self.w);
-        out.add_bias(&self.b);
+        let mut out = Matrix::zeros(0, 0);
+        self.forward_into(x, &mut out);
         out
+    }
+
+    /// `x·W + b` written into `out` (resized in place) via the fused
+    /// matmul-plus-bias kernel — the allocation-free forward path.
+    pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
+        x.matmul_bias_into(&self.w, &self.b, out);
     }
 
     /// Backward pass: given the forward input `x` and `∂L/∂y`, accumulate
     /// `∂L/∂W`, `∂L/∂b` and return `∂L/∂x`.
     pub fn backward(&mut self, x: &Matrix, grad_out: &Matrix) -> Matrix {
-        debug_assert_eq!(grad_out.cols(), self.output_dim());
-        debug_assert_eq!(x.cols(), self.input_dim());
-        debug_assert_eq!(x.rows(), grad_out.rows());
-        x.matmul_transa_into(grad_out, &mut self.grad_w);
-        for i in 0..grad_out.rows() {
-            for (gb, &g) in self.grad_b.iter_mut().zip(grad_out.row(i)) {
-                *gb += g;
-            }
-        }
-        grad_out.matmul_transb(&self.w)
+        let mut grad_in = Matrix::zeros(0, 0);
+        let mut tmp = Matrix::zeros(0, 0);
+        let Linear { w, grads, .. } = self;
+        accumulate_param_grads(x, grad_out, grads);
+        grad_out.matmul_transb_scratch(w, &mut grad_in, &mut tmp);
+        grad_in
     }
 
-    /// Clear accumulated gradients.
+    /// Allocation-free backward pass against external gradient buffers:
+    /// accumulates `∂L/∂W`, `∂L/∂b` into `grads` and, when `grad_in` is
+    /// provided, overwrites it with `∂L/∂x` (using a `scratch` buffer for
+    /// the transposed weights). Pass `None` for leaf layers whose input
+    /// gradient nobody consumes — that skips an entire matmul, the
+    /// single biggest saving in the MSCN set modules.
+    pub fn backward_scratch(
+        &self,
+        x: &Matrix,
+        grad_out: &Matrix,
+        grads: &mut LinearGrads,
+        grad_in: Option<&mut Matrix>,
+        scratch: &mut crate::scratch::Scratch,
+    ) {
+        accumulate_param_grads(x, grad_out, grads);
+        if let Some(grad_in) = grad_in {
+            let mut wt = scratch.take(0, 0);
+            grad_out.matmul_transb_scratch(&self.w, grad_in, &mut wt);
+            scratch.put(wt);
+        }
+    }
+
+    /// Clear accumulated internal gradients.
     pub fn zero_grad(&mut self) {
-        self.grad_w.fill_zero();
-        self.grad_b.iter_mut().for_each(|v| *v = 0.0);
+        self.grads.zero();
     }
 
     /// Parameter/gradient pairs, weights first then bias — the order the
     /// optimizer and the serializer rely on.
     pub fn params_and_grads(&mut self) -> [(&mut [f32], &[f32]); 2] {
-        let Linear { w, b, grad_w, grad_b } = self;
-        [(w.data_mut(), grad_w.data()), (b.as_mut_slice(), grad_b.as_slice())]
+        let Linear { w, b, grads } = self;
+        [(w.data_mut(), grads.w.data()), (b.as_mut_slice(), grads.b.as_slice())]
+    }
+
+    /// Mutable parameter tensors in canonical order (weights, bias) —
+    /// pairs with [`LinearGrads::tensors`] in the external-gradient
+    /// optimizer loop.
+    pub fn params_mut(&mut self) -> [&mut [f32]; 2] {
+        let Linear { w, b, .. } = self;
+        [w.data_mut(), b.as_mut_slice()]
     }
 
     /// Read-only view of the weight matrix.
@@ -100,6 +183,21 @@ impl Linear {
         assert_eq!(b.len(), self.b.len(), "bias size mismatch");
         self.w = Matrix::from_vec(self.w.rows(), self.w.cols(), w);
         self.b = b;
+    }
+}
+
+/// The shared parameter-gradient math of [`Linear::backward`] and
+/// [`Linear::backward_scratch`]: accumulate `∂L/∂W = xᵀ·∂L/∂y` and
+/// `∂L/∂b = Σ_rows ∂L/∂y` into `grads`.
+fn accumulate_param_grads(x: &Matrix, grad_out: &Matrix, grads: &mut LinearGrads) {
+    debug_assert_eq!(grad_out.cols(), grads.w.cols());
+    debug_assert_eq!(x.cols(), grads.w.rows());
+    debug_assert_eq!(x.rows(), grad_out.rows());
+    x.matmul_transa_into(grad_out, &mut grads.w);
+    for i in 0..grad_out.rows() {
+        for (gb, &g) in grads.b.iter_mut().zip(grad_out.row(i)) {
+            *gb += g;
+        }
     }
 }
 
@@ -174,8 +272,50 @@ mod tests {
 
     impl Linear {
         fn grad_w_entry(&self, i: usize, j: usize) -> f32 {
-            self.grad_w.get(i, j)
+            self.grads.w.get(i, j)
         }
+    }
+
+    /// The external-gradient path must produce the same gradients as the
+    /// internal one, and skipping `grad_in` must not change them.
+    #[test]
+    fn backward_scratch_matches_internal_backward() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut layer = Linear::new(4, 3, &mut rng);
+        let x = Matrix::from_vec(2, 4, (0..8).map(|i| (i as f32 - 4.0) * 0.3).collect());
+        let ones = Matrix::from_vec(2, 3, vec![1.0; 6]);
+        layer.zero_grad();
+        let grad_x = layer.backward(&x, &ones);
+
+        let mut scratch = crate::scratch::Scratch::new();
+        let mut ext = layer.new_grads();
+        let mut grad_in = Matrix::zeros(0, 0);
+        layer.backward_scratch(&x, &ones, &mut ext, Some(&mut grad_in), &mut scratch);
+        assert_eq!(grad_in.data(), grad_x.data(), "grad_in must match bitwise");
+        assert_eq!(ext.w.data(), layer.grads.w.data());
+        assert_eq!(ext.b, layer.grads.b);
+
+        // Leaf mode (no input gradient) accumulates the same parameter grads.
+        let mut leaf = layer.new_grads();
+        layer.backward_scratch(&x, &ones, &mut leaf, None, &mut scratch);
+        assert_eq!(leaf.w.data(), ext.w.data());
+        assert_eq!(leaf.b, ext.b);
+    }
+
+    #[test]
+    fn grads_add_assign_reduces() {
+        let mut a = LinearGrads::zeros(2, 2);
+        let mut b = LinearGrads::zeros(2, 2);
+        a.w.set(0, 1, 2.0);
+        a.b[0] = 1.0;
+        b.w.set(0, 1, 3.0);
+        b.b[1] = -4.0;
+        a.add_assign(&b);
+        assert_eq!(a.w.get(0, 1), 5.0);
+        assert_eq!(a.b, vec![1.0, -4.0]);
+        a.zero();
+        assert!(a.w.data().iter().all(|&v| v == 0.0));
+        assert_eq!(a.tensors()[1], &[0.0, 0.0]);
     }
 
     #[test]

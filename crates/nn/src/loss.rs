@@ -56,10 +56,31 @@ impl LossKind {
     /// # Panics
     /// If slices disagree in length or the batch is empty.
     pub fn loss_and_grad(&self, pred: &[f32], target: &[f32], scale: f32, grad: &mut [f32]) -> f64 {
+        self.loss_and_grad_scaled(pred, target, scale, pred.len(), grad) / pred.len().max(1) as f64
+    }
+
+    /// Shard-aware variant: computes losses/gradients for a *slice* of a
+    /// mini-batch whose full size is `batch_n`. Gradients are divided by
+    /// `batch_n` (not the slice length) so per-shard calls of the
+    /// data-parallel trainer compose to exactly the full-batch mean
+    /// objective; the return value is the **sum** (not mean) of the
+    /// slice's losses, for the caller to divide after reducing shards.
+    ///
+    /// # Panics
+    /// If slices disagree in length, the slice is empty, or `batch_n == 0`.
+    pub fn loss_and_grad_scaled(
+        &self,
+        pred: &[f32],
+        target: &[f32],
+        scale: f32,
+        batch_n: usize,
+        grad: &mut [f32],
+    ) -> f64 {
         assert_eq!(pred.len(), target.len());
         assert_eq!(pred.len(), grad.len());
         assert!(!pred.is_empty(), "empty batch");
-        let n = pred.len() as f32;
+        assert!(batch_n > 0, "zero batch size");
+        let n = batch_n as f32;
         let mut total = 0.0f64;
         // f32::signum maps 0.0 to 1.0; the subgradient at Δ = 0 must be 0.
         let sign = |d: f32| {
@@ -95,7 +116,7 @@ impl LossKind {
                 }
             }
         }
-        total / pred.len() as f64
+        total
     }
 }
 
@@ -164,6 +185,33 @@ mod tests {
         let loss = LossKind::MeanQError.loss_and_grad(&[1.0], &[0.0], 1e6, &mut grad);
         assert!(loss.is_finite());
         assert!(grad[0].is_finite());
+    }
+
+    /// Shard-wise calls with an explicit full-batch size must reproduce
+    /// the whole-batch gradients bitwise — the property the data-parallel
+    /// trainer's determinism rests on.
+    #[test]
+    fn sharded_calls_compose_to_the_full_batch() {
+        let pred = vec![0.3f32, 0.6, 0.9, 0.1, 0.45];
+        let target = vec![0.5f32, 0.55, 0.2, 0.15, 0.4];
+        let scale = 4.0;
+        for kind in [LossKind::MeanQError, LossKind::Mse, LossKind::GeometricQError] {
+            let mut full_grad = vec![0.0f32; 5];
+            let full_mean = kind.loss_and_grad(&pred, &target, scale, &mut full_grad);
+            let mut shard_grad = vec![0.0f32; 5];
+            let mut total = 0.0f64;
+            for range in [0..2, 2..5] {
+                total += kind.loss_and_grad_scaled(
+                    &pred[range.clone()],
+                    &target[range.clone()],
+                    scale,
+                    5,
+                    &mut shard_grad[range],
+                );
+            }
+            assert_eq!(shard_grad, full_grad, "{kind:?}: shard grads must match bitwise");
+            assert!((total / 5.0 - full_mean).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -4,8 +4,9 @@
 
 use rand::Rng;
 
-use crate::linear::Linear;
+use crate::linear::{Linear, LinearGrads};
 use crate::matrix::Matrix;
+use crate::scratch::Scratch;
 use crate::{relu_backward_inplace, relu_inplace, sigmoid_backward_inplace, sigmoid_inplace};
 
 /// Activation applied after the second layer.
@@ -17,13 +18,52 @@ pub enum FinalActivation {
     Sigmoid,
 }
 
-/// Forward-pass intermediates needed by the backward pass.
-#[derive(Clone, Debug)]
+/// Forward-pass intermediates needed by the backward pass. Reused across
+/// calls via [`Mlp::forward_into`]: the matrices are resized in place, so
+/// a warm cache never allocates.
+#[derive(Clone, Debug, Default)]
 pub struct MlpCache {
     /// Post-ReLU activations of the hidden layer.
     pub hidden: Matrix,
     /// Post-activation output of the second layer.
     pub output: Matrix,
+}
+
+impl MlpCache {
+    /// An empty cache; buffers grow on first forward pass.
+    pub fn new() -> Self {
+        MlpCache { hidden: Matrix::zeros(0, 0), output: Matrix::zeros(0, 0) }
+    }
+}
+
+/// External gradient buffers for both layers of an [`Mlp`] — one per
+/// data-parallel worker, reduced in fixed order after the backward pass.
+#[derive(Clone, Debug)]
+pub struct MlpGrads {
+    /// First (input → hidden) layer gradients.
+    pub l1: LinearGrads,
+    /// Second (hidden → output) layer gradients.
+    pub l2: LinearGrads,
+}
+
+impl MlpGrads {
+    /// Reset to zero, keeping the allocations.
+    pub fn zero(&mut self) {
+        self.l1.zero();
+        self.l2.zero();
+    }
+
+    /// Element-wise `self += other` (deterministic reduction step).
+    pub fn add_assign(&mut self, other: &MlpGrads) {
+        self.l1.add_assign(&other.l1);
+        self.l2.add_assign(&other.l2);
+    }
+
+    /// Layer gradients in canonical order (first, second) — mirrors
+    /// [`Mlp::layers_mut`] for the optimizer loop.
+    pub fn layers(&self) -> [&LinearGrads; 2] {
+        [&self.l1, &self.l2]
+    }
 }
 
 /// Two fully-connected layers with ReLU in between.
@@ -64,14 +104,21 @@ impl Mlp {
     /// Forward a batch `x: [n × input]`, returning the output and the cache
     /// for [`Mlp::backward`].
     pub fn forward(&self, x: &Matrix) -> MlpCache {
-        let mut hidden = self.l1.forward(x);
-        relu_inplace(&mut hidden);
-        let mut output = self.l2.forward(&hidden);
+        let mut cache = MlpCache::new();
+        self.forward_into(x, &mut cache);
+        cache
+    }
+
+    /// Allocation-free forward pass: writes hidden and output activations
+    /// into `cache`, resizing its buffers in place.
+    pub fn forward_into(&self, x: &Matrix, cache: &mut MlpCache) {
+        self.l1.forward_into(x, &mut cache.hidden);
+        relu_inplace(&mut cache.hidden);
+        self.l2.forward_into(&cache.hidden, &mut cache.output);
         match self.final_act {
-            FinalActivation::Relu => relu_inplace(&mut output),
-            FinalActivation::Sigmoid => sigmoid_inplace(&mut output),
+            FinalActivation::Relu => relu_inplace(&mut cache.output),
+            FinalActivation::Sigmoid => sigmoid_inplace(&mut cache.output),
         }
-        MlpCache { hidden, output }
     }
 
     /// Backward pass; accumulates parameter gradients and returns `∂L/∂x`.
@@ -83,6 +130,45 @@ impl Mlp {
         let mut grad_hidden = self.l2.backward(&cache.hidden, &grad_out);
         relu_backward_inplace(&mut grad_hidden, &cache.hidden);
         self.l1.backward(x, &grad_hidden)
+    }
+
+    /// Allocation-free backward pass against external gradient buffers.
+    ///
+    /// `grad_out` (`∂L/∂output`, post-activation) is consumed in place;
+    /// the one temporary (the hidden-layer gradient) comes from
+    /// `scratch`. When `grad_in` is `Some`, it is overwritten with
+    /// `∂L/∂x`; pass `None` when the input is a leaf (the MSCN set
+    /// modules), which skips the first layer's input-gradient matmul
+    /// entirely.
+    pub fn backward_scratch(
+        &self,
+        x: &Matrix,
+        cache: &MlpCache,
+        grad_out: &mut Matrix,
+        grads: &mut MlpGrads,
+        scratch: &mut Scratch,
+        grad_in: Option<&mut Matrix>,
+    ) {
+        match self.final_act {
+            FinalActivation::Relu => relu_backward_inplace(grad_out, &cache.output),
+            FinalActivation::Sigmoid => sigmoid_backward_inplace(grad_out, &cache.output),
+        }
+        let mut grad_hidden = scratch.take(grad_out.rows(), self.l1.output_dim());
+        self.l2.backward_scratch(
+            &cache.hidden,
+            grad_out,
+            &mut grads.l2,
+            Some(&mut grad_hidden),
+            scratch,
+        );
+        relu_backward_inplace(&mut grad_hidden, &cache.hidden);
+        self.l1.backward_scratch(x, &grad_hidden, &mut grads.l1, grad_in, scratch);
+        scratch.put(grad_hidden);
+    }
+
+    /// Fresh zeroed external gradient buffers matching this module.
+    pub fn new_grads(&self) -> MlpGrads {
+        MlpGrads { l1: self.l1.new_grads(), l2: self.l2.new_grads() }
     }
 
     /// Clear accumulated gradients in both layers.
@@ -169,6 +255,62 @@ mod tests {
         let down = sum_loss(&perturb(-eps, &mlp), &x);
         let numeric = (up - down) / (2.0 * eps);
         assert!((numeric - analytic).abs() < 2e-2, "numeric {numeric} analytic {analytic}");
+    }
+
+    /// The scratch path must reproduce the internal-gradient path bitwise
+    /// (both final activations, with and without the input gradient).
+    #[test]
+    fn backward_scratch_matches_backward_bitwise() {
+        for act in [FinalActivation::Relu, FinalActivation::Sigmoid] {
+            let mut rng = SmallRng::seed_from_u64(21);
+            let mut mlp = Mlp::new(5, 8, 3, act, &mut rng);
+            let x = Matrix::from_vec(4, 5, (0..20).map(|i| (i as f32 - 10.0) * 0.13).collect());
+            let cache = mlp.forward(&x);
+            let seed_grad = Matrix::from_vec(4, 3, (0..12).map(|i| 0.1 * i as f32 - 0.5).collect());
+
+            mlp.zero_grad();
+            let grad_x = mlp.backward(&x, &cache, seed_grad.clone());
+            let internal: Vec<Vec<f32>> = mlp
+                .layers_mut()
+                .map(|l| {
+                    let pg = l.params_and_grads();
+                    [pg[0].1.to_vec(), pg[1].1.to_vec()].concat()
+                })
+                .to_vec();
+
+            let mut grads = mlp.new_grads();
+            let mut scratch = Scratch::new();
+            let mut grad_out = seed_grad.clone();
+            let mut grad_in = Matrix::zeros(0, 0);
+            let mut cache2 = MlpCache::new();
+            mlp.forward_into(&x, &mut cache2);
+            assert_eq!(cache2.output.data(), cache.output.data());
+            mlp.backward_scratch(
+                &x,
+                &cache2,
+                &mut grad_out,
+                &mut grads,
+                &mut scratch,
+                Some(&mut grad_in),
+            );
+            assert_eq!(grad_in.data(), grad_x.data(), "{act:?}: input grads must match bitwise");
+            for (ext, int) in grads.layers().iter().zip(&internal) {
+                let flat = [ext.tensors()[0].to_vec(), ext.tensors()[1].to_vec()].concat();
+                assert_eq!(&flat, int, "{act:?}: parameter grads must match bitwise");
+            }
+            // Both temporaries (hidden grad, weight transpose) return to
+            // the pool.
+            assert_eq!(scratch.pooled(), 2, "temporaries must return to the pool");
+
+            // Leaf mode: same parameter gradients, no input gradient.
+            grads.zero();
+            let mut grad_out = seed_grad.clone();
+            mlp.backward_scratch(&x, &cache2, &mut grad_out, &mut grads, &mut scratch, None);
+            for (ext, int) in grads.layers().iter().zip(&internal) {
+                let flat = [ext.tensors()[0].to_vec(), ext.tensors()[1].to_vec()].concat();
+                assert_eq!(&flat, int, "{act:?}: leaf-mode grads must match");
+            }
+        }
     }
 
     #[test]

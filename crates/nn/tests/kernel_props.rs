@@ -1,0 +1,148 @@
+//! Property tests: the blocked/tiled product kernels must agree with a
+//! textbook naive reference on arbitrary shapes and contents — including
+//! shapes straddling every tile/register-block boundary and operands with
+//! one-hot-like sparsity.
+
+use lc_nn::Matrix;
+use proptest::prelude::*;
+
+/// Naive ijk reference.
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut acc = 0.0f32;
+            for k in 0..a.cols() {
+                acc += a.get(i, k) * b.get(k, j);
+            }
+            out.set(i, j, acc);
+        }
+    }
+    out
+}
+
+/// Build a matrix by cycling through integer value/mask pools (the
+/// vendored proptest stub generates integers only).
+fn matrix_from(rows: usize, cols: usize, vals: &[i32], zero_mask: &[u8]) -> Matrix {
+    let data = (0..rows * cols)
+        .map(|i| {
+            if zero_mask[i % zero_mask.len()] == 0 {
+                0.0
+            } else {
+                vals[i % vals.len()] as f32 / 100.0
+            }
+        })
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Strategy inputs: shapes up to 3× the register block / beyond one k
+/// tile, value pools, and a sparsity mask pattern.
+fn shapes() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..80, 1usize..300, 1usize..100)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// `matmul_into` (tiled + register-blocked) matches naive within
+    /// 1e-5 relative tolerance, on dirty output buffers of any prior
+    /// shape.
+    #[test]
+    fn matmul_into_matches_naive(
+        (r, k, c) in shapes(),
+        vals in proptest::collection::vec(-200i32..200, 8..32),
+        mask in proptest::collection::vec(0u8..2, 4..16),
+        stale_rows in 0usize..40,
+    ) {
+        let a = matrix_from(r, k, &vals, &mask);
+        let b = matrix_from(k, c, &vals, &[1]);
+        let expected = naive_matmul(&a, &b);
+        let mut out = Matrix::from_vec(stale_rows, 3, vec![7.0; stale_rows * 3]);
+        a.matmul_into(&b, &mut out);
+        prop_assert_eq!(out.shape(), (r, c));
+        for i in 0..r {
+            for j in 0..c {
+                let (got, want) = (out.get(i, j), expected.get(i, j));
+                prop_assert!(
+                    (got - want).abs() <= 1e-5 * want.abs().max(1.0),
+                    "({}, {}): got {} want {}", i, j, got, want
+                );
+            }
+        }
+    }
+
+    /// The fused bias kernel equals matmul followed by a bias add.
+    #[test]
+    fn matmul_bias_into_matches_naive(
+        (r, k, c) in shapes(),
+        vals in proptest::collection::vec(-200i32..200, 8..32),
+        mask in proptest::collection::vec(0u8..2, 4..16),
+    ) {
+        let a = matrix_from(r, k, &vals, &mask);
+        let b = matrix_from(k, c, &vals, &[1]);
+        let bias: Vec<f32> = (0..c).map(|j| vals[j % vals.len()] as f32 / 200.0).collect();
+        let expected = naive_matmul(&a, &b);
+        let mut out = Matrix::zeros(0, 0);
+        a.matmul_bias_into(&b, &bias, &mut out);
+        for i in 0..r {
+            for (j, &bias_j) in bias.iter().enumerate() {
+                let want = expected.get(i, j) + bias_j;
+                prop_assert!((out.get(i, j) - want).abs() <= 1e-4 * want.abs().max(1.0));
+            }
+        }
+    }
+
+    /// Both `A·Bᵀ` paths (dot-product and transpose + blocked matmul)
+    /// match naive — and each other bitwise, which is what lets the
+    /// backward pass pick the fast one freely.
+    #[test]
+    fn matmul_transb_paths_match(
+        (r, k, c) in shapes(),
+        vals in proptest::collection::vec(-200i32..200, 8..32),
+        mask in proptest::collection::vec(0u8..2, 4..16),
+    ) {
+        let a = matrix_from(r, k, &vals, &mask);
+        let b = matrix_from(c, k, &vals, &[1]); // b: [c × k], used transposed
+        let mut bt = Matrix::zeros(0, 0);
+        b.transpose_into(&mut bt);
+        let expected = naive_matmul(&a, &bt);
+        let mut dot = Matrix::zeros(0, 0);
+        a.matmul_transb_into(&b, &mut dot);
+        let mut fast = Matrix::zeros(0, 0);
+        let mut tmp = Matrix::zeros(0, 0);
+        a.matmul_transb_scratch(&b, &mut fast, &mut tmp);
+        prop_assert_eq!(
+            dot.data(), fast.data(),
+            "dot-product and transpose paths must agree bitwise"
+        );
+        for i in 0..r {
+            for j in 0..c {
+                let (got, want) = (fast.get(i, j), expected.get(i, j));
+                prop_assert!((got - want).abs() <= 1e-5 * want.abs().max(1.0));
+            }
+        }
+    }
+
+    /// `Aᵀ·B` accumulation matches naive on a zeroed output.
+    #[test]
+    fn matmul_transa_matches_naive(
+        (r, k, c) in (1usize..60, 1usize..80, 1usize..80),
+        vals in proptest::collection::vec(-200i32..200, 8..32),
+        mask in proptest::collection::vec(0u8..2, 4..16),
+    ) {
+        let a = matrix_from(r, k, &vals, &mask); // aᵀ: [k × r]
+        let b = matrix_from(r, c, &vals, &[1]);
+        let mut at = Matrix::zeros(0, 0);
+        a.transpose_into(&mut at);
+        let expected = naive_matmul(&at, &b);
+        let mut out = Matrix::zeros(k, c);
+        a.matmul_transa_into(&b, &mut out);
+        for i in 0..k {
+            for j in 0..c {
+                let (got, want) = (out.get(i, j), expected.get(i, j));
+                prop_assert!((got - want).abs() <= 1e-5 * want.abs().max(1.0));
+            }
+        }
+    }
+}

@@ -17,6 +17,16 @@
 //! `lc_core`'s kernels reduce every matrix row in the same order
 //! regardless of batch composition, coalescing is *semantically
 //! invisible*: batched results are bitwise identical to sequential ones.
+//!
+//! Coalesced batches run on `lc_core`'s arena-backed forward pass: warm
+//! inference scratches come from a process-wide pool and are reused
+//! across flushes and worker threads (zero steady-state allocation in
+//! the network itself), and batches large
+//! enough to span multiple inference blocks fan out across scoped worker
+//! threads inside `estimate_all` — still bitwise identical, since block
+//! boundaries and per-row reductions never depend on the worker count.
+//! That is what makes *larger* `max_batch` values genuinely amortize
+//! instead of just queueing.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -316,6 +326,27 @@ mod tests {
         let stats = batcher.stats();
         assert_eq!((stats.requests, stats.batches, stats.max_batch), (10, 1, 10));
         assert!((stats.mean_batch() - 10.0).abs() < 1e-9);
+    }
+
+    /// Large coalesced batches ride the arena-backed (and, on multi-core
+    /// hosts, block-parallel) forward pass of `lc_core` — the answers
+    /// must still be bitwise identical to one-at-a-time inference.
+    #[test]
+    fn large_coalesced_batch_is_bitwise_identical() {
+        let (_, est, data) = fixture();
+        let expected: Vec<f64> = data.iter().map(|q| est.estimate(q)).collect();
+        let registry = Arc::new(ModelRegistry::new(est));
+        let batcher = MicroBatcher::new(
+            registry,
+            BatcherConfig { workers: 0, max_batch: 512, ..BatcherConfig::default() },
+        );
+        let rxs: Vec<_> = data.iter().map(|q| batcher.submit(q.clone())).collect();
+        assert_eq!(batcher.flush_now(), data.len(), "one flush coalesces the whole queue");
+        for (rx, want) in rxs.into_iter().zip(expected) {
+            let got = rx.recv().expect("estimate delivered");
+            assert_eq!(got.cardinality, want, "coalescing changed an estimate");
+            assert_eq!(got.micro_batch, data.len() as u32);
+        }
     }
 
     #[test]

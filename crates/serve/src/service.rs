@@ -9,6 +9,13 @@
 //! version. [`EstimationService::submit`] exposes the non-blocking half
 //! so callers holding many queries can enqueue them all before waiting —
 //! that is what makes the coalesced path reachable from a single thread.
+//!
+//! Inference itself rides `lc_core`'s allocation-free compute core: the
+//! batcher worker's scratch arena persists across batches, and large
+//! coalesced batches go block-parallel inside `estimate_all` without
+//! changing a single output bit (see `lc_nn`'s kernel determinism
+//! notes), so the service can raise `max_batch` for throughput without
+//! a correctness trade.
 
 use std::sync::mpsc::Receiver;
 use std::sync::Arc;
