@@ -1,16 +1,20 @@
-//! Compute-kernel micro-benchmarks: the blocked/tiled `lc_nn` product
-//! kernels vs a textbook naive ijk reference, at MSCN-realistic shapes.
+//! Compute-kernel micro-benchmarks: the dispatched SIMD `lc_nn` product
+//! kernels vs a textbook naive ijk reference, at MSCN-realistic shapes —
+//! plus the sparse one-hot input path vs its dense equivalent.
 //!
 //! Shapes mirror the hot paths: `input` is the set-module first layer
 //! (one-hot + bitmap features, mostly zeros), `hidden` the dense second
-//! layer, `concat` the output network's first layer, and the `trans*`
-//! kernels the two backward products. Set `LC_BENCH_QUICK=1` for a
+//! layer, `concat` the output network's first layer, the `trans*`
+//! kernels the two backward products, and `sparse_*` the CSR input-layer
+//! forward/gradient against the dense kernels on the same ~85%-zero
+//! data. The active dispatch path (`LC_KERNEL`) is printed up front so
+//! recorded numbers are attributable. Set `LC_BENCH_QUICK=1` for a
 //! sub-second smoke run (used by CI to catch kernel regressions loudly);
 //! every variant is also checked against the naive reference before
 //! timing, so a correctness regression aborts the bench run.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use lc_nn::Matrix;
+use lc_nn::{kernel_name, Matrix, SparseRows};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -42,6 +46,7 @@ fn assert_close(tiled: &Matrix, naive: &Matrix, what: &str) {
 }
 
 fn bench_kernels(c: &mut Criterion) {
+    eprintln!("lc_nn kernel dispatch: {}", kernel_name());
     let mut rng = SmallRng::seed_from_u64(42);
     // (name, rows, k, cols, zero fraction of the left operand)
     let shapes = [
@@ -115,6 +120,77 @@ fn bench_kernels(c: &mut Criterion) {
         bencher.iter(|| {
             grad_w.fill_zero();
             black_box(&x).matmul_transa_into(black_box(&g), &mut grad_w);
+            grad_w.get(0, 0)
+        })
+    });
+
+    // Sparse input-layer path vs the dense kernels on the same
+    // ~85%-zero one-hot/bitmap data — forward (fused bias) and weight
+    // gradient. Checked bitwise first: the CSR path must not merely be
+    // close to the dense one, it must be the same bits.
+    let w_in = random_matrix(70, 64, 0.0, &mut rng);
+    let bias: Vec<f32> = (0..64).map(|_| rng.gen_range(-0.5f32..0.5)).collect();
+    let x_sp = SparseRows::from_dense(&x);
+    let mut sparse_out = Matrix::zeros(0, 0);
+    {
+        let mut dense_out = Matrix::zeros(0, 0);
+        x.matmul_bias_into(&w_in, &bias, &mut dense_out);
+        lc_nn::kernels::sparse_matmul_bias_with(
+            lc_nn::kernels::active(),
+            &x_sp,
+            &w_in,
+            &bias,
+            &mut sparse_out,
+        );
+        assert_eq!(
+            dense_out.data(),
+            sparse_out.data(),
+            "sparse_fwd: CSR forward must match the dense fused forward bitwise"
+        );
+    }
+    group.bench_function("sparse_fwd/input_512x70x64_nnz15", |bencher| {
+        bencher.iter(|| {
+            lc_nn::kernels::sparse_matmul_bias_with(
+                lc_nn::kernels::active(),
+                black_box(&x_sp),
+                black_box(&w_in),
+                &bias,
+                &mut sparse_out,
+            );
+            sparse_out.get(0, 0)
+        })
+    });
+    group.bench_function("sparse_fwd/dense_equiv_512x70x64", |bencher| {
+        bencher.iter(|| {
+            black_box(&x).matmul_bias_into(black_box(&w_in), &bias, &mut sparse_out);
+            sparse_out.get(0, 0)
+        })
+    });
+    {
+        let mut dense_gw = Matrix::zeros(70, 64);
+        x.matmul_transa_into(&g, &mut dense_gw);
+        let mut sparse_gw = Matrix::zeros(70, 64);
+        lc_nn::kernels::sparse_transa_accumulate_with(
+            lc_nn::kernels::active(),
+            &x_sp,
+            &g,
+            &mut sparse_gw,
+        );
+        assert_eq!(
+            dense_gw.data(),
+            sparse_gw.data(),
+            "sparse_grad: CSR transa must match the dense transa bitwise"
+        );
+    }
+    group.bench_function("sparse_grad/input_512x70t_x_512x64", |bencher| {
+        bencher.iter(|| {
+            grad_w.fill_zero();
+            lc_nn::kernels::sparse_transa_accumulate_with(
+                lc_nn::kernels::active(),
+                black_box(&x_sp),
+                black_box(&g),
+                &mut grad_w,
+            );
             grad_w.get(0, 0)
         })
     });

@@ -8,23 +8,35 @@
 //! average — an empty set yields the zero vector, matching the all-masked
 //! behaviour of the reference implementation.
 
-use lc_nn::Matrix;
+use lc_nn::{Matrix, SparseRows};
 
 use crate::featurize::FeaturizedQuery;
 
 /// A mini-batch of featurized queries in ragged layout.
+///
+/// Each module's element rows exist twice: as a dense stacked [`Matrix`]
+/// (the classic compute surface and the backward pass's shape source)
+/// and as a CSR-style [`SparseRows`] stack feeding the O(nnz) input-layer
+/// kernels — bitwise-equivalent views of the same data.
 #[derive(Clone, Debug)]
 pub struct RaggedBatch {
     /// Stacked table feature rows of all queries.
     pub tables: Matrix,
+    /// CSR view of `tables` (exact nonzeros, used by the sparse input
+    /// layer of the table set-MLP).
+    pub tables_sp: SparseRows,
     /// `(offset, len)` into `tables` per query.
     pub table_segs: Vec<(u32, u32)>,
     /// Stacked join feature rows.
     pub joins: Matrix,
+    /// CSR view of `joins`.
+    pub joins_sp: SparseRows,
     /// `(offset, len)` into `joins` per query.
     pub join_segs: Vec<(u32, u32)>,
     /// Stacked predicate feature rows.
     pub preds: Matrix,
+    /// CSR view of `preds`.
+    pub preds_sp: SparseRows,
     /// `(offset, len)` into `preds` per query.
     pub pred_segs: Vec<(u32, u32)>,
     /// Normalized targets, one per query.
@@ -35,7 +47,11 @@ impl RaggedBatch {
     /// Assemble a batch from featurized queries (in the given order).
     ///
     /// `table_dim`, `join_dim`, `pred_dim` fix the matrix widths even when
-    /// a module receives zero rows across the whole batch.
+    /// a module receives zero rows across the whole batch. The CSR stacks
+    /// are derived by scanning the dense rows (the canonical nonzero
+    /// form); callers that assemble the same corpus repeatedly use
+    /// [`RaggedBatch::assemble_indexed`] with a pre-scanned
+    /// [`CorpusSparse`] instead.
     pub fn assemble(
         queries: &[&FeaturizedQuery],
         table_dim: usize,
@@ -47,34 +63,47 @@ impl RaggedBatch {
             queries: &[&FeaturizedQuery],
             pick: impl Fn(&FeaturizedQuery) -> &Vec<Vec<f32>>,
             dim: usize,
-        ) -> (Matrix, Vec<(u32, u32)>) {
+        ) -> (Matrix, SparseRows, Vec<(u32, u32)>) {
             let total: usize = rows.sum();
             let mut data = Vec::with_capacity(total * dim);
+            let mut sparse = SparseRows::new(dim);
             let mut segs = Vec::with_capacity(queries.len());
             let mut offset = 0u32;
             for q in queries {
                 let rs = pick(q);
                 for r in rs {
                     debug_assert_eq!(r.len(), dim);
+                    sparse.push_row_from_dense(r);
                     data.extend_from_slice(r);
                 }
                 segs.push((offset, rs.len() as u32));
                 offset += rs.len() as u32;
             }
-            (Matrix::from_vec(total, dim, data), segs)
+            (Matrix::from_vec(total, dim, data), sparse, segs)
         }
-        let (tables, table_segs) = stack(
+        let (tables, tables_sp, table_segs) = stack(
             queries.iter().map(|q| q.table_rows.len()),
             queries,
             |q| &q.table_rows,
             table_dim,
         );
-        let (joins, join_segs) =
+        let (joins, joins_sp, join_segs) =
             stack(queries.iter().map(|q| q.join_rows.len()), queries, |q| &q.join_rows, join_dim);
-        let (preds, pred_segs) =
+        let (preds, preds_sp, pred_segs) =
             stack(queries.iter().map(|q| q.pred_rows.len()), queries, |q| &q.pred_rows, pred_dim);
         let targets = queries.iter().map(|q| q.target).collect();
-        RaggedBatch { tables, table_segs, joins, join_segs, preds, pred_segs, targets }
+        RaggedBatch {
+            tables,
+            tables_sp,
+            table_segs,
+            joins,
+            joins_sp,
+            join_segs,
+            preds,
+            preds_sp,
+            pred_segs,
+            targets,
+        }
     }
 
     /// Number of queries in the batch.
@@ -85,6 +114,119 @@ impl RaggedBatch {
     /// True if the batch holds no queries.
     pub fn is_empty(&self) -> bool {
         self.table_segs.is_empty()
+    }
+}
+
+/// Corpus-level CSR views of a featurized training set: all set-element
+/// rows of every query, stacked once, plus per-query row offsets. Built
+/// once per training run; every epoch's mini-batch assembly then copies
+/// whole row ranges out of it ([`SparseRows::push_rows_from`]) instead
+/// of re-scanning dense rows or re-validating entries per epoch.
+pub struct CorpusSparse {
+    tables: SparseRows,
+    joins: SparseRows,
+    preds: SparseRows,
+    /// Query `q`'s table rows live at `t_row0[q]..t_row0[q + 1]`.
+    t_row0: Vec<u32>,
+    j_row0: Vec<u32>,
+    p_row0: Vec<u32>,
+}
+
+impl CorpusSparse {
+    /// Scan a featurized corpus into its stacked CSR form.
+    pub fn build(
+        feats: &[FeaturizedQuery],
+        table_dim: usize,
+        join_dim: usize,
+        pred_dim: usize,
+    ) -> Self {
+        let mut out = CorpusSparse {
+            tables: SparseRows::new(table_dim),
+            joins: SparseRows::new(join_dim),
+            preds: SparseRows::new(pred_dim),
+            t_row0: Vec::with_capacity(feats.len() + 1),
+            j_row0: Vec::with_capacity(feats.len() + 1),
+            p_row0: Vec::with_capacity(feats.len() + 1),
+        };
+        out.t_row0.push(0);
+        out.j_row0.push(0);
+        out.p_row0.push(0);
+        for q in feats {
+            for r in &q.table_rows {
+                out.tables.push_row_from_dense(r);
+            }
+            for r in &q.join_rows {
+                out.joins.push_row_from_dense(r);
+            }
+            for r in &q.pred_rows {
+                out.preds.push_row_from_dense(r);
+            }
+            out.t_row0.push(out.tables.rows() as u32);
+            out.j_row0.push(out.joins.rows() as u32);
+            out.p_row0.push(out.preds.rows() as u32);
+        }
+        out
+    }
+}
+
+impl RaggedBatch {
+    /// Assemble the mini-batch holding queries `idx` (in order) of a
+    /// corpus: dense rows come from `feats`, CSR rows are bulk-copied
+    /// from `corpus` — the per-epoch re-batching path of the trainer.
+    /// Identical output to [`RaggedBatch::assemble`] on the same
+    /// queries.
+    pub fn assemble_indexed(
+        feats: &[FeaturizedQuery],
+        corpus: &CorpusSparse,
+        idx: &[usize],
+        table_dim: usize,
+        join_dim: usize,
+        pred_dim: usize,
+    ) -> Self {
+        fn stack(
+            feats: &[FeaturizedQuery],
+            idx: &[usize],
+            pick: impl Fn(&FeaturizedQuery) -> &Vec<Vec<f32>>,
+            src: &SparseRows,
+            row0: &[u32],
+            dim: usize,
+        ) -> (Matrix, SparseRows, Vec<(u32, u32)>) {
+            let total: usize = idx.iter().map(|&i| pick(&feats[i]).len()).sum();
+            let mut data = Vec::with_capacity(total * dim);
+            let mut sparse = SparseRows::new(dim);
+            let mut segs = Vec::with_capacity(idx.len());
+            let mut offset = 0u32;
+            for &i in idx {
+                let rs = pick(&feats[i]);
+                sparse.push_rows_from(src, row0[i] as usize..row0[i + 1] as usize);
+                for r in rs {
+                    debug_assert_eq!(r.len(), dim);
+                    data.extend_from_slice(r);
+                }
+                segs.push((offset, rs.len() as u32));
+                offset += rs.len() as u32;
+            }
+            (Matrix::from_vec(total, dim, data), sparse, segs)
+        }
+        let (tables, tables_sp, table_segs) =
+            stack(feats, idx, |q| &q.table_rows, &corpus.tables, &corpus.t_row0, table_dim);
+        let (joins, joins_sp, join_segs) =
+            stack(feats, idx, |q| &q.join_rows, &corpus.joins, &corpus.j_row0, join_dim);
+        let (preds, preds_sp, pred_segs) =
+            stack(feats, idx, |q| &q.pred_rows, &corpus.preds, &corpus.p_row0, pred_dim);
+        let targets = idx.iter().map(|&i| feats[i].target).collect();
+        RaggedBatch {
+            tables,
+            tables_sp,
+            table_segs,
+            joins,
+            joins_sp,
+            join_segs,
+            preds,
+            preds_sp,
+            pred_segs,
+            targets,
+        }
     }
 }
 
@@ -242,5 +384,10 @@ mod tests {
         assert_eq!(b.pred_segs, vec![(0, 1), (1, 0)]);
         assert_eq!(b.targets, vec![0.25, 0.75]);
         assert_eq!(b.tables.row(2), &[1.0, 1.0]);
+        // The CSR views are the canonical sparse form of the dense stacks.
+        assert_eq!(b.tables_sp, SparseRows::from_dense(&b.tables));
+        assert_eq!(b.joins_sp, SparseRows::from_dense(&b.joins));
+        assert_eq!(b.preds_sp, SparseRows::from_dense(&b.preds));
+        assert_eq!(b.preds_sp.nnz(), 2, "the explicit 0.0 entry must be dropped");
     }
 }

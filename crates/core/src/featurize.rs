@@ -9,7 +9,10 @@
 //!   training set ([`LabelNorm`]).
 
 use lc_engine::{Database, TableId};
+use lc_nn::{Matrix, SparseRows};
 use lc_query::LabeledQuery;
+
+use crate::batch::RaggedBatch;
 
 /// Which §3.4 sample information enriches the table features — the three
 /// model variants of Fig. 4.
@@ -220,7 +223,58 @@ impl Featurizer {
         (((v - min) as f64 / (max - min) as f64).clamp(0.0, 1.0)) as f32
     }
 
-    /// Encode one annotated query.
+    /// Emit the nonzero `(index, value)` pairs of table-element row `i`
+    /// of `q`, in strictly ascending index order — the single encoding
+    /// primitive behind the dense rows, the CSR lists, and the streaming
+    /// batch assembly (they cannot drift apart).
+    fn emit_table_row(&self, q: &LabeledQuery, i: usize, f: &mut impl FnMut(u32, f32)) {
+        f(q.query.tables()[i].index() as u32, 1.0);
+        match self.mode {
+            FeatureMode::NoSamples => {}
+            FeatureMode::SampleCounts => {
+                let v = q.sample_counts[i] as f32 / self.sample_size as f32;
+                if v != 0.0 {
+                    f(self.num_tables as u32, v);
+                }
+            }
+            FeatureMode::Bitmaps | FeatureMode::PredicateBitmaps => {
+                for pos in q.bitmaps[i].iter_ones() {
+                    f((self.num_tables + pos) as u32, 1.0);
+                }
+            }
+        }
+    }
+
+    /// Emit the nonzeros of join-element row `i` of `q` (ascending).
+    fn emit_join_row(&self, q: &LabeledQuery, i: usize, f: &mut impl FnMut(u32, f32)) {
+        f(q.query.joins()[i].index() as u32, 1.0);
+    }
+
+    /// Emit the nonzeros of predicate-element row `pi` of `q` (ascending:
+    /// column one-hot < operator one-hot < literal slot < bitmap bits).
+    fn emit_pred_row(&self, q: &LabeledQuery, pi: usize, f: &mut impl FnMut(u32, f32)) {
+        let p = &q.query.predicates()[pi];
+        let g = self.column_index[p.table.index()][p.column];
+        debug_assert_ne!(g, usize::MAX, "predicate on key column");
+        f(g as u32, 1.0);
+        f((self.num_columns + p.op.index()) as u32, 1.0);
+        let v = self.normalize_value(g, p.value);
+        if v != 0.0 {
+            f((self.num_columns + 3) as u32, v);
+        }
+        if self.mode == FeatureMode::PredicateBitmaps {
+            let base = self.num_columns + 4;
+            for pos in q.pred_bitmaps[pi].iter_ones() {
+                f((base + pos) as u32, 1.0);
+            }
+        }
+    }
+
+    /// Encode one annotated query — the per-request hot path, kept free
+    /// of any per-row side allocations. The canonical CSR form of these
+    /// rows comes from [`Featurizer::featurize_into_batch`] (serving) or
+    /// `CorpusSparse::build` (training), both of which share this
+    /// method's emitters.
     pub fn featurize(&self, q: &LabeledQuery) -> FeaturizedQuery {
         let mut out = FeaturizedQuery {
             table_rows: Vec::with_capacity(q.query.tables().len()),
@@ -228,43 +282,96 @@ impl Featurizer {
             pred_rows: Vec::with_capacity(q.query.predicates().len()),
             target: self.label_norm.normalize(q.cardinality.max(1)),
         };
-        for (i, &t) in q.query.tables().iter().enumerate() {
+        for i in 0..q.query.tables().len() {
             let mut row = vec![0.0f32; self.table_dim()];
-            row[t.index()] = 1.0;
-            match self.mode {
-                FeatureMode::NoSamples => {}
-                FeatureMode::SampleCounts => {
-                    row[self.num_tables] = q.sample_counts[i] as f32 / self.sample_size as f32;
-                }
-                FeatureMode::Bitmaps | FeatureMode::PredicateBitmaps => {
-                    for pos in q.bitmaps[i].iter_ones() {
-                        row[self.num_tables + pos] = 1.0;
-                    }
-                }
-            }
+            self.emit_table_row(q, i, &mut |idx, val| row[idx as usize] = val);
             out.table_rows.push(row);
         }
-        for &j in q.query.joins() {
+        for i in 0..q.query.joins().len() {
             let mut row = vec![0.0f32; self.join_dim()];
-            row[j.index()] = 1.0;
+            self.emit_join_row(q, i, &mut |idx, val| row[idx as usize] = val);
             out.join_rows.push(row);
         }
-        for (pi, p) in q.query.predicates().iter().enumerate() {
-            let g = self.column_index[p.table.index()][p.column];
-            debug_assert_ne!(g, usize::MAX, "predicate on key column");
+        for pi in 0..q.query.predicates().len() {
             let mut row = vec![0.0f32; self.pred_dim()];
-            row[g] = 1.0;
-            row[self.num_columns + p.op.index()] = 1.0;
-            row[self.num_columns + 3] = self.normalize_value(g, p.value);
-            if self.mode == FeatureMode::PredicateBitmaps {
-                let base = self.num_columns + 4;
-                for pos in q.pred_bitmaps[pi].iter_ones() {
-                    row[base + pos] = 1.0;
-                }
-            }
+            self.emit_pred_row(q, pi, &mut |idx, val| row[idx as usize] = val);
             out.pred_rows.push(row);
         }
         out
+    }
+
+    /// Featurize a block of queries **straight into a ragged batch**:
+    /// dense rows are written into the pre-sized stacked matrices and
+    /// the CSR entries stream into the [`SparseRows`] stacks as they are
+    /// emitted — no per-query `FeaturizedQuery`, per-row `Vec`s, copy
+    /// pass, or rescan. This is the serving hot path: per-request work
+    /// is one emitter walk per set element.
+    pub fn featurize_into_batch(&self, queries: &[LabeledQuery]) -> RaggedBatch {
+        let (td, jd, pd) = (self.table_dim(), self.join_dim(), self.pred_dim());
+        let t_total: usize = queries.iter().map(|q| q.query.tables().len()).sum();
+        let j_total: usize = queries.iter().map(|q| q.query.joins().len()).sum();
+        let p_total: usize = queries.iter().map(|q| q.query.predicates().len()).sum();
+        let mut tables = Matrix::zeros(t_total, td);
+        let mut joins = Matrix::zeros(j_total, jd);
+        let mut preds = Matrix::zeros(p_total, pd);
+        let mut tables_sp = SparseRows::new(td);
+        let mut joins_sp = SparseRows::new(jd);
+        let mut preds_sp = SparseRows::new(pd);
+        let mut table_segs = Vec::with_capacity(queries.len());
+        let mut join_segs = Vec::with_capacity(queries.len());
+        let mut pred_segs = Vec::with_capacity(queries.len());
+        let mut targets = Vec::with_capacity(queries.len());
+        // One reusable nonzero buffer serves every row of every module.
+        let mut buf: Vec<(u32, f32)> = Vec::with_capacity(td.max(jd).max(pd));
+        let (mut tr, mut jr, mut pr) = (0usize, 0usize, 0usize);
+        for q in queries {
+            targets.push(self.label_norm.normalize(q.cardinality.max(1)));
+            table_segs.push((tr as u32, q.query.tables().len() as u32));
+            for i in 0..q.query.tables().len() {
+                let row = tables.row_mut(tr);
+                buf.clear();
+                self.emit_table_row(q, i, &mut |idx, val| {
+                    row[idx as usize] = val;
+                    buf.push((idx, val));
+                });
+                tables_sp.push_row_trusted(&buf);
+                tr += 1;
+            }
+            join_segs.push((jr as u32, q.query.joins().len() as u32));
+            for i in 0..q.query.joins().len() {
+                let row = joins.row_mut(jr);
+                buf.clear();
+                self.emit_join_row(q, i, &mut |idx, val| {
+                    row[idx as usize] = val;
+                    buf.push((idx, val));
+                });
+                joins_sp.push_row_trusted(&buf);
+                jr += 1;
+            }
+            pred_segs.push((pr as u32, q.query.predicates().len() as u32));
+            for pi in 0..q.query.predicates().len() {
+                let row = preds.row_mut(pr);
+                buf.clear();
+                self.emit_pred_row(q, pi, &mut |idx, val| {
+                    row[idx as usize] = val;
+                    buf.push((idx, val));
+                });
+                preds_sp.push_row_trusted(&buf);
+                pr += 1;
+            }
+        }
+        RaggedBatch {
+            tables,
+            tables_sp,
+            table_segs,
+            joins,
+            joins_sp,
+            join_segs,
+            preds,
+            preds_sp,
+            pred_segs,
+            targets,
+        }
     }
 
     /// Raw pieces for (de)serialization.
@@ -388,6 +495,50 @@ mod tests {
         // Bitmap bits mirror the labeled bitmaps.
         let bits: f32 = fq.table_rows[0][6..].iter().sum();
         assert_eq!(bits, labeled.sample_counts[0] as f32);
+    }
+
+    /// The streaming batch featurization must produce exactly the batch
+    /// that featurize + assemble produces — dense stacks, CSR stacks,
+    /// segments, and targets alike (it is the same emitters underneath).
+    #[test]
+    fn featurize_into_batch_matches_assemble() {
+        let (db, samples) = fixture();
+        for (seed, mode) in [
+            (21, FeatureMode::NoSamples),
+            (22, FeatureMode::SampleCounts),
+            (23, FeatureMode::Bitmaps),
+            (24, FeatureMode::PredicateBitmaps),
+        ] {
+            let f = Featurizer::fit(&db, mode, samples.sample_size, [1u64, 800]);
+            let mut gen = lc_query::QueryGenerator::new(
+                &db,
+                lc_query::GeneratorConfig { max_joins: 2, seed },
+            );
+            let labeled: Vec<LabeledQuery> = gen
+                .generate_unique(25)
+                .into_iter()
+                .map(|q| LabeledQuery::compute(&db, &samples, q))
+                .collect();
+            let feats: Vec<FeaturizedQuery> = labeled.iter().map(|q| f.featurize(q)).collect();
+            let refs: Vec<&FeaturizedQuery> = feats.iter().collect();
+            let via_assemble = crate::batch::RaggedBatch::assemble(
+                &refs,
+                f.table_dim(),
+                f.join_dim(),
+                f.pred_dim(),
+            );
+            let streamed = f.featurize_into_batch(&labeled);
+            assert_eq!(streamed.tables, via_assemble.tables, "{mode:?}: dense tables");
+            assert_eq!(streamed.joins, via_assemble.joins, "{mode:?}: dense joins");
+            assert_eq!(streamed.preds, via_assemble.preds, "{mode:?}: dense preds");
+            assert_eq!(streamed.tables_sp, via_assemble.tables_sp, "{mode:?}: CSR tables");
+            assert_eq!(streamed.joins_sp, via_assemble.joins_sp, "{mode:?}: CSR joins");
+            assert_eq!(streamed.preds_sp, via_assemble.preds_sp, "{mode:?}: CSR preds");
+            assert_eq!(streamed.table_segs, via_assemble.table_segs, "{mode:?}: table segs");
+            assert_eq!(streamed.join_segs, via_assemble.join_segs, "{mode:?}: join segs");
+            assert_eq!(streamed.pred_segs, via_assemble.pred_segs, "{mode:?}: pred segs");
+            assert_eq!(streamed.targets, via_assemble.targets, "{mode:?}: targets");
+        }
     }
 
     #[test]

@@ -247,10 +247,15 @@ impl MscnModel {
     /// and predictions are written into `s` (buffers resized in place).
     /// After this call `s.preds` holds `w_out ∈ [0,1]` per query and the
     /// caches are positioned for [`MscnModel::backward_scratch`].
+    ///
+    /// The set-module input layers consume the batch's CSR views — the
+    /// widest matmuls of the model become O(nnz) — and are
+    /// bitwise-identical to the dense layers [`MscnModel::forward`]
+    /// runs, so the two compute surfaces still agree exactly.
     pub fn forward_scratch(&self, batch: &RaggedBatch, s: &mut MscnScratch) {
-        self.table_mlp.forward_into(&batch.tables, &mut s.table_cache);
-        self.join_mlp.forward_into(&batch.joins, &mut s.join_cache);
-        self.pred_mlp.forward_into(&batch.preds, &mut s.pred_cache);
+        self.table_mlp.forward_sparse_into(&batch.tables_sp, &mut s.table_cache);
+        self.join_mlp.forward_sparse_into(&batch.joins_sp, &mut s.join_cache);
+        self.pred_mlp.forward_sparse_into(&batch.preds_sp, &mut s.pred_cache);
         let n = batch.len();
         let d = self.hidden;
         // The three pooling windows overwrite every element, so the
@@ -296,38 +301,41 @@ impl MscnModel {
         );
         // Expand each module's slice of the concatenated gradient straight
         // back to element rows (no per-module pooled temporaries), then
-        // backprop through the set MLPs in leaf mode. Batch segments tile
-        // the element rows exactly, so the expansion overwrites every row
-        // and the reshapes can skip their zero-fill.
+        // backprop through the set MLPs in sparse leaf mode: the first
+        // layer's weight gradient is O(nnz) row updates against the CSR
+        // input view (bitwise-equal to the dense kernel, which skips
+        // zeros explicitly). Batch segments tile the element rows
+        // exactly, so the expansion overwrites every row and the
+        // reshapes can skip their zero-fill.
         s.g_elems.resize_for_overwrite(batch.tables.rows(), d);
         segment_mean_backward_from_cols(&s.grad_concat, 0, d, &batch.table_segs, &mut s.g_elems);
-        self.table_mlp.backward_scratch(
+        self.table_mlp.backward_sparse_scratch(
+            &batch.tables_sp,
             &batch.tables,
             &s.table_cache,
             &mut s.g_elems,
             &mut grads.table,
             &mut s.arena,
-            None,
         );
         s.g_elems.resize_for_overwrite(batch.joins.rows(), d);
         segment_mean_backward_from_cols(&s.grad_concat, d, d, &batch.join_segs, &mut s.g_elems);
-        self.join_mlp.backward_scratch(
+        self.join_mlp.backward_sparse_scratch(
+            &batch.joins_sp,
             &batch.joins,
             &s.join_cache,
             &mut s.g_elems,
             &mut grads.join,
             &mut s.arena,
-            None,
         );
         s.g_elems.resize_for_overwrite(batch.preds.rows(), d);
         segment_mean_backward_from_cols(&s.grad_concat, 2 * d, d, &batch.pred_segs, &mut s.g_elems);
-        self.pred_mlp.backward_scratch(
+        self.pred_mlp.backward_sparse_scratch(
+            &batch.preds_sp,
             &batch.preds,
             &s.pred_cache,
             &mut s.g_elems,
             &mut grads.pred,
             &mut s.arena,
-            None,
         );
     }
 

@@ -21,22 +21,24 @@
 //! All shard scratches and gradient buffers are allocated once per
 //! training run and resized in place, and each epoch's ragged batches are
 //! assembled up front — in steady state the compute of a step (forward,
-//! loss, backward, reduce, Adam) performs **zero heap allocations**
-//! (asserted by the counting-allocator test in `tests/alloc.rs`). The
-//! one allocation source left on the stepped path is `thread::scope`
-//! itself when more than one worker runs — a fixed spawn cost per step,
-//! not per-element churn (a persistent worker pool is a ROADMAP item).
+//! loss, backward, reduce, Adam) performs **zero heap allocations and
+//! zero thread spawns** (asserted by the counting-allocator test in
+//! `tests/alloc.rs`). Multi-worker steps dispatch onto the process-wide
+//! persistent [`WorkerPool`] — long-lived pinned workers parked on a
+//! condvar — instead of spawning `thread::scope` threads per step; the
+//! same pool serves block-parallel batch inference and, through it,
+//! `lc_serve`'s micro-batched flushes.
 
 use std::time::Instant;
 
 use lc_engine::Database;
-use lc_nn::{Adam, LossKind};
+use lc_nn::{Adam, DisjointSliceMut, LossKind, WorkerPool};
 use lc_query::{CardinalityEstimator, LabeledQuery};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use crate::batch::RaggedBatch;
+use crate::batch::{CorpusSparse, RaggedBatch};
 use crate::featurize::{FeatureMode, FeaturizedQuery, Featurizer};
 use crate::model::{MscnGrads, MscnModel, MscnScratch};
 
@@ -45,8 +47,14 @@ use crate::model::{MscnGrads, MscnModel, MscnScratch};
 /// threads can be productive inside one step.
 const MAX_SHARDS: usize = 8;
 
-/// Smallest shard worth the per-shard bookkeeping (queries).
-const MIN_SHARD: usize = 8;
+/// Smallest shard worth the per-shard bookkeeping (queries). Each shard
+/// pays fixed costs per backward — gradient-buffer zero/reduce passes
+/// and the transpose staging of the matmul-form weight gradients — and
+/// sub-32-query shards also leave the SIMD kernels under-fed (row-pair
+/// blocking wants tall operands). 32 keeps the paper's batch 256 at its
+/// full 8-way shard fan-out while stopping small batches from shredding
+/// themselves into overhead.
+const MIN_SHARD: usize = 32;
 
 /// Below this many queries a step runs its shards serially even when
 /// workers are configured — spawning threads would cost more than the
@@ -81,15 +89,23 @@ fn auto_threads() -> usize {
 /// benches — therefore keeps it even when CI steers every
 /// default-config run via the env. Used by both the training and
 /// inference knobs so their precedence rules can never drift apart.
+/// Whatever the source, the result is capped at the worker pool's
+/// dispatch bound (`lc_nn::pool::MAX_PARTICIPANTS`, 64) — far above any
+/// productive count for this workload, and never a behavioural change:
+/// worker counts affect wall-clock only.
 fn threads_from_env(var: &str, configured: usize) -> usize {
-    if configured != 0 {
-        return configured;
-    }
-    std::env::var(var)
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .filter(|&t| t > 0)
-        .unwrap_or_else(auto_threads)
+    let resolved = if configured != 0 {
+        configured
+    } else {
+        std::env::var(var)
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&t| t > 0)
+            .unwrap_or_else(auto_threads)
+    };
+    // The worker pool bounds one dispatch; a runaway env value would
+    // otherwise panic it.
+    resolved.min(lc_nn::pool::MAX_PARTICIPANTS)
 }
 
 /// Worker count for batch inference over `n` queries: `LC_INFER_THREADS`
@@ -132,9 +148,10 @@ pub struct TrainConfig {
     /// Data-parallel worker threads per training step. An explicit count
     /// wins over the environment; `0` (the default) defers to the
     /// `LC_TRAIN_THREADS` environment variable, else a hardware-derived
-    /// count; everything is capped at the per-batch shard limit (8). Any
-    /// value produces bitwise-identical training results — see the
-    /// module docs.
+    /// count; everything is capped at the worker pool's dispatch bound
+    /// (64) and then at the per-batch shard limit (8). Any value
+    /// produces bitwise-identical training results — see the module
+    /// docs.
     pub threads: usize,
 }
 
@@ -225,20 +242,19 @@ impl MscnEstimator {
     }
 
     /// The shared batch-inference engine: fixed blocks of
-    /// [`INFER_BLOCK`] queries, each featurized, assembled, and pushed
-    /// through the arena-backed forward pass; large batches fan the
-    /// blocks out across scoped worker threads. The block partition is
-    /// independent of the worker count and every per-query reduction
-    /// runs in a fixed order, so the output bytes never depend on either
-    /// the batch composition or the parallelism.
+    /// [`INFER_BLOCK`] queries, each streamed through
+    /// [`Featurizer::featurize_into_batch`] (dense rows and CSR entries
+    /// written straight into the ragged batch — no per-query
+    /// intermediates) and pushed through the arena-backed forward pass;
+    /// large batches fan the blocks out onto the persistent worker pool.
+    /// The block partition is independent of the worker count and every
+    /// per-query reduction runs in a fixed order, so the output bytes
+    /// never depend on either the batch composition or the parallelism.
+    #[allow(unsafe_code)] // DisjointSliceMut claims: fixed per-worker block ranges are disjoint
     fn predict_normalized_into(&self, queries: &[LabeledQuery], out: &mut [f32]) {
         debug_assert_eq!(queries.len(), out.len());
-        let (td, jd, pd) = self.model.input_dims();
         let run_block = |qs: &[LabeledQuery], o: &mut [f32]| {
-            let feats: Vec<FeaturizedQuery> =
-                qs.iter().map(|q| self.featurizer.featurize(q)).collect();
-            let refs: Vec<&FeaturizedQuery> = feats.iter().collect();
-            let batch = RaggedBatch::assemble(&refs, td, jd, pd);
+            let batch = self.featurizer.featurize_into_batch(qs);
             self.model.predict_into(&batch, o);
         };
         let threads = infer_threads(queries.len());
@@ -250,13 +266,15 @@ impl MscnEstimator {
             let mut work: Vec<(&[LabeledQuery], &mut [f32])> =
                 queries.chunks(INFER_BLOCK).zip(out.chunks_mut(INFER_BLOCK)).collect();
             let per = work.len().div_ceil(threads);
-            std::thread::scope(|scope| {
-                for group in work.chunks_mut(per) {
-                    scope.spawn(|| {
-                        for (qs, o) in group.iter_mut() {
-                            run_block(qs, o);
-                        }
-                    });
+            let workers = work.len().div_ceil(per);
+            let view = DisjointSliceMut::new(&mut work);
+            WorkerPool::global().run(workers, &|w| {
+                for i in (w * per)..((w + 1) * per).min(view.len()) {
+                    // SAFETY: worker chunks [w·per, (w+1)·per) are
+                    // disjoint and the pool joins before `work` is
+                    // touched again.
+                    let (qs, o) = unsafe { view.index_mut(i) };
+                    run_block(qs, o);
                 }
             });
         }
@@ -348,8 +366,10 @@ impl Trainer {
     }
 
     /// Assemble one epoch's mini-batches (already sharded) up front, so
-    /// the steps themselves never build `Vec<&FeaturizedQuery>` views or
-    /// touch the allocator.
+    /// the steps themselves never build query views or touch the
+    /// allocator. Dense rows are copied from the featurized corpus; CSR
+    /// rows are bulk-copied out of the corpus-level [`CorpusSparse`]
+    /// (no per-epoch rescans or per-entry validation).
     ///
     /// Deliberate trade-off: this holds one dense copy of the epoch's
     /// feature rows (roughly the size of `feats` itself) alive for the
@@ -357,17 +377,18 @@ impl Trainer {
     /// ready the moment a worker is. At paper scale (~100k small
     /// queries) that is tens of MB; revisit with a per-shard reusable
     /// assembly buffer if corpora grow orders of magnitude beyond that.
-    fn assemble_epoch(&self, feats: &[FeaturizedQuery], order: &[usize]) -> Vec<StepBatch> {
+    fn assemble_epoch(
+        &self,
+        feats: &[FeaturizedQuery],
+        corpus: &CorpusSparse,
+        order: &[usize],
+    ) -> Vec<StepBatch> {
         let (td, jd, pd) = self.dims;
         order
             .chunks(self.batch_size)
             .map(|chunk| StepBatch {
                 shards: shard_ranges(chunk.len())
-                    .map(|r| {
-                        let refs: Vec<&FeaturizedQuery> =
-                            chunk[r].iter().map(|&i| &feats[i]).collect();
-                        RaggedBatch::assemble(&refs, td, jd, pd)
-                    })
+                    .map(|r| RaggedBatch::assemble_indexed(feats, corpus, &chunk[r], td, jd, pd))
                     .collect(),
                 n: chunk.len(),
             })
@@ -375,8 +396,10 @@ impl Trainer {
     }
 
     /// One optimizer step over a sharded mini-batch; returns its mean
-    /// training loss. Shards run serially or on scoped worker threads —
-    /// same bytes either way (fixed partition, fixed-order reduction).
+    /// training loss. Shards run serially or on the persistent worker
+    /// pool — same bytes either way (fixed partition, fixed-order
+    /// reduction).
+    #[allow(unsafe_code)] // DisjointSliceMut claims: fixed per-worker shard ranges are disjoint
     fn run_step(&mut self, model: &mut MscnModel, step: &StepBatch) -> f64 {
         let num_shards = step.shards.len();
         {
@@ -407,21 +430,23 @@ impl Trainer {
                     do_shard(batch, scr, g);
                 }
             } else {
+                // Persistent-pool dispatch: worker w owns the fixed
+                // shard range [w·per, (w+1)·per) — its scratches and
+                // gradient buffers included — so one mutex round-trip
+                // and wake replaces a per-step spawn+join. Results are
+                // identical to the serial loop: the partition and the
+                // later reduction order never depend on the workers.
                 let per = num_shards.div_ceil(workers);
-                std::thread::scope(|scope| {
-                    for ((batches, scrs), gs) in step
-                        .shards
-                        .chunks(per)
-                        .zip(scratches.chunks_mut(per))
-                        .zip(shard_grads.chunks_mut(per))
-                    {
-                        scope.spawn(|| {
-                            for ((batch, scr), g) in
-                                batches.iter().zip(scrs.iter_mut()).zip(gs.iter_mut())
-                            {
-                                do_shard(batch, scr, g);
-                            }
-                        });
+                let scr_view = DisjointSliceMut::new(scratches);
+                let grad_view = DisjointSliceMut::new(shard_grads);
+                let shards = &step.shards;
+                WorkerPool::global().run(workers, &|w| {
+                    let range = (w * per)..((w + 1) * per).min(num_shards);
+                    for (i, batch) in shards.iter().enumerate().take(range.end).skip(range.start) {
+                        // SAFETY: worker shard ranges are disjoint and
+                        // the pool joins before the views' borrows end.
+                        let (scr, g) = unsafe { (scr_view.index_mut(i), grad_view.index_mut(i)) };
+                        do_shard(batch, scr, g);
                     }
                 });
             }
@@ -449,9 +474,10 @@ impl Trainer {
         &mut self,
         model: &mut MscnModel,
         feats: &[FeaturizedQuery],
+        corpus: &CorpusSparse,
         order: &[usize],
     ) -> f64 {
-        let steps = self.assemble_epoch(feats, order);
+        let steps = self.assemble_epoch(feats, corpus, order);
         let mut epoch_loss = 0.0f64;
         for step in &steps {
             epoch_loss += self.run_step(model, step);
@@ -485,13 +511,17 @@ pub fn train_incremental(
     let mut model = prev.model.clone();
     let scale = featurizer.label_norm().scale();
     let feats: Vec<FeaturizedQuery> = new_data.iter().map(|q| featurizer.featurize(q)).collect();
+    let (td, jd, pd) = model.input_dims();
+    // The corpus CSR is scanned once; every epoch's batch assembly then
+    // bulk-copies row ranges out of it.
+    let corpus = CorpusSparse::build(&feats, td, jd, pd);
 
     let mut trainer = Trainer::new(&mut model, &config, scale);
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let mut order: Vec<usize> = (0..feats.len()).collect();
     for _ in 0..config.epochs {
         order.shuffle(&mut rng);
-        trainer.run_epoch(&mut model, &feats, &order);
+        trainer.run_epoch(&mut model, &feats, &corpus, &order);
     }
     MscnEstimator { model, featurizer }
 }
@@ -530,6 +560,8 @@ pub fn train(
     let val_truth: Vec<f64> = val_idx.iter().map(|&i| data[i].cardinality as f64).collect();
 
     let (td, jd, pd) = (featurizer.table_dim(), featurizer.join_dim(), featurizer.pred_dim());
+    // Scanned once; every epoch's batch assembly bulk-copies out of it.
+    let corpus = CorpusSparse::build(&feats, td, jd, pd);
     let mut model = MscnModel::new(td, jd, pd, config.hidden, config.seed ^ 0x5eed);
     let mut trainer = Trainer::new(&mut model, &config, scale);
 
@@ -537,10 +569,7 @@ pub fn train(
     // once instead of re-featurizing and re-batching every epoch.
     let val_batches: Vec<RaggedBatch> = val_idx
         .chunks(INFER_BLOCK)
-        .map(|chunk| {
-            let refs: Vec<&FeaturizedQuery> = chunk.iter().map(|&i| &feats[i]).collect();
-            RaggedBatch::assemble(&refs, td, jd, pd)
-        })
+        .map(|chunk| RaggedBatch::assemble_indexed(&feats, &corpus, chunk, td, jd, pd))
         .collect();
 
     let mut report = TrainReport {
@@ -551,7 +580,7 @@ pub fn train(
     let mut order: Vec<usize> = train_idx.to_vec();
     for _epoch in 0..config.epochs {
         order.shuffle(&mut rng);
-        let mean_loss = trainer.run_epoch(&mut model, &feats, &order);
+        let mean_loss = trainer.run_epoch(&mut model, &feats, &corpus, &order);
         report.epoch_train_loss.push(mean_loss);
 
         // Validation mean q-error in cardinality space (Fig. 6's metric),

@@ -2,18 +2,23 @@
 //! with a counting global allocator: after one warm-up pass, the
 //! steady-state training step — forward, loss, backward, fixed-order
 //! gradient reduction, Adam — and the arena-backed inference forward must
-//! never touch the allocator.
+//! never touch the allocator. The pooled phases additionally assert
+//! **zero thread spawns**: once the persistent worker pool is warm, a
+//! multi-worker step is one condvar dispatch, not a `thread::scope`
+//! spawn+join (the last per-step allocation source PR 3 documented).
 //!
-//! Both phases live in ONE `#[test]`: the allocation counter is
+//! All phases live in ONE `#[test]`: the allocation counter is
 //! process-global, so a second concurrently-running test's setup would
 //! bleed into the measured window and flake the assertion.
-#![allow(unsafe_code)] // a GlobalAlloc impl is unavoidably unsafe; it only counts and delegates
+#![allow(unsafe_code)] // a GlobalAlloc impl is unavoidably unsafe (it only counts and
+                       // delegates), and the pooled phases use DisjointSliceMut with the
+                       // same fixed disjoint partition the library itself uses
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use lc_core::{MscnModel, RaggedBatch};
-use lc_nn::{Adam, LossKind};
+use lc_nn::{Adam, DisjointSliceMut, LossKind, WorkerPool};
 
 /// Delegates to the system allocator, counting every allocation call.
 struct CountingAllocator;
@@ -179,5 +184,92 @@ fn steady_state_compute_paths_do_not_allocate() {
         allocation_count() - before,
         0,
         "the steady-state inference forward pass must perform zero heap allocations"
+    );
+
+    // Phase three: the POOLED data-parallel step — two workers of the
+    // persistent pool each own one shard (scratch + gradient buffers),
+    // exactly the dispatch `lc_core::train` runs. After the pool has
+    // grown once, a steady-state step must touch neither the allocator
+    // nor the spawn path.
+    let pool = WorkerPool::global();
+    let model_ref: &MscnModel = &model;
+    let pooled_step = |shards: &[RaggedBatch],
+                       scratches: &mut [lc_core::MscnScratch],
+                       shard_grads: &mut [lc_core::MscnGrads]| {
+        let scr_view = DisjointSliceMut::new(scratches);
+        let grad_view = DisjointSliceMut::new(shard_grads);
+        pool.run(shards.len(), &|w| {
+            // SAFETY: worker w claims exactly index w — disjoint by
+            // construction, and the pool joins before the views drop.
+            let (scr, g) = unsafe { (scr_view.index_mut(w), grad_view.index_mut(w)) };
+            g.zero();
+            model_ref.forward_scratch(&shards[w], scr);
+            scr.grad_pred.clear();
+            scr.grad_pred.resize(scr.preds.len(), 0.0);
+            LossKind::MeanQError.loss_and_grad_scaled(
+                &scr.preds,
+                &shards[w].targets,
+                3.0,
+                32,
+                &mut scr.grad_pred,
+            );
+            model_ref.backward_scratch(&shards[w], scr, g);
+        });
+    };
+    // Warm-up: spawns the pool worker and grows per-worker buffers.
+    for _ in 0..3 {
+        for shards in [&shards_a, &shards_b] {
+            pooled_step(shards, &mut scratches, &mut shard_grads);
+        }
+    }
+    let spawned_before = lc_nn::threads_spawned();
+    let before = allocation_count();
+    for _ in 0..5 {
+        for shards in [&shards_a, &shards_b] {
+            pooled_step(shards, &mut scratches, &mut shard_grads);
+        }
+    }
+    assert_eq!(
+        allocation_count() - before,
+        0,
+        "the pooled steady-state training step must perform zero heap allocations"
+    );
+    assert_eq!(
+        lc_nn::threads_spawned() - spawned_before,
+        0,
+        "the pooled steady-state training step must spawn zero threads"
+    );
+    assert!(pool.workers() >= 1, "the pooled step must actually have engaged the pool");
+
+    // Phase four: pooled batch inference — two warm scratches, one
+    // forward block per worker, the shape of `estimate_all`'s fan-out.
+    let batch_b = synthetic_batch(24, dims, 0.29);
+    let blocks = [&batch, &batch_b];
+    let mut infer_scratches = [lc_core::MscnScratch::new(), lc_core::MscnScratch::new()];
+    let pooled_infer = |scratches: &mut [lc_core::MscnScratch]| {
+        let view = DisjointSliceMut::new(scratches);
+        pool.run(blocks.len(), &|w| {
+            // SAFETY: worker w claims exactly index w.
+            let scr = unsafe { view.index_mut(w) };
+            model_ref.forward_scratch(blocks[w], scr);
+        });
+    };
+    for _ in 0..3 {
+        pooled_infer(&mut infer_scratches);
+    }
+    let spawned_before = lc_nn::threads_spawned();
+    let before = allocation_count();
+    for _ in 0..10 {
+        pooled_infer(&mut infer_scratches);
+    }
+    assert_eq!(
+        allocation_count() - before,
+        0,
+        "pooled steady-state batch inference must perform zero heap allocations"
+    );
+    assert_eq!(
+        lc_nn::threads_spawned() - spawned_before,
+        0,
+        "pooled steady-state batch inference must spawn zero threads"
     );
 }

@@ -57,8 +57,11 @@ impl Adam {
         assert_eq!(params.len(), grads.len());
         let b1 = self.beta1;
         let b2 = self.beta2;
-        let bias1 = 1.0 - b1.powi(self.t);
-        let bias2 = 1.0 - b2.powi(self.t);
+        // Bias corrections hoisted as reciprocal multiplies: dividing by
+        // a loop-invariant would keep a `vdivps` in the per-element loop
+        // and block vectorization of everything behind it.
+        let inv_bias1 = 1.0 / (1.0 - b1.powi(self.t));
+        let inv_bias2 = 1.0 / (1.0 - b2.powi(self.t));
         let lr = self.lr;
         let eps = self.eps;
         for ((p, &g), (m, v)) in
@@ -66,8 +69,8 @@ impl Adam {
         {
             *m = b1 * *m + (1.0 - b1) * g;
             *v = b2 * *v + (1.0 - b2) * g * g;
-            let m_hat = *m / bias1;
-            let v_hat = *v / bias2;
+            let m_hat = *m * inv_bias1;
+            let v_hat = *v * inv_bias2;
             *p -= lr * m_hat / (v_hat.sqrt() + eps);
         }
     }

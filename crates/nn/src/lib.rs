@@ -8,6 +8,16 @@
 //!   backprop needs (`A·B`, `A·Bᵀ`, `Aᵀ·B`, fused `A·B + bias`),
 //!   cache-blocked/tiled and each available as an allocation-free
 //!   `_into` variant writing into caller-provided buffers;
+//! * [`kernels`] — the explicit SIMD micro-kernels behind every
+//!   product: AVX2+FMA inner loops with runtime dispatch (`LC_KERNEL`)
+//!   and a bitwise-identical `f32::mul_add` scalar fallback;
+//! * [`SparseRows`] — CSR-style sparse row stacks for the ~85%-zero
+//!   one-hot/bitmap input layers, with an O(nnz) fused forward
+//!   ([`Linear::forward_sparse_into`]) and weight-gradient kernel that
+//!   are bitwise-equal to their dense counterparts;
+//! * [`WorkerPool`] — a persistent, pinned, barrier-synchronized worker
+//!   pool shared by training steps, batch inference, and the serving
+//!   layer (replaces per-step `thread::scope` fan-out);
 //! * [`Scratch`] — a reusable buffer arena so forward/backward passes
 //!   run with zero steady-state allocations;
 //! * [`Linear`] — fully-connected layer with Xavier init and gradient
@@ -24,18 +34,24 @@
 //! validated against finite differences in the test suite.
 
 mod adam;
+pub mod kernels;
 mod linear;
 mod loss;
 mod matrix;
 mod mlp;
+pub mod pool;
 mod scratch;
+mod sparse;
 
 pub use adam::Adam;
+pub use kernels::{avx2_available, kernel_name, Kernel};
 pub use linear::{Linear, LinearGrads};
 pub use loss::LossKind;
 pub use matrix::Matrix;
 pub use mlp::{FinalActivation, Mlp, MlpCache, MlpGrads};
+pub use pool::{threads_spawned, DisjointSliceMut, WorkerPool};
 pub use scratch::Scratch;
+pub use sparse::SparseRows;
 
 /// ReLU applied element-wise in place.
 pub fn relu_inplace(x: &mut Matrix) {

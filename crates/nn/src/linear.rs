@@ -111,6 +111,56 @@ impl Linear {
         x.matmul_bias_into(&self.w, &self.b, out);
     }
 
+    /// `x·W + b` for CSR-style sparse `x`: each output row is seeded with
+    /// the bias and gathers `value ×` weight rows for the row's nonzeros
+    /// only — O(nnz · out) instead of O(in · out), the win that makes the
+    /// ~85%-zero one-hot/bitmap input layers cheap. Bitwise-identical to
+    /// [`Linear::forward_into`] on the densified `x` (the skipped
+    /// products are exact `fma(0, w, acc)` no-ops; see
+    /// [`crate::kernels`]).
+    ///
+    /// # Panics
+    /// If `x.cols() != self.input_dim()`.
+    pub fn forward_sparse_into(&self, x: &crate::sparse::SparseRows, out: &mut Matrix) {
+        crate::kernels::sparse_matmul_bias(x, &self.w, &self.b, out);
+    }
+
+    /// Leaf-mode backward for a CSR + dense view of the same input `x`:
+    /// accumulates `∂L/∂W = xᵀ·∂L/∂y` and `∂L/∂b` into `grads`. No input
+    /// gradient — the sparse featurized inputs are always leaves.
+    ///
+    /// Two bitwise-identical strategies, picked by density: truly sparse
+    /// rows use O(nnz) gather updates; denser rows (bitmap-heavy
+    /// workloads light up half the sample bits) go transpose-then-matmul,
+    /// where the extra zero products are free FMA no-ops but the kernel
+    /// runs at full throughput instead of read-modify-write speed. The
+    /// switch can never change a gradient bit, so it is purely a
+    /// scheduling decision.
+    pub fn backward_sparse_leaf(
+        &self,
+        x: &crate::sparse::SparseRows,
+        x_dense: &Matrix,
+        grad_out: &Matrix,
+        grads: &mut LinearGrads,
+        scratch: &mut crate::scratch::Scratch,
+    ) {
+        debug_assert_eq!(grad_out.cols(), grads.w.cols());
+        debug_assert_eq!(x.cols(), grads.w.rows());
+        debug_assert_eq!(x.rows(), grad_out.rows());
+        debug_assert_eq!(x_dense.shape(), (x.rows(), x.cols()));
+        // A gather update moves ~4 memory words per MAC; the dense kernel
+        // ~1 per 4 MACs. Crossover sits near nnz/total = 1/4.
+        if x.nnz() * 4 < x.rows() * x.cols() {
+            crate::kernels::sparse_transa_accumulate(x, grad_out, &mut grads.w);
+        } else {
+            let mut xt = scratch.take(0, 0);
+            x_dense.transpose_into(&mut xt);
+            crate::kernels::matmul_accumulate(&xt, grad_out, &mut grads.w);
+            scratch.put(xt);
+        }
+        accumulate_bias_grads(grad_out, grads);
+    }
+
     /// Backward pass: given the forward input `x` and `∂L/∂y`, accumulate
     /// `∂L/∂W`, `∂L/∂b` and return `∂L/∂x`.
     pub fn backward(&mut self, x: &Matrix, grad_out: &Matrix) -> Matrix {
@@ -128,6 +178,13 @@ impl Linear {
     /// the transposed weights). Pass `None` for leaf layers whose input
     /// gradient nobody consumes — that skips an entire matmul, the
     /// single biggest saving in the MSCN set modules.
+    ///
+    /// The weight gradient runs as transpose-then-matmul (`xᵀ` staged in
+    /// a scratch buffer, then the blocked kernel accumulates into
+    /// `grads.w`) rather than scattered per-element row updates: per
+    /// output element both orders are the identical ascending-row fused
+    /// chain (zero products are exact no-ops), but the matmul form runs
+    /// at kernel throughput instead of read-modify-write speed.
     pub fn backward_scratch(
         &self,
         x: &Matrix,
@@ -136,7 +193,14 @@ impl Linear {
         grad_in: Option<&mut Matrix>,
         scratch: &mut crate::scratch::Scratch,
     ) {
-        accumulate_param_grads(x, grad_out, grads);
+        debug_assert_eq!(grad_out.cols(), grads.w.cols());
+        debug_assert_eq!(x.cols(), grads.w.rows());
+        debug_assert_eq!(x.rows(), grad_out.rows());
+        let mut xt = scratch.take(0, 0);
+        x.transpose_into(&mut xt);
+        crate::kernels::matmul_accumulate(&xt, grad_out, &mut grads.w);
+        scratch.put(xt);
+        accumulate_bias_grads(grad_out, grads);
         if let Some(grad_in) = grad_in {
             let mut wt = scratch.take(0, 0);
             grad_out.matmul_transb_scratch(&self.w, grad_in, &mut wt);
@@ -186,14 +250,21 @@ impl Linear {
     }
 }
 
-/// The shared parameter-gradient math of [`Linear::backward`] and
-/// [`Linear::backward_scratch`]: accumulate `∂L/∂W = xᵀ·∂L/∂y` and
-/// `∂L/∂b = Σ_rows ∂L/∂y` into `grads`.
+/// The parameter-gradient math of the scratch-free [`Linear::backward`]:
+/// accumulate `∂L/∂W = xᵀ·∂L/∂y` (zero-skipping row updates — no scratch
+/// buffer available here) and `∂L/∂b` into `grads`. Bitwise-identical to
+/// the transpose-then-matmul form `backward_scratch` uses: per output
+/// element both are the same ascending-row fused chain.
 fn accumulate_param_grads(x: &Matrix, grad_out: &Matrix, grads: &mut LinearGrads) {
     debug_assert_eq!(grad_out.cols(), grads.w.cols());
     debug_assert_eq!(x.cols(), grads.w.rows());
     debug_assert_eq!(x.rows(), grad_out.rows());
     x.matmul_transa_into(grad_out, &mut grads.w);
+    accumulate_bias_grads(grad_out, grads);
+}
+
+/// `∂L/∂b += Σ_rows ∂L/∂y`, shared by every backward variant.
+fn accumulate_bias_grads(grad_out: &Matrix, grads: &mut LinearGrads) {
     for i in 0..grad_out.rows() {
         for (gb, &g) in grads.b.iter_mut().zip(grad_out.row(i)) {
             *gb += g;

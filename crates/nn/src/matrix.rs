@@ -1,33 +1,24 @@
 //! Row-major `f32` matrices with the product kernels needed by backprop.
 //!
-//! The loop orders follow the Rust perf-book guidance: the innermost loop
-//! always walks contiguous rows of the output and one operand, so LLVM
-//! auto-vectorizes them. Every product has an allocation-free `_into`
-//! variant writing into a caller-provided buffer (resized in place,
-//! reusing its capacity), and the kernels are cache-blocked: the
+//! Every product funnels into the explicit SIMD micro-kernels of
+//! [`crate::kernels`] — AVX2+FMA inner loops behind once-per-process
+//! runtime dispatch (`LC_KERNEL`), with a bitwise-identical
+//! `f32::mul_add` scalar fallback. Every product has an allocation-free
+//! `_into` variant writing into a caller-provided buffer (resized in
+//! place, reusing its capacity), and the kernels are cache-blocked: the
 //! reduction dimension is processed in tiles sized so the tile of the
 //! right-hand operand stays resident in L1 while a block of output rows
 //! streams past it.
 //!
-//! Tiling only reorders *memory accesses*, never the per-element
-//! accumulation sequence: for each output element the products are summed
-//! in ascending reduction-index order regardless of tile size, so results
-//! are bit-for-bit identical across shapes, batch compositions, and
+//! Neither tiling nor vectorization reorders the per-element
+//! accumulation sequence: vector lanes span output columns, so for each
+//! output element the products fuse in ascending reduction-index order
+//! regardless of tile size, vector width, or dispatch path. Results are
+//! bit-for-bit identical across shapes, batch compositions, kernels, and
 //! thread counts — the property `lc_core`'s deterministic data-parallel
 //! trainer and `lc_serve`'s micro-batcher are built on.
 
-/// Reduction-dimension block: a `TILE_K × JB` panel of the right operand
-/// stays hot in L1 while a block of output rows streams past it. Sized so
-/// MSCN-scale reductions (k ≤ ~200) run in a single tile — each output
-/// element then makes exactly one trip through the store buffer — while
-/// genuinely large reductions still get blocked instead of thrashing L1.
-const TILE_K: usize = 256;
-/// Register-block width: each output row is produced `JB` columns at a
-/// time in a local accumulator array that LLVM keeps in vector registers
-/// across the whole k loop (4 independent 8-wide FMA chains), so the hot
-/// loop reads only the right-operand panel instead of re-loading and
-/// re-storing the output row on every k step.
-const JB: usize = 32;
+use crate::kernels::{self, TILE_K};
 
 /// A dense row-major matrix of `f32`. `Default` is the empty `0 × 0`
 /// matrix — the canonical seed for resizable scratch buffers.
@@ -142,16 +133,17 @@ impl Matrix {
     }
 
     /// `self · b` written into `out` (resized in place), cache-blocked
-    /// and register-blocked — see [`matmul_kernel`]. Per output element
-    /// the products accumulate in ascending-k order whatever the tiling,
-    /// so results are deterministic and independent of batch composition.
+    /// and register-blocked — see [`crate::kernels`]. Per output element
+    /// the products fuse in ascending-k order whatever the tiling or
+    /// dispatch path, so results are deterministic and independent of
+    /// batch composition.
     ///
     /// # Panics
     /// If `self.cols != b.rows`.
     pub fn matmul_into(&self, b: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, b.rows, "matmul shape mismatch");
-        out.resize(self.rows, b.cols);
-        matmul_kernel(self, b, out);
+        out.resize_for_overwrite(self.rows, b.cols);
+        kernels::matmul_overwrite(self, b, out);
     }
 
     /// `self · b + bias` (bias broadcast over rows) written into `out` —
@@ -168,7 +160,7 @@ impl Matrix {
         for i in 0..self.rows {
             out.row_mut(i).copy_from_slice(bias);
         }
-        matmul_kernel(self, b, out);
+        kernels::matmul_accumulate(self, b, out);
     }
 
     /// `self · bᵀ` — `[r×k] · [c×k]ᵀ → [r×c]`, row-dot-row.
@@ -180,8 +172,16 @@ impl Matrix {
 
     /// `self · bᵀ` written into `out` (resized in place), cache-blocked:
     /// a tile of `b` rows stays in L1 while every `self` row is dotted
-    /// against it. The k-contiguous dot product vectorizes and its
-    /// summation order is independent of the tiling.
+    /// against it.
+    ///
+    /// Deliberately a single implementation on both dispatch paths: the
+    /// natural SIMD layout of a row-dot would split the reduction across
+    /// vector lanes, changing the summation order and breaking the
+    /// documented bitwise interchangeability with
+    /// [`Matrix::matmul_transb_scratch`] (whose kernel fuses in
+    /// ascending-k order per element). So each dot stays one sequential
+    /// `mul_add` chain — matching the kernel path's rounding exactly —
+    /// and callers that care about speed use the scratch variant.
     ///
     /// # Panics
     /// If `self.cols != b.cols`.
@@ -197,7 +197,7 @@ impl Matrix {
                     let b_row = b.row(j0 + jj);
                     let mut acc = 0.0f32;
                     for (&x, &y) in a_row.iter().zip(b_row) {
-                        acc += x * y;
+                        acc = x.mul_add(y, acc);
                     }
                     *o = acc;
                 }
@@ -205,12 +205,24 @@ impl Matrix {
         }
     }
 
-    /// `selfᵀ` written into `out` (resized in place).
+    /// `selfᵀ` written into `out` (resized in place), in `TB × TB` cache
+    /// blocks so both the source rows and the destination columns of a
+    /// block stay resident while it is rewritten — the transpose is pure
+    /// data movement, so locality (not vector ALUs) is what it needs.
     pub fn transpose_into(&self, out: &mut Matrix) {
+        /// Transpose block edge: 32×32 `f32` = 4 KiB per operand side.
+        const TB: usize = 32;
         out.resize_for_overwrite(self.cols, self.rows);
-        for i in 0..self.rows {
-            for (j, &v) in self.row(i).iter().enumerate() {
-                out.data[j * self.rows + i] = v;
+        for i0 in (0..self.rows).step_by(TB) {
+            let i_end = (i0 + TB).min(self.rows);
+            for j0 in (0..self.cols).step_by(TB) {
+                let j_end = (j0 + TB).min(self.cols);
+                for i in i0..i_end {
+                    let row = &self.row(i)[j0..j_end];
+                    for (jj, &v) in row.iter().enumerate() {
+                        out.data[(j0 + jj) * self.rows + i] = v;
+                    }
+                }
             }
         }
     }
@@ -229,30 +241,21 @@ impl Matrix {
     pub fn matmul_transb_scratch(&self, b: &Matrix, out: &mut Matrix, tmp: &mut Matrix) {
         assert_eq!(self.cols, b.cols, "matmul_transb shape mismatch");
         b.transpose_into(tmp);
-        out.resize(self.rows, b.rows);
-        matmul_kernel(self, tmp, out);
+        out.resize_for_overwrite(self.rows, b.rows);
+        kernels::matmul_overwrite(self, tmp, out);
     }
 
-    /// `selfᵀ · b` — `[r×k]ᵀ · [r×c] → [k×c]`, accumulated outer products.
-    /// Accumulates *into* `out` (callers reuse gradient buffers); the
-    /// reduction over rows runs in ascending order so the result is
-    /// independent of how callers tile the surrounding computation.
+    /// `selfᵀ · b` — `[r×k]ᵀ · [r×c] → [k×c]`, accumulated outer products
+    /// via the dispatched broadcast-FMA kernel (zero elements of `self`
+    /// skip their whole row update — `self` is the forward input, ~85%
+    /// zeros on the one-hot/bitmap layers). Accumulates *into* `out`
+    /// (callers reuse gradient buffers); the reduction over rows runs in
+    /// ascending order so the result is independent of how callers tile
+    /// the surrounding computation.
     pub fn matmul_transa_into(&self, b: &Matrix, out: &mut Matrix) {
         assert_eq!(self.rows, b.rows, "matmul_transa shape mismatch");
         assert_eq!(out.shape(), (self.cols, b.cols), "matmul_transa output shape");
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let b_row = b.row(i);
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = out.row_mut(k);
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += a * bv;
-                }
-            }
-        }
+        kernels::matmul_transa_accumulate(self, b, out);
     }
 
     /// Add a bias row to every row in place.
@@ -269,72 +272,6 @@ impl Matrix {
     pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
         assert_eq!(self.shape(), other.shape());
         self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max)
-    }
-}
-
-/// The blocked matmul core: accumulates `a · b` into a pre-initialized
-/// `out` (zeros, or the broadcast bias for the fused forward kernel).
-///
-/// Loop structure: k-tile → j-block → row. For each `(k-tile, j-block)`
-/// pair, the `TILE_K × JB` panel of `b` stays hot in L1 while every
-/// output row streams past it; within a row, a `JB`-wide accumulator
-/// array lives in vector registers across the whole k loop, so the inner
-/// loop touches only the `b` panel (one row read + one write per output
-/// segment per k-tile, instead of per k step). Deliberately **no**
-/// zero-skip branch: even on the ~85%-zero one-hot/bitmap input layers,
-/// branchless vector FMAs beat a data-dependent branch (mispredictions
-/// cost more than the multiplies they save — measured in the kernels
-/// bench); only [`Matrix::matmul_transa_into`], where a skipped element
-/// saves a whole row update, keeps its skip.
-///
-/// Determinism: per output element the products are added in ascending-k
-/// order regardless of `JB`/`TILE_K`, and `f32` stores between k-tiles
-/// round exactly like register copies, so the result depends only on the
-/// operand shapes — not on tiling, batch composition, or thread count.
-fn matmul_kernel(a: &Matrix, b: &Matrix, out: &mut Matrix) {
-    let k_dim = a.cols;
-    let c = b.cols;
-    let full_end = c - c % JB;
-    for k0 in (0..k_dim).step_by(TILE_K) {
-        let k_end = (k0 + TILE_K).min(k_dim);
-        // Full-width register blocks: the accumulator is a fixed-size
-        // array, so the inner loop compiles to straight-line vector FMAs
-        // with no spills.
-        for j0 in (0..full_end).step_by(JB) {
-            for i in 0..a.rows {
-                let a_row = &a.row(i)[k0..k_end];
-                let out_seg: &mut [f32; JB] =
-                    (&mut out.row_mut(i)[j0..j0 + JB]).try_into().expect("JB-wide segment");
-                let mut acc: [f32; JB] = *out_seg;
-                for (kk, &av) in a_row.iter().enumerate() {
-                    let b_seg: &[f32; JB] =
-                        (&b.row(k0 + kk)[j0..j0 + JB]).try_into().expect("JB-wide segment");
-                    for j in 0..JB {
-                        acc[j] += av * b_seg[j];
-                    }
-                }
-                *out_seg = acc;
-            }
-        }
-        // Remainder columns (< JB): fixed-capacity accumulator, dynamic
-        // width. Covers the 1-wide MSCN sigmoid head and tail blocks of
-        // non-multiple-of-JB widths.
-        if full_end < c {
-            let jw = c - full_end;
-            for i in 0..a.rows {
-                let a_row = &a.row(i)[k0..k_end];
-                let out_seg = &mut out.row_mut(i)[full_end..c];
-                let mut acc = [0.0f32; JB];
-                acc[..jw].copy_from_slice(out_seg);
-                for (kk, &av) in a_row.iter().enumerate() {
-                    let b_seg = &b.row(k0 + kk)[full_end..c];
-                    for (x, &bv) in acc[..jw].iter_mut().zip(b_seg) {
-                        *x += av * bv;
-                    }
-                }
-                out_seg.copy_from_slice(&acc[..jw]);
-            }
-        }
     }
 }
 
@@ -426,7 +363,9 @@ mod tests {
     }
 
     /// Shapes larger than both tile dimensions exercise every tile-edge
-    /// path of the blocked kernels.
+    /// path of the blocked kernels. Tolerances are relative: the FMA
+    /// kernels round once per step where the naive reference rounds
+    /// twice, so exact agreement is not expected (or wanted).
     #[test]
     fn tiled_kernels_match_naive_beyond_tile_boundaries() {
         let a = arange(70, 130, -3.0);
@@ -434,7 +373,15 @@ mod tests {
         let mut out = Matrix::zeros(0, 0);
         a.matmul_into(&b, &mut out);
         let naive = naive_matmul(&a, &b);
-        assert!(out.max_abs_diff(&naive) < 2e-2, "matmul_into diverged from naive");
+        for i in 0..70 {
+            for j in 0..40 {
+                let (got, want) = (out.get(i, j), naive.get(i, j));
+                assert!(
+                    (got - want).abs() < 1e-4 * want.abs().max(1.0),
+                    "matmul_into diverged from naive at ({i},{j}): {got} vs {want}"
+                );
+            }
+        }
 
         let bt = arange(40, 130, 1.5); // a · btᵀ with k = 130 > TILE_K
         let mut tr = Matrix::zeros(0, 0);

@@ -121,6 +121,54 @@ impl Mlp {
         }
     }
 
+    /// Allocation-free forward pass on a CSR-style sparse input: the
+    /// first layer gathers weight rows for the input's nonzeros only
+    /// (the MSCN set-module inputs are ~85% zeros), the rest of the
+    /// module is dense. Bitwise-identical to [`Mlp::forward_into`] on
+    /// the densified input.
+    pub fn forward_sparse_into(&self, x: &crate::sparse::SparseRows, cache: &mut MlpCache) {
+        self.l1.forward_sparse_into(x, &mut cache.hidden);
+        relu_inplace(&mut cache.hidden);
+        self.l2.forward_into(&cache.hidden, &mut cache.output);
+        match self.final_act {
+            FinalActivation::Relu => relu_inplace(&mut cache.output),
+            FinalActivation::Sigmoid => sigmoid_inplace(&mut cache.output),
+        }
+    }
+
+    /// Leaf-mode, allocation-free backward pass on a CSR + dense view of
+    /// the input: like [`Mlp::backward_scratch`] with `grad_in: None`,
+    /// but the first layer's weight gradient picks the cheaper of O(nnz)
+    /// sparse row updates and transpose-then-matmul by measured density
+    /// (see [`Linear::backward_sparse_leaf`]). Bitwise-identical to the
+    /// dense path either way.
+    pub fn backward_sparse_scratch(
+        &self,
+        x: &crate::sparse::SparseRows,
+        x_dense: &Matrix,
+        cache: &MlpCache,
+        grad_out: &mut Matrix,
+        grads: &mut MlpGrads,
+        scratch: &mut Scratch,
+    ) {
+        match self.final_act {
+            FinalActivation::Relu => relu_backward_inplace(grad_out, &cache.output),
+            FinalActivation::Sigmoid => sigmoid_backward_inplace(grad_out, &cache.output),
+        }
+        // For-overwrite: fully overwritten by the l2 backward below.
+        let mut grad_hidden = scratch.take_for_overwrite(grad_out.rows(), self.l1.output_dim());
+        self.l2.backward_scratch(
+            &cache.hidden,
+            grad_out,
+            &mut grads.l2,
+            Some(&mut grad_hidden),
+            scratch,
+        );
+        relu_backward_inplace(&mut grad_hidden, &cache.hidden);
+        self.l1.backward_sparse_leaf(x, x_dense, &grad_hidden, &mut grads.l1, scratch);
+        scratch.put(grad_hidden);
+    }
+
     /// Backward pass; accumulates parameter gradients and returns `∂L/∂x`.
     pub fn backward(&mut self, x: &Matrix, cache: &MlpCache, mut grad_out: Matrix) -> Matrix {
         match self.final_act {
@@ -153,7 +201,9 @@ impl Mlp {
             FinalActivation::Relu => relu_backward_inplace(grad_out, &cache.output),
             FinalActivation::Sigmoid => sigmoid_backward_inplace(grad_out, &cache.output),
         }
-        let mut grad_hidden = scratch.take(grad_out.rows(), self.l1.output_dim());
+        // For-overwrite: the l2 backward's input-gradient product fully
+        // overwrites this buffer before anything reads it.
+        let mut grad_hidden = scratch.take_for_overwrite(grad_out.rows(), self.l1.output_dim());
         self.l2.backward_scratch(
             &cache.hidden,
             grad_out,

@@ -1,0 +1,498 @@
+//! A persistent, barrier-synchronized worker pool for data-parallel
+//! compute steps.
+//!
+//! PR 3's trainer and block-parallel inference spawned `thread::scope`
+//! workers *per step* — cheap, but a fixed spawn+join cost (and an
+//! allocation) on every mini-batch, paid thousands of times per training
+//! run and once per coalesced serving flush. [`WorkerPool`] replaces
+//! that with long-lived workers parked on a condvar: dispatching a step
+//! is one mutex round-trip and wake, the caller participates as worker
+//! 0, and a countdown barrier releases the caller when every worker is
+//! done. In steady state a dispatch performs **zero heap allocations and
+//! zero thread spawns** (asserted by `lc-core`'s counting-allocator
+//! test), and the same process-wide pool ([`WorkerPool::global`]) serves
+//! training steps, batch inference, and `lc-serve`'s micro-batched
+//! flushes — workers and their warm caches are shared, not re-created
+//! per subsystem.
+//!
+//! **Determinism is unaffected by pooling.** The pool only decides
+//! *where* closures run; callers partition work by fixed rules (gradient
+//! shards, inference blocks) and reduce in fixed order, so results stay
+//! bitwise identical at any worker count — pooled or scoped.
+//!
+//! **Pinning.** On Linux/x86-64 each worker pins itself to core
+//! `id % cores` at spawn (a raw `sched_setaffinity` syscall — no libc
+//! dependency), so a worker's warm scratch buffers stay on one core's
+//! cache hierarchy instead of migrating. Best-effort: failures (e.g.
+//! restricted cgroup masks) are ignored, single-core hosts skip it, and
+//! `LC_PIN_WORKERS=0` disables it.
+#![allow(unsafe_code)] // two contained uses: the lifetime-erased task pointer
+                       // (sound because `run` blocks until every worker has finished
+                       // with it) and the raw sched_setaffinity syscall.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// Upper bound on participants per [`WorkerPool::run`] call — a sanity
+/// cap on runaway `LC_*_THREADS` values, far above any productive count
+/// for this workload (training caps at 8 shards).
+pub const MAX_PARTICIPANTS: usize = 64;
+
+/// Process-wide count of threads ever spawned by pools in this process —
+/// the zero-spawn steady-state assertion in `lc-core`'s allocation test
+/// watches this.
+static THREADS_SPAWNED: AtomicU64 = AtomicU64::new(0);
+
+/// Total pool threads spawned by this process so far. Monotonic; stable
+/// between two reads iff no pool grew in between.
+pub fn threads_spawned() -> u64 {
+    THREADS_SPAWNED.load(Ordering::Relaxed)
+}
+
+/// Lifetime-erased `&(dyn Fn(usize) + Sync)`. The `'static` is a lie
+/// told to the type system only: [`WorkerPool::run`] does not return
+/// until the completion barrier proves no worker will touch it again,
+/// so every use stays inside the real borrow.
+type ErasedTask = &'static (dyn Fn(usize) + Sync);
+
+/// Dispatch state shared between the caller and the workers.
+struct Job {
+    /// Bumped once per dispatch; workers run at most once per epoch.
+    epoch: u64,
+    /// Participants this epoch: worker ids `1..count` (0 is the caller).
+    count: usize,
+    /// Workers still running this epoch's task.
+    remaining: usize,
+    /// Set when any participant's task panicked this epoch; the caller
+    /// re-raises after the barrier so a panic behaves like it did under
+    /// `thread::scope` (propagates) instead of wedging the pool.
+    panicked: bool,
+    task: Option<ErasedTask>,
+    shutdown: bool,
+}
+
+struct Shared {
+    job: Mutex<Job>,
+    /// Wakes workers for a new epoch (or shutdown).
+    start: Condvar,
+    /// Wakes the caller when `remaining` hits zero.
+    done: Condvar,
+}
+
+/// A persistent pool of barrier-synchronized workers. Most callers want
+/// the shared [`WorkerPool::global`]; constructing one directly is for
+/// tests and special-purpose isolation.
+pub struct WorkerPool {
+    /// Leaked once per pool: workers hold the same `&'static`, so no
+    /// reference counting is needed on the dispatch path. (Tests create
+    /// a handful of pools; the per-pool leak is a few hundred bytes.)
+    shared: &'static Shared,
+    /// Serializes dispatches: one job runs at a time, so concurrent
+    /// `run` calls (e.g. two tests training in parallel) queue instead
+    /// of corrupting each other's barrier.
+    run_lock: Mutex<()>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl WorkerPool {
+    /// A new pool with no workers; they are spawned on demand by `run`.
+    fn new() -> Self {
+        let shared: &'static Shared = Box::leak(Box::new(Shared {
+            job: Mutex::new(Job {
+                epoch: 0,
+                count: 0,
+                remaining: 0,
+                panicked: false,
+                task: None,
+                shutdown: false,
+            }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+        }));
+        WorkerPool { shared, run_lock: Mutex::new(()), workers: Mutex::new(Vec::new()) }
+    }
+
+    /// The process-wide pool shared by training, batch inference, and
+    /// the serving layer. Workers are spawned lazily the first time a
+    /// dispatch needs them and live for the rest of the process.
+    pub fn global() -> &'static WorkerPool {
+        static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+        GLOBAL.get_or_init(WorkerPool::new)
+    }
+
+    /// Number of live pool workers (diagnostics/tests).
+    pub fn workers(&self) -> usize {
+        self.workers.lock().expect("pool workers poisoned").len()
+    }
+
+    /// Run `task(id)` for every `id in 0..participants` and wait for all
+    /// of them: id 0 on the calling thread, ids `1..participants` on
+    /// pool workers. `participants <= 1` runs entirely inline with no
+    /// synchronization. Steady-state dispatches (no pool growth) are
+    /// allocation- and spawn-free.
+    ///
+    /// Work partitioning is the caller's: `task` must map each id to a
+    /// disjoint slice of the step. Ids are invoked exactly once per call.
+    ///
+    /// # Panics
+    /// If `participants > MAX_PARTICIPANTS`, or `task` panicked on any
+    /// participant. Panics inside `task` are caught at the barrier and
+    /// re-raised here after every participant has finished — the same
+    /// propagation `thread::scope` gave, and crucially the pool (and the
+    /// erased borrow) are never left with a stuck dispatch.
+    pub fn run(&self, participants: usize, task: &(dyn Fn(usize) + Sync)) {
+        if participants <= 1 {
+            task(0);
+            return;
+        }
+        assert!(
+            participants <= MAX_PARTICIPANTS,
+            "worker-pool dispatch of {participants} exceeds MAX_PARTICIPANTS ({MAX_PARTICIPANTS})"
+        );
+        let _serialize = self.run_lock.lock().expect("pool run lock poisoned");
+        self.ensure_workers(participants - 1);
+        // SAFETY: erases the borrow's lifetime; the barrier below keeps
+        // every worker's use of the reference inside this call frame —
+        // including when the caller's own share panics, which is why the
+        // wait happens before any unwind continues.
+        let erased: ErasedTask = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(task)
+        };
+        {
+            let mut job = self.shared.job.lock().expect("pool job poisoned");
+            job.epoch += 1;
+            job.count = participants;
+            job.remaining = participants - 1;
+            job.panicked = false;
+            job.task = Some(erased);
+            self.shared.start.notify_all();
+        }
+        // The caller is worker 0: it computes its share instead of
+        // sleeping through the step. Its panic must not skip the barrier
+        // below — workers may still hold the erased borrow.
+        let caller_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(0)));
+        let mut job = self.shared.job.lock().expect("pool job poisoned");
+        while job.remaining > 0 {
+            job = self.shared.done.wait(job).expect("pool job poisoned");
+        }
+        // The task borrow ends with this call; drop the erased pointer
+        // so nothing dangling survives in the dispatch slot.
+        job.task = None;
+        let worker_panicked = job.panicked;
+        drop(job);
+        // Release the dispatch serialization BEFORE re-raising: a panic
+        // while holding `run_lock` would poison it and wedge every later
+        // dispatch — the exact failure mode this path exists to avoid.
+        drop(_serialize);
+        match caller_result {
+            Err(payload) => std::panic::resume_unwind(payload),
+            Ok(()) if worker_panicked => panic!("a worker-pool task panicked on a pool worker"),
+            Ok(()) => {}
+        }
+    }
+
+    /// Grow the pool to at least `needed` workers (allocates and spawns
+    /// only on growth — never in steady state).
+    fn ensure_workers(&self, needed: usize) {
+        let mut workers = self.workers.lock().expect("pool workers poisoned");
+        while workers.len() < needed {
+            let id = workers.len() + 1;
+            let shared = self.shared;
+            THREADS_SPAWNED.fetch_add(1, Ordering::Relaxed);
+            let handle = std::thread::Builder::new()
+                .name(format!("lc-pool-{id}"))
+                .spawn(move || worker_loop(shared, id))
+                .expect("failed to spawn pool worker");
+            workers.push(handle);
+        }
+    }
+
+    /// Stop and join all workers (tests; the global pool never calls it).
+    fn shutdown(&self) {
+        {
+            let mut job = self.shared.job.lock().expect("pool job poisoned");
+            job.shutdown = true;
+            self.shared.start.notify_all();
+        }
+        for handle in self.workers.lock().expect("pool workers poisoned").drain(..) {
+            handle.join().expect("pool worker panicked");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &'static Shared, id: usize) {
+    pin_self(id);
+    let mut seen = 0u64;
+    loop {
+        let task = {
+            let mut job = shared.job.lock().expect("pool job poisoned");
+            while job.epoch == seen && !job.shutdown {
+                job = shared.start.wait(job).expect("pool job poisoned");
+            }
+            if job.shutdown {
+                return;
+            }
+            seen = job.epoch;
+            if id < job.count {
+                // A participant always observes the task: it is cleared
+                // only after `remaining` hits zero, which needs this
+                // worker's decrement first.
+                Some(job.task.expect("dispatched epoch carries a task"))
+            } else {
+                // A non-participant may observe an epoch whose task slot
+                // was already cleared (it woke late); it just re-parks.
+                None
+            }
+        };
+        if let Some(task) = task {
+            // The caller blocks in `run` until `remaining` hits zero, so
+            // the erased task reference outlives this call. Panics are
+            // caught so the barrier always completes; the caller
+            // re-raises them after the step.
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(id)));
+            let mut job = shared.job.lock().expect("pool job poisoned");
+            if result.is_err() {
+                job.panicked = true;
+            }
+            job.remaining -= 1;
+            if job.remaining == 0 {
+                shared.done.notify_all();
+            }
+        }
+    }
+}
+
+/// Best-effort: pin the calling thread to core `id % cores`. No-op on
+/// single-core hosts, under `LC_PIN_WORKERS=0`, and off Linux/x86-64.
+fn pin_self(id: usize) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores <= 1 || std::env::var("LC_PIN_WORKERS").as_deref() == Ok("0") {
+        return;
+    }
+    let _ = pin_to_cpu(id % cores);
+}
+
+/// Raw `sched_setaffinity(0, ...)` for the calling thread (pid 0 =
+/// caller). Returns whether the kernel accepted the mask. Implemented as
+/// a direct syscall so the vendored-deps-only build needs no libc crate.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+fn pin_to_cpu(cpu: usize) -> bool {
+    let mut mask = [0u64; 16]; // up to 1024 cores
+    if cpu >= mask.len() * 64 {
+        return false;
+    }
+    mask[cpu / 64] |= 1 << (cpu % 64);
+    let ret: i64;
+    // SAFETY: sched_setaffinity reads `mask.len() * 8` bytes from a
+    // live, properly sized buffer and has no other memory effects.
+    unsafe {
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") 203i64 => ret, // __NR_sched_setaffinity
+            in("rdi") 0usize,
+            in("rsi") mask.len() * 8,
+            in("rdx") mask.as_ptr(),
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack, readonly),
+        );
+    }
+    ret == 0
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+fn pin_to_cpu(_cpu: usize) -> bool {
+    false
+}
+
+/// A `Sync` view over a `&mut [T]` that lets [`WorkerPool::run`] workers
+/// claim **disjoint** elements by index — the bridge between the pool's
+/// shared `Fn(usize)` task and the per-worker `&mut` state (scratches,
+/// gradient shards, output blocks) a data-parallel step hands out.
+///
+/// The aliasing discipline lives in the caller's fixed partition: each
+/// element index must be claimed by at most one worker per dispatch
+/// (e.g. worker `w` takes `w * per .. (w + 1) * per`). That is exactly
+/// the contract `thread::scope` + `chunks_mut` used to enforce
+/// statically; the pool trades that static proof for one `unsafe` call
+/// site per claim.
+pub struct DisjointSliceMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: sharing the view only hands out raw capacity to claim
+// elements; actual `&mut T` access is gated by `index_mut`'s contract
+// that claims never overlap, and `T: Send` lets claimed elements be
+// mutated from worker threads.
+unsafe impl<T: Send> Sync for DisjointSliceMut<'_, T> {}
+
+impl<'a, T> DisjointSliceMut<'a, T> {
+    /// Wrap an exclusive slice borrow for distribution across workers.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        DisjointSliceMut {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Number of elements in the underlying slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the underlying slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Exclusive access to element `i`.
+    ///
+    /// # Safety
+    /// Within one pool dispatch, no two workers may claim the same
+    /// index, and the caller must not touch the wrapped slice until the
+    /// dispatch completes.
+    ///
+    /// # Panics
+    /// If `i` is out of bounds.
+    #[allow(clippy::mut_from_ref)] // the &self receiver is what workers share; exclusivity
+                                   // of each element is the documented safety contract
+    pub unsafe fn index_mut(&self, i: usize) -> &'a mut T {
+        assert!(i < self.len, "disjoint slice index {i} out of bounds ({})", self.len);
+        // SAFETY: in-bounds by the assert; exclusive by the caller's
+        // disjointness contract.
+        unsafe { &mut *self.ptr.add(i) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn disjoint_slice_hands_out_every_element() {
+        let pool = WorkerPool::new();
+        let mut data = vec![0u64; 10];
+        let view = DisjointSliceMut::new(&mut data);
+        let per = view.len().div_ceil(3);
+        pool.run(3, &|w| {
+            for i in (w * per)..((w + 1) * per).min(view.len()) {
+                // SAFETY: the [w*per, (w+1)*per) ranges are disjoint.
+                *unsafe { view.index_mut(i) } = (w as u64 + 1) * 100 + i as u64;
+            }
+        });
+        assert_eq!(data, vec![100, 101, 102, 103, 204, 205, 206, 207, 308, 309]);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn runs_every_index_exactly_once() {
+        let pool = WorkerPool::new();
+        let hits: Vec<AtomicUsize> = (0..6).map(|_| AtomicUsize::new(0)).collect();
+        for _ in 0..50 {
+            pool.run(6, &|id| {
+                hits[id].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        for (id, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 50, "index {id} must run once per dispatch");
+        }
+        assert_eq!(pool.workers(), 5, "five workers + the caller cover six indices");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn single_participant_runs_inline_without_workers() {
+        let pool = WorkerPool::new();
+        let caller = std::thread::current().id();
+        let ran_on = Mutex::new(None);
+        pool.run(1, &|id| {
+            *ran_on.lock().unwrap() = Some((id, std::thread::current().id()));
+        });
+        assert_eq!(*ran_on.lock().unwrap(), Some((0, caller)));
+        assert_eq!(pool.workers(), 0, "no workers may be spawned for inline runs");
+    }
+
+    #[test]
+    fn pool_grows_monotonically_and_reuses_workers() {
+        let pool = WorkerPool::new();
+        let before = threads_spawned();
+        pool.run(3, &|_| {});
+        assert_eq!(pool.workers(), 2);
+        let after_growth = threads_spawned();
+        assert_eq!(after_growth - before, 2);
+        for _ in 0..20 {
+            pool.run(3, &|_| {});
+            pool.run(2, &|_| {});
+        }
+        assert_eq!(threads_spawned(), after_growth, "steady-state dispatches must not spawn");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn concurrent_dispatches_serialize_safely() {
+        let pool = WorkerPool::new();
+        let total = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..25 {
+                        pool.run(3, &|_| {
+                            total.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 25 * 3);
+        pool.shutdown();
+    }
+
+    /// A panicking task must propagate to the caller (like
+    /// `thread::scope` did) and must NOT wedge the pool: the next
+    /// dispatch still runs.
+    #[test]
+    fn task_panics_propagate_and_pool_survives() {
+        let pool = WorkerPool::new();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(3, &|id| {
+                if id == 1 {
+                    panic!("boom on a worker");
+                }
+            });
+        }));
+        assert!(caught.is_err(), "a worker panic must surface from run()");
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(3, &|id| {
+                if id == 0 {
+                    panic!("boom on the caller");
+                }
+            });
+        }));
+        assert!(caught.is_err(), "a caller panic must surface from run()");
+        let hits = AtomicUsize::new(0);
+        pool.run(3, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 3, "the pool must keep working after a panic");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn pinning_is_best_effort() {
+        // Pinning to core 0 must be accepted on any Linux host this test
+        // runs on; elsewhere the stub reports false. Either way: no panic.
+        let _ = pin_to_cpu(0);
+        pin_self(1);
+    }
+}

@@ -36,6 +36,16 @@ impl Scratch {
         m
     }
 
+    /// Take a `rows × cols` matrix with **unspecified contents** (pooled
+    /// or fresh) — for callers that overwrite every element anyway, e.g.
+    /// a gradient buffer immediately filled by an overwrite-mode kernel.
+    /// Skips `take`'s zero-fill pass.
+    pub fn take_for_overwrite(&mut self, rows: usize, cols: usize) -> Matrix {
+        let mut m = self.free.pop().unwrap_or_else(|| Matrix::zeros(0, 0));
+        m.resize_for_overwrite(rows, cols);
+        m
+    }
+
     /// Return a buffer to the pool for later reuse.
     pub fn put(&mut self, m: Matrix) {
         self.free.push(m);

@@ -1,9 +1,16 @@
 //! Property tests: the blocked/tiled product kernels must agree with a
 //! textbook naive reference on arbitrary shapes and contents — including
 //! shapes straddling every tile/register-block boundary and operands with
-//! one-hot-like sparsity.
+//! one-hot-like sparsity — and the AVX2 and scalar dispatch paths (plus
+//! the sparse input-layer path) must be **bitwise identical**, not just
+//! close: that identity is what lets `LC_KERNEL` and heterogeneous
+//! hardware never change a trained weight or an estimate.
 
-use lc_nn::Matrix;
+use lc_nn::kernels::{
+    matmul_accumulate_with, matmul_transa_accumulate_with, matmul_with, sparse_matmul_bias_with,
+    sparse_transa_accumulate_with,
+};
+use lc_nn::{avx2_available, Kernel, Matrix, SparseRows};
 use proptest::prelude::*;
 
 /// Naive ijk reference.
@@ -121,6 +128,106 @@ proptest! {
                 let (got, want) = (fast.get(i, j), expected.get(i, j));
                 prop_assert!((got - want).abs() <= 1e-5 * want.abs().max(1.0));
             }
+        }
+    }
+
+    /// The AVX2 and scalar dispatch paths of the dense matmul kernel are
+    /// bitwise identical on arbitrary shapes and sparsity — including a
+    /// bias-seeded output (the fused forward) and dirty k-tile edges.
+    #[test]
+    fn avx2_and_scalar_matmul_are_bitwise_identical(
+        (r, k, c) in shapes(),
+        vals in proptest::collection::vec(-200i32..200, 8..32),
+        mask in proptest::collection::vec(0u8..2, 4..16),
+    ) {
+        if avx2_available() {
+            let a = matrix_from(r, k, &vals, &mask);
+            let b = matrix_from(k, c, &vals, &[1]);
+            let bias: Vec<f32> = (0..c).map(|j| vals[j % vals.len()] as f32 / 200.0).collect();
+            let seed = {
+                let mut m = Matrix::zeros(r, c);
+                for i in 0..r {
+                    m.row_mut(i).copy_from_slice(&bias);
+                }
+                m
+            };
+            let mut scalar = seed.clone();
+            let mut avx2 = seed;
+            matmul_accumulate_with(Kernel::Scalar, &a, &b, &mut scalar);
+            matmul_accumulate_with(Kernel::Avx2, &a, &b, &mut avx2);
+            prop_assert_eq!(scalar.data(), avx2.data(), "matmul dispatch paths must match bitwise");
+
+            // Seed (overwrite) mode: stale contents must be ignored and
+            // both dispatch paths must still agree bitwise — this is the
+            // mode matmul_into / matmul_transb_scratch run in production.
+            let mut scalar_s = Matrix::from_vec(r, c, vec![9.0; r * c]);
+            let mut avx2_s = Matrix::from_vec(r, c, vec![-7.0; r * c]);
+            matmul_with(Kernel::Scalar, &a, &b, &mut scalar_s, true);
+            matmul_with(Kernel::Avx2, &a, &b, &mut avx2_s, true);
+            prop_assert_eq!(
+                scalar_s.data(), avx2_s.data(),
+                "seed-mode dispatch paths must match bitwise"
+            );
+            let mut zeroed = Matrix::zeros(r, c);
+            matmul_accumulate_with(Kernel::Scalar, &a, &b, &mut zeroed);
+            prop_assert_eq!(
+                scalar_s.data(), zeroed.data(),
+                "seed mode must equal zero-fill + accumulate bitwise"
+            );
+
+            let mut scalar_t = Matrix::zeros(k, c);
+            let mut avx2_t = Matrix::zeros(k, c);
+            let g = matrix_from(r, c, &vals, &[1]);
+            matmul_transa_accumulate_with(Kernel::Scalar, &a, &g, &mut scalar_t);
+            matmul_transa_accumulate_with(Kernel::Avx2, &a, &g, &mut avx2_t);
+            prop_assert_eq!(scalar_t.data(), avx2_t.data(), "transa dispatch paths must match bitwise");
+        }
+    }
+
+    /// The sparse input-layer forward matches the dense fused forward
+    /// **bitwise** on one-hot/bitmap-like rows — on both dispatch paths —
+    /// and so does the sparse weight-gradient kernel against the
+    /// zero-skipping dense `Aᵀ·B`.
+    #[test]
+    fn sparse_paths_match_dense_bitwise(
+        (r, k, c) in shapes(),
+        vals in proptest::collection::vec(-200i32..200, 8..32),
+        mask in proptest::collection::vec(0u8..2, 4..16),
+    ) {
+        let x = matrix_from(r, k, &vals, &mask); // one-hot/bitmap-like: ~half zeros
+        let w = matrix_from(k, c, &vals, &[1]);
+        let bias: Vec<f32> = (0..c).map(|j| vals[j % vals.len()] as f32 / 200.0).collect();
+        let sp = SparseRows::from_dense(&x);
+        prop_assert_eq!(sp.to_dense(), x.clone(), "CSR view must round-trip the dense rows");
+
+        let mut kernels = vec![Kernel::Scalar];
+        if avx2_available() {
+            kernels.push(Kernel::Avx2);
+        }
+        for kernel in kernels {
+            // Dense fused forward: bias-seeded accumulate.
+            let mut dense = Matrix::zeros(r, c);
+            for i in 0..r {
+                dense.row_mut(i).copy_from_slice(&bias);
+            }
+            matmul_accumulate_with(kernel, &x, &w, &mut dense);
+            let mut sparse = Matrix::zeros(0, 0);
+            sparse_matmul_bias_with(kernel, &sp, &w, &bias, &mut sparse);
+            prop_assert_eq!(
+                dense.data(), sparse.data(),
+                "{:?}: sparse forward must match the dense fused forward bitwise", kernel
+            );
+
+            // Weight gradient: sparse transa vs the zero-skipping dense one.
+            let g = matrix_from(r, c, &vals, &[1]);
+            let mut dense_t = Matrix::zeros(k, c);
+            matmul_transa_accumulate_with(kernel, &x, &g, &mut dense_t);
+            let mut sparse_t = Matrix::zeros(k, c);
+            sparse_transa_accumulate_with(kernel, &sp, &g, &mut sparse_t);
+            prop_assert_eq!(
+                dense_t.data(), sparse_t.data(),
+                "{:?}: sparse transa must match the dense transa bitwise", kernel
+            );
         }
     }
 

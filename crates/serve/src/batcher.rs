@@ -21,9 +21,11 @@
 //! Coalesced batches run on `lc_core`'s arena-backed forward pass: warm
 //! inference scratches come from a process-wide pool and are reused
 //! across flushes and worker threads (zero steady-state allocation in
-//! the network itself), and batches large
-//! enough to span multiple inference blocks fan out across scoped worker
-//! threads inside `estimate_all` — still bitwise identical, since block
+//! the network itself), and batches large enough to span multiple
+//! inference blocks fan out onto the **persistent worker pool**
+//! (`lc_nn::WorkerPool::global`) inside `estimate_all` — the same
+//! long-lived pinned workers the trainer uses, so a flush is one condvar
+//! dispatch, never a thread spawn. Still bitwise identical, since block
 //! boundaries and per-row reductions never depend on the worker count.
 //! That is what makes *larger* `max_batch` values genuinely amortize
 //! instead of just queueing.

@@ -129,12 +129,17 @@ fn run() -> Result<(), String> {
     let service = Arc::new(EstimationService::new(db, samples, Arc::clone(&registry), config));
     let handle = serve(Arc::clone(&service), addr.as_str())
         .map_err(|e| format!("cannot bind {addr}: {e}"))?;
-    // The startup banner goes to stdout: scripts wait for it.
+    // The startup banner goes to stdout: scripts wait for it. The kernel
+    // name says which compute dispatch path (`LC_KERNEL`) this process
+    // resolved to — the first thing to check when serving latency looks
+    // off on new hardware.
     println!(
-        "lc-serve listening on {} (model v{}, {} params, cache {}, max batch {}, {} worker{})",
+        "lc-serve listening on {} (model v{}, {} params, {} kernels, cache {}, max batch {}, {} \
+         worker{})",
         handle.local_addr(),
         registry.active_version(),
         params,
+        lc_nn::kernel_name(),
         cache_capacity,
         max_batch,
         workers,

@@ -47,6 +47,69 @@ fn serialized_model_reproduces_estimates_across_processes() {
     assert_eq!(bytes, restored.to_bytes());
 }
 
+/// Train the shared reference model and serialize weights + a slice of
+/// estimates — the fingerprint the cross-kernel test compares across
+/// subprocesses.
+fn kernel_fingerprint() -> Vec<u8> {
+    let db = lc_imdb::generate(&ImdbConfig::tiny());
+    let mut rng = SmallRng::seed_from_u64(80);
+    let samples = SampleSet::draw(&db, 20, &mut rng);
+    let data = workloads::synthetic(&db, &samples, 250, 2, 58).queries;
+    let cfg = TrainConfig { epochs: 3, hidden: 16, ..TrainConfig::default() };
+    let trained = train(&db, 20, &data, cfg);
+    let mut bytes = trained.estimator.to_bytes();
+    // Estimates ride along so the check covers the inference path too,
+    // not just the training trajectory.
+    for est in trained.estimator.estimate_cards(&data[..20]) {
+        bytes.extend_from_slice(&est.to_le_bytes());
+    }
+    bytes
+}
+
+/// Subprocess arm of the cross-kernel test: inert in a normal run; with
+/// `LC_FINGERPRINT_OUT` set it writes [`kernel_fingerprint`] to that
+/// path (the parent sets `LC_KERNEL` per spawn — dispatch is resolved
+/// once per process, which is why this needs a subprocess at all).
+#[test]
+fn subprocess_kernel_fingerprint_helper() {
+    let Some(path) = std::env::var_os("LC_FINGERPRINT_OUT") else { return };
+    std::fs::write(path, kernel_fingerprint()).expect("write fingerprint");
+}
+
+/// `LC_KERNEL=avx2` and `LC_KERNEL=scalar` must produce byte-identical
+/// trained weights *and* estimates — the SIMD micro-kernels and their
+/// `mul_add` fallback share one accumulation order by construction, and
+/// this is the end-to-end proof at model level.
+#[test]
+fn weights_and_estimates_are_bitwise_identical_across_kernel_paths() {
+    if !lc_nn::avx2_available() {
+        return; // only one real dispatch path exists: nothing to compare
+    }
+    let exe = std::env::current_exe().expect("test binary path");
+    let fingerprints: Vec<Vec<u8>> = ["avx2", "scalar"]
+        .iter()
+        .map(|kernel| {
+            let out =
+                std::env::temp_dir().join(format!("lc_kernel_fp_{}_{kernel}", std::process::id()));
+            let status = std::process::Command::new(&exe)
+                .args(["subprocess_kernel_fingerprint_helper", "--exact", "--test-threads", "1"])
+                .env("LC_KERNEL", kernel)
+                .env("LC_FINGERPRINT_OUT", &out)
+                .status()
+                .expect("spawn fingerprint subprocess");
+            assert!(status.success(), "LC_KERNEL={kernel} subprocess failed");
+            let bytes = std::fs::read(&out).expect("read fingerprint");
+            let _ = std::fs::remove_file(&out);
+            assert!(!bytes.is_empty());
+            bytes
+        })
+        .collect();
+    assert_eq!(
+        fingerprints[0], fingerprints[1],
+        "avx2 and scalar kernel paths must train and estimate byte-identically"
+    );
+}
+
 #[test]
 fn different_seeds_give_different_models() {
     let db = lc_imdb::generate(&ImdbConfig::tiny());
