@@ -15,7 +15,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use lc_bench::BenchFixture;
 use lc_core::{train, FeatureMode, TrainConfig};
 use lc_query::{annotate_query, CardinalityEstimator, Query};
-use lc_serve::{BatcherConfig, CacheConfig, EstimationService, ModelRegistry, ServiceConfig};
+use lc_serve::{BatcherConfig, CacheConfig, EstimationService, ModelRegistry, ServeConfig};
 
 const BATCH: usize = 64;
 
@@ -32,9 +32,10 @@ fn manual_service(
         f.db.clone(),
         f.samples.clone(),
         Arc::clone(registry),
-        ServiceConfig {
+        ServeConfig {
             cache,
             batcher: BatcherConfig { workers: 0, max_batch, ..BatcherConfig::default() },
+            ..ServeConfig::default()
         },
     )
 }

@@ -1,0 +1,126 @@
+//! The unified [`Estimator`] trait — one seam for every estimator kind.
+//!
+//! Before this trait, callers had to know which concrete type they held:
+//! [`MscnEstimator`] exposed `estimate_cards`, [`DeepEnsemble`] exposed
+//! `estimate_with_uncertainty`, the baselines only spoke
+//! [`CardinalityEstimator`], and anything wanting a trust signal had to
+//! downcast. [`Estimator`] folds the three call shapes into one
+//! object-safe trait: point estimates come from the
+//! [`CardinalityEstimator`] supertrait, and uncertainty-aware batches
+//! come from [`Estimator::estimate_with_uncertainty`], with a default
+//! that degrades gracefully (zero spread, never saturated) for
+//! estimators that genuinely have no uncertainty signal. This is the
+//! seam a future tiered estimator (MSCN where it is trustworthy, a
+//! baseline elsewhere) plugs into.
+
+use lc_query::{CardinalityEstimator, LabeledQuery};
+
+use crate::ensemble::{DeepEnsemble, UncertainEstimate};
+use crate::train::MscnEstimator;
+
+/// A cardinality estimator that can also qualify its own estimates.
+///
+/// Every implementor answers point queries through the
+/// [`CardinalityEstimator`] supertrait (`estimate` / `estimate_all`);
+/// this trait adds the uncertainty-aware batch entry point. The default
+/// implementation reports every estimate as fully confident — correct
+/// for deterministic baselines, and exactly what the single-model MSCN
+/// overrides to add its saturation flag.
+///
+/// The trait is object-safe: `&dyn Estimator` is the currency of the
+/// evaluation harness and the future tiered-serving path.
+pub trait Estimator: CardinalityEstimator {
+    /// Batched estimates, each carrying its trust metadata.
+    ///
+    /// Implementations must keep the point estimates consistent with
+    /// [`CardinalityEstimator::estimate_all`] — the uncertainty channel
+    /// annotates estimates, it never changes them.
+    fn estimate_with_uncertainty(&self, queries: &[LabeledQuery]) -> Vec<UncertainEstimate> {
+        self.estimate_all(queries)
+            .into_iter()
+            .map(|estimate| UncertainEstimate { estimate, log_std: 0.0, saturated: false })
+            .collect()
+    }
+}
+
+impl Estimator for MscnEstimator {
+    /// A single model has no ensemble spread (`log_std` 0), but it *can*
+    /// report saturation: a normalized prediction pinned at the sigmoid
+    /// boundary means the query's cardinality sits at or beyond the edge
+    /// of the trained range (§4.4's label-norm clamp), where the point
+    /// estimate is an extrapolation.
+    fn estimate_with_uncertainty(&self, queries: &[LabeledQuery]) -> Vec<UncertainEstimate> {
+        let estimates = self.estimate_cards(queries);
+        let norms = self.estimate_normalized(queries);
+        estimates
+            .into_iter()
+            .zip(norms)
+            .map(|(estimate, norm)| UncertainEstimate {
+                estimate,
+                log_std: 0.0,
+                saturated: !(0.02..=0.98).contains(&norm),
+            })
+            .collect()
+    }
+}
+
+impl Estimator for DeepEnsemble {
+    fn estimate_with_uncertainty(&self, queries: &[LabeledQuery]) -> Vec<UncertainEstimate> {
+        DeepEnsemble::estimate_with_uncertainty(self, queries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lc_engine::SampleSet;
+    use lc_imdb::{generate, ImdbConfig};
+    use lc_query::workloads;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    use crate::train::{train, TrainConfig};
+
+    #[test]
+    fn trait_point_estimates_match_uncertainty_channel() {
+        let db = generate(&ImdbConfig::tiny());
+        let mut rng = SmallRng::seed_from_u64(31);
+        let samples = SampleSet::draw(&db, 24, &mut rng);
+        let data = workloads::synthetic(&db, &samples, 300, 2, 32).queries;
+        let cfg = TrainConfig { epochs: 3, hidden: 16, batch_size: 64, ..TrainConfig::default() };
+        let single = train(&db, 24, &data, cfg).estimator;
+        let (ensemble, _) = DeepEnsemble::train(&db, 24, &data, cfg, 2);
+
+        let estimators: Vec<&dyn Estimator> = vec![&single, &ensemble];
+        for est in estimators {
+            let points = est.estimate_all(&data[..8]);
+            let uncertain = est.estimate_with_uncertainty(&data[..8]);
+            assert_eq!(points.len(), uncertain.len());
+            for (p, u) in points.iter().zip(&uncertain) {
+                assert!(
+                    (p - u.estimate).abs() <= 1e-9 * p.max(1.0),
+                    "{}: point {p} != uncertain {}",
+                    est.name(),
+                    u.estimate
+                );
+                assert!(u.log_std >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn single_model_reports_saturation_not_spread() {
+        let db = generate(&ImdbConfig::tiny());
+        let mut rng = SmallRng::seed_from_u64(33);
+        let samples = SampleSet::draw(&db, 24, &mut rng);
+        let data = workloads::synthetic(&db, &samples, 300, 2, 34).queries;
+        let cfg = TrainConfig { epochs: 3, hidden: 16, batch_size: 64, ..TrainConfig::default() };
+        let single = train(&db, 24, &data, cfg).estimator;
+        let norms = single.estimate_normalized(&data[..16]);
+        let uncertain = Estimator::estimate_with_uncertainty(&single, &data[..16]);
+        for (n, u) in norms.iter().zip(&uncertain) {
+            assert_eq!(u.log_std, 0.0);
+            assert_eq!(u.saturated, !(0.02..=0.98).contains(n));
+        }
+    }
+}

@@ -15,8 +15,9 @@
 //! order, and the final reduction order are all thread-count-independent,
 //! training is **bitwise reproducible at any `threads` setting** — the
 //! same seed gives byte-identical weights at 1, 2, or 4 workers. Worker
-//! threads ([`TrainConfig::threads`]; `LC_TRAIN_THREADS` steers
-//! default-config runs) only decide *which* worker computes which shard.
+//! threads ([`TrainConfig::threads`]; the process
+//! [`RuntimeConfig`](lc_nn::RuntimeConfig) steers default-config runs)
+//! only decide *which* worker computes which shard.
 //!
 //! All shard scratches and gradient buffers are allocated once per
 //! training run and resized in place, and each epoch's ragged batches are
@@ -83,42 +84,44 @@ fn auto_threads() -> usize {
 }
 
 /// Shared worker-count resolution: an explicit `configured` value wins;
-/// for the default (`0`) the environment variable `var` (if a positive
-/// integer) decides, else the hardware-derived default. Code that pins a
-/// count — like the thread-determinism tests and the t1/t2/t4 scaling
-/// benches — therefore keeps it even when CI steers every
-/// default-config run via the env. Used by both the training and
-/// inference knobs so their precedence rules can never drift apart.
-/// Whatever the source, the result is capped at the worker pool's
-/// dispatch bound (`lc_nn::pool::MAX_PARTICIPANTS`, 64) — far above any
-/// productive count for this workload, and never a behavioural change:
-/// worker counts affect wall-clock only.
-fn threads_from_env(var: &str, configured: usize) -> usize {
+/// for the default (`0`) the process [`RuntimeConfig`] decides (which in
+/// turn resolved `LC_TRAIN_THREADS` / `LC_INFER_THREADS` exactly once,
+/// or was installed explicitly by the binary), else the hardware-derived
+/// default. Code that pins a count — like the thread-determinism tests
+/// and the t1/t2/t4 scaling benches — therefore keeps it even when CI
+/// steers every default-config run via the env. Used by both the
+/// training and inference knobs so their precedence rules can never
+/// drift apart. Whatever the source, the result is capped at the worker
+/// pool's dispatch bound (`lc_nn::pool::MAX_PARTICIPANTS`, 64) — far
+/// above any productive count for this workload, and never a
+/// behavioural change: worker counts affect wall-clock only.
+///
+/// [`RuntimeConfig`]: lc_nn::RuntimeConfig
+fn resolve_threads(configured: usize, from_runtime: usize) -> usize {
     let resolved = if configured != 0 {
         configured
+    } else if from_runtime != 0 {
+        from_runtime
     } else {
-        std::env::var(var)
-            .ok()
-            .and_then(|s| s.parse::<usize>().ok())
-            .filter(|&t| t > 0)
-            .unwrap_or_else(auto_threads)
+        auto_threads()
     };
-    // The worker pool bounds one dispatch; a runaway env value would
-    // otherwise panic it.
+    // The worker pool bounds one dispatch; a runaway configured value
+    // would otherwise panic it.
     resolved.min(lc_nn::pool::MAX_PARTICIPANTS)
 }
 
-/// Worker count for batch inference over `n` queries: `LC_INFER_THREADS`
-/// if set to a positive integer, else a hardware-derived default — and
-/// always 1 below the fan-out threshold. Like training parallelism, the
-/// choice never changes a single output byte. Resolved once per process
-/// (inference calls are hot; the environment is not re-read per batch).
+/// Worker count for batch inference over `n` queries: the process
+/// [`RuntimeConfig::infer_threads`](lc_nn::RuntimeConfig) if positive,
+/// else a hardware-derived default — and always 1 below the fan-out
+/// threshold. Like training parallelism, the choice never changes a
+/// single output byte. Resolved once per process (inference calls are
+/// hot; the config global is not re-consulted per batch).
 fn infer_threads(n: usize) -> usize {
     static RESOLVED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
     if n < PARALLEL_INFER_MIN {
         1
     } else {
-        *RESOLVED.get_or_init(|| threads_from_env("LC_INFER_THREADS", 0))
+        *RESOLVED.get_or_init(|| resolve_threads(0, lc_nn::RuntimeConfig::global().infer_threads))
     }
 }
 
@@ -146,8 +149,9 @@ pub struct TrainConfig {
     /// Seed for weight init and epoch shuffling.
     pub seed: u64,
     /// Data-parallel worker threads per training step. An explicit count
-    /// wins over the environment; `0` (the default) defers to the
-    /// `LC_TRAIN_THREADS` environment variable, else a hardware-derived
+    /// wins over the process runtime config; `0` (the default) defers to
+    /// [`RuntimeConfig::train_threads`](lc_nn::RuntimeConfig) (which
+    /// `from_env` fills from `LC_TRAIN_THREADS`), else a hardware-derived
     /// count; everything is capped at the worker pool's dispatch bound
     /// (64) and then at the per-batch shard limit (8). Any value
     /// produces bitwise-identical training results — see the module
@@ -173,13 +177,13 @@ impl Default for TrainConfig {
 
 impl TrainConfig {
     /// The worker count a training run will actually use: an explicit
-    /// [`TrainConfig::threads`] wins; the default (`0`) resolves to
-    /// `LC_TRAIN_THREADS` if set to a positive integer, else a
-    /// hardware-derived count. Either way the result is capped at the
-    /// shard limit (8) — more workers than shards can never be
-    /// productive. Never affects results, only wall-clock time.
+    /// [`TrainConfig::threads`] wins; the default (`0`) resolves to the
+    /// process [`RuntimeConfig::train_threads`](lc_nn::RuntimeConfig) if
+    /// positive, else a hardware-derived count. Either way the result is
+    /// capped at the shard limit (8) — more workers than shards can
+    /// never be productive. Never affects results, only wall-clock time.
     pub fn effective_threads(&self) -> usize {
-        threads_from_env("LC_TRAIN_THREADS", self.threads).min(MAX_SHARDS)
+        resolve_threads(self.threads, lc_nn::RuntimeConfig::global().train_threads).min(MAX_SHARDS)
     }
 }
 

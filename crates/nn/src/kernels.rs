@@ -40,8 +40,9 @@
 //! nonzero contribution — `fma(0, w, -0.0)` flushes the sign — which no
 //! initializer, optimizer step, or serializer of this crate produces.
 //!
-//! Dispatch is resolved once per process from `LC_KERNEL`
-//! (`auto`|`avx2`|`scalar`, default `auto`) and exposed via
+//! Dispatch is resolved once per process from the global
+//! [`RuntimeConfig`](crate::RuntimeConfig) (whose `from_env` reads
+//! `LC_KERNEL`: `auto`|`avx2`|`scalar`, default `auto`) and exposed via
 //! [`kernel_name`] so benches and the serve startup banner can report
 //! which path is live. The `*_with` variants take an explicit [`Kernel`]
 //! — the property tests use them to prove both paths identical inside
@@ -99,32 +100,20 @@ pub fn avx2_available() -> bool {
     }
 }
 
-/// The kernel the process runs with, resolved once from `LC_KERNEL`:
-/// `auto` (or unset) picks [`Kernel::Avx2`] when the CPU supports it,
-/// `avx2` forces it (and panics on hardware that cannot run it — a
-/// forced benchmark configuration should fail loudly, not silently
-/// measure the wrong path), `scalar` forces the fallback.
+/// The kernel the process runs with, resolved once from the global
+/// [`RuntimeConfig`](crate::RuntimeConfig): [`KernelChoice::Auto`]
+/// (the default, and what an unset `LC_KERNEL` maps to) picks
+/// [`Kernel::Avx2`] when the CPU supports it; a forced choice panics
+/// rather than silently measuring the wrong path on hardware that
+/// cannot run it.
+///
+/// [`KernelChoice::Auto`]: crate::runtime::KernelChoice::Auto
 ///
 /// # Panics
-/// On an unrecognized `LC_KERNEL` value, or `LC_KERNEL=avx2` without
-/// AVX2+FMA support.
+/// If the active config forces AVX2 without AVX2+FMA support.
 pub fn active() -> Kernel {
     static ACTIVE: OnceLock<Kernel> = OnceLock::new();
-    *ACTIVE.get_or_init(|| match std::env::var("LC_KERNEL").as_deref() {
-        Err(_) | Ok("auto" | "") => {
-            if avx2_available() {
-                Kernel::Avx2
-            } else {
-                Kernel::Scalar
-            }
-        }
-        Ok("avx2") => {
-            assert!(avx2_available(), "LC_KERNEL=avx2 requested but AVX2+FMA are unavailable");
-            Kernel::Avx2
-        }
-        Ok("scalar") => Kernel::Scalar,
-        Ok(other) => panic!("LC_KERNEL={other:?} is not one of auto|avx2|scalar"),
-    })
+    *ACTIVE.get_or_init(|| crate::runtime::RuntimeConfig::global().resolved_kernel())
 }
 
 /// Name of the dispatch path this process resolved to (`"avx2"` or

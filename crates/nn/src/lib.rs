@@ -9,8 +9,13 @@
 //!   cache-blocked/tiled and each available as an allocation-free
 //!   `_into` variant writing into caller-provided buffers;
 //! * [`kernels`] — the explicit SIMD micro-kernels behind every
-//!   product: AVX2+FMA inner loops with runtime dispatch (`LC_KERNEL`)
-//!   and a bitwise-identical `f32::mul_add` scalar fallback;
+//!   product: AVX2+FMA inner loops with runtime dispatch (steered by
+//!   [`RuntimeConfig`]) and a bitwise-identical `f32::mul_add` scalar
+//!   fallback;
+//! * [`RuntimeConfig`] — the one place runtime knobs live: kernel
+//!   choice, train/infer worker counts, core pinning. `from_env()`
+//!   parses the `LC_*` variables exactly once; binaries can `install()`
+//!   an explicit config instead;
 //! * [`SparseRows`] — CSR-style sparse row stacks for the ~85%-zero
 //!   one-hot/bitmap input layers, with an O(nnz) fused forward
 //!   ([`Linear::forward_sparse_into`]) and weight-gradient kernel that
@@ -40,6 +45,7 @@ mod loss;
 mod matrix;
 mod mlp;
 pub mod pool;
+pub mod runtime;
 mod scratch;
 mod sparse;
 
@@ -50,6 +56,7 @@ pub use loss::LossKind;
 pub use matrix::Matrix;
 pub use mlp::{FinalActivation, Mlp, MlpCache, MlpGrads};
 pub use pool::{threads_spawned, DisjointSliceMut, WorkerPool};
+pub use runtime::{KernelChoice, RuntimeConfig};
 pub use scratch::Scratch;
 pub use sparse::SparseRows;
 

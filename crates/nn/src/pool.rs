@@ -270,10 +270,11 @@ fn worker_loop(shared: &'static Shared, id: usize) {
 }
 
 /// Best-effort: pin the calling thread to core `id % cores`. No-op on
-/// single-core hosts, under `LC_PIN_WORKERS=0`, and off Linux/x86-64.
+/// single-core hosts, when [`RuntimeConfig`](crate::RuntimeConfig)
+/// disables pinning (`LC_PIN_WORKERS=0`), and off Linux/x86-64.
 fn pin_self(id: usize) {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    if cores <= 1 || std::env::var("LC_PIN_WORKERS").as_deref() == Ok("0") {
+    if cores <= 1 || !crate::runtime::RuntimeConfig::global().pin_workers {
         return;
     }
     let _ = pin_to_cpu(id % cores);

@@ -1,0 +1,254 @@
+//! Process-wide runtime configuration for the compute layer.
+//!
+//! Historically four environment variables steered the runtime from four
+//! different corners of the workspace: `LC_KERNEL` (kernel dispatch, read
+//! in `kernels.rs`), `LC_PIN_WORKERS` (core pinning, read in `pool.rs`),
+//! and `LC_TRAIN_THREADS` / `LC_INFER_THREADS` (worker counts, read in
+//! `lc_core::train`). [`RuntimeConfig`] replaces that sprawl: one typed
+//! struct, one [`RuntimeConfig::from_env`] that parses the environment in
+//! exactly one place, and one process-global slot that every consumer
+//! reads. Binaries and tests that want explicit control construct a
+//! config with the builder methods and [`install`](RuntimeConfig::install)
+//! it before any compute runs; everything else falls back to the
+//! environment on first use.
+//!
+//! None of these knobs changes a single output byte — kernel choice is
+//! bitwise-identical by construction (see [`crate::kernels`]), and worker
+//! counts only shard work whose reduction order is fixed. They affect
+//! wall-clock time and nothing else, which is why a first-install-wins
+//! process global is safe: a latecomer's config can't invalidate results
+//! already produced.
+
+use std::sync::OnceLock;
+
+use crate::kernels::{avx2_available, Kernel};
+
+/// Which micro-kernel implementation to dispatch to, before hardware
+/// detection is applied. Resolved to a concrete [`Kernel`] by
+/// [`RuntimeConfig::resolved_kernel`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum KernelChoice {
+    /// Pick AVX2 when the CPU supports it, scalar otherwise (default).
+    #[default]
+    Auto,
+    /// Force the AVX2 path; resolution panics on hardware without
+    /// AVX2+FMA (a forced benchmark configuration should fail loudly,
+    /// not silently measure the wrong path).
+    Avx2,
+    /// Force the portable `f32::mul_add` fallback.
+    Scalar,
+}
+
+/// Typed runtime configuration: kernel dispatch, worker counts, and
+/// core pinning. `0` for a thread count means "hardware-derived".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Kernel dispatch choice (`LC_KERNEL`: `auto`|`avx2`|`scalar`).
+    pub kernel: KernelChoice,
+    /// Data-parallel workers per training step; `0` = hardware-derived
+    /// (`LC_TRAIN_THREADS`).
+    pub train_threads: usize,
+    /// Workers for batch inference fan-out; `0` = hardware-derived
+    /// (`LC_INFER_THREADS`).
+    pub infer_threads: usize,
+    /// Pin pool workers to cores round-robin (`LC_PIN_WORKERS`, on by
+    /// default; `0` disables).
+    pub pin_workers: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            kernel: KernelChoice::Auto,
+            train_threads: 0,
+            infer_threads: 0,
+            pin_workers: true,
+        }
+    }
+}
+
+/// The one process-global slot. First write wins; see
+/// [`RuntimeConfig::install`].
+static GLOBAL: OnceLock<RuntimeConfig> = OnceLock::new();
+
+impl RuntimeConfig {
+    /// Read the whole configuration from the environment. This is the
+    /// **only** place in the workspace that touches the `LC_*` variables.
+    ///
+    /// Precedence and tolerance match the historical per-site readers so
+    /// existing CI matrices keep working: unparseable thread counts fall
+    /// back to hardware-derived, `LC_PIN_WORKERS` disables pinning only
+    /// on the exact value `0`.
+    ///
+    /// # Panics
+    /// On an unrecognized `LC_KERNEL` value — a forced kernel must fail
+    /// loudly rather than silently run a different path.
+    pub fn from_env() -> Self {
+        Self::from_lookup(|name| std::env::var(name).ok())
+    }
+
+    /// [`from_env`](Self::from_env) over an arbitrary lookup function, so
+    /// the parsing rules are unit-testable without mutating process
+    /// environment (which would race with every other test).
+    fn from_lookup(get: impl Fn(&str) -> Option<String>) -> Self {
+        let kernel = match get("LC_KERNEL").as_deref() {
+            None | Some("auto" | "") => KernelChoice::Auto,
+            Some("avx2") => KernelChoice::Avx2,
+            Some("scalar") => KernelChoice::Scalar,
+            Some(other) => panic!("LC_KERNEL={other:?} is not one of auto|avx2|scalar"),
+        };
+        let threads = |name: &str| -> usize {
+            // A malformed or non-positive count means "auto", exactly as
+            // the old per-site readers treated it.
+            get(name).and_then(|s| s.parse::<usize>().ok()).unwrap_or(0)
+        };
+        RuntimeConfig {
+            kernel,
+            train_threads: threads("LC_TRAIN_THREADS"),
+            infer_threads: threads("LC_INFER_THREADS"),
+            pin_workers: get("LC_PIN_WORKERS").as_deref() != Some("0"),
+        }
+    }
+
+    /// Builder: set the kernel choice.
+    pub fn kernel(mut self, kernel: KernelChoice) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Builder: set the training worker count (`0` = hardware-derived).
+    pub fn train_threads(mut self, threads: usize) -> Self {
+        self.train_threads = threads;
+        self
+    }
+
+    /// Builder: set the inference worker count (`0` = hardware-derived).
+    pub fn infer_threads(mut self, threads: usize) -> Self {
+        self.infer_threads = threads;
+        self
+    }
+
+    /// Builder: enable or disable worker core pinning.
+    pub fn pin_workers(mut self, pin: bool) -> Self {
+        self.pin_workers = pin;
+        self
+    }
+
+    /// Install this configuration as the process global. First install
+    /// wins: if a config is already active (installed explicitly, or
+    /// resolved lazily from the environment by an earlier compute call),
+    /// that one is returned unchanged. Binaries call this at the top of
+    /// `main`, before any training or inference.
+    pub fn install(self) -> &'static RuntimeConfig {
+        GLOBAL.get_or_init(|| self)
+    }
+
+    /// The active process configuration, resolving from the environment
+    /// on first use if nothing was [`install`](Self::install)ed.
+    pub fn global() -> &'static RuntimeConfig {
+        GLOBAL.get_or_init(RuntimeConfig::from_env)
+    }
+
+    /// Resolve the [`KernelChoice`] against the actual hardware.
+    ///
+    /// # Panics
+    /// If [`KernelChoice::Avx2`] is forced on hardware without AVX2+FMA.
+    pub fn resolved_kernel(&self) -> Kernel {
+        match self.kernel {
+            KernelChoice::Auto => {
+                if avx2_available() {
+                    Kernel::Avx2
+                } else {
+                    Kernel::Scalar
+                }
+            }
+            KernelChoice::Avx2 => {
+                assert!(avx2_available(), "kernel avx2 requested but AVX2+FMA are unavailable");
+                Kernel::Avx2
+            }
+            KernelChoice::Scalar => Kernel::Scalar,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn lookup(pairs: &[(&str, &str)]) -> impl Fn(&str) -> Option<String> {
+        let map: HashMap<String, String> =
+            pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        move |name: &str| map.get(name).cloned()
+    }
+
+    #[test]
+    fn empty_env_is_default() {
+        let cfg = RuntimeConfig::from_lookup(|_| None);
+        assert_eq!(cfg, RuntimeConfig::default());
+        assert_eq!(cfg.kernel, KernelChoice::Auto);
+        assert!(cfg.pin_workers);
+        assert_eq!(cfg.train_threads, 0);
+    }
+
+    #[test]
+    fn env_values_parse() {
+        let cfg = RuntimeConfig::from_lookup(lookup(&[
+            ("LC_KERNEL", "scalar"),
+            ("LC_TRAIN_THREADS", "4"),
+            ("LC_INFER_THREADS", "2"),
+            ("LC_PIN_WORKERS", "0"),
+        ]));
+        assert_eq!(cfg.kernel, KernelChoice::Scalar);
+        assert_eq!(cfg.train_threads, 4);
+        assert_eq!(cfg.infer_threads, 2);
+        assert!(!cfg.pin_workers);
+    }
+
+    #[test]
+    fn malformed_thread_counts_fall_back_to_auto() {
+        let cfg = RuntimeConfig::from_lookup(lookup(&[
+            ("LC_TRAIN_THREADS", "lots"),
+            ("LC_INFER_THREADS", "-3"),
+        ]));
+        assert_eq!(cfg.train_threads, 0);
+        assert_eq!(cfg.infer_threads, 0);
+    }
+
+    #[test]
+    fn pin_workers_only_disabled_by_exact_zero() {
+        for value in ["1", "yes", "", "false"] {
+            let cfg = RuntimeConfig::from_lookup(lookup(&[("LC_PIN_WORKERS", value)]));
+            assert!(cfg.pin_workers, "LC_PIN_WORKERS={value:?} should keep pinning on");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not one of auto|avx2|scalar")]
+    fn unknown_kernel_panics() {
+        let _ = RuntimeConfig::from_lookup(lookup(&[("LC_KERNEL", "sse9")]));
+    }
+
+    #[test]
+    fn builder_chains() {
+        let cfg = RuntimeConfig::default()
+            .kernel(KernelChoice::Scalar)
+            .train_threads(3)
+            .infer_threads(5)
+            .pin_workers(false);
+        assert_eq!(cfg.kernel, KernelChoice::Scalar);
+        assert_eq!(cfg.train_threads, 3);
+        assert_eq!(cfg.infer_threads, 5);
+        assert!(!cfg.pin_workers);
+    }
+
+    #[test]
+    fn scalar_choice_resolves_to_scalar_kernel() {
+        let cfg = RuntimeConfig::default().kernel(KernelChoice::Scalar);
+        assert_eq!(cfg.resolved_kernel(), Kernel::Scalar);
+        // Auto resolves to whatever the hardware supports — just check
+        // it doesn't panic and is consistent.
+        let auto = RuntimeConfig::default().resolved_kernel();
+        assert_eq!(auto, RuntimeConfig::default().resolved_kernel());
+    }
+}

@@ -58,6 +58,30 @@ impl Query {
         self.predicates.iter().filter(|p| p.table == t).copied().collect()
     }
 
+    /// A compact key identifying this query's **join template** — the
+    /// table/join shape with predicates abstracted away. Two queries get
+    /// the same template iff they touch the same table set via the same
+    /// join edges; this is the granularity drift monitoring buckets
+    /// feedback by, because MSCN's error profile is dominated by join
+    /// shape (the paper's figures are all bucketed by join count).
+    ///
+    /// Layout: low 16 bits are the table-id bitmask, high 16 bits the
+    /// join-id bitmask. Ids ≥ 16 saturate into the top bit of their
+    /// half — on this repo's star schema (6 tables, 5 join edges) that
+    /// never happens, and even where it did the key would still be a
+    /// consistent (merely coarser) bucketing.
+    pub fn join_template(&self) -> u32 {
+        let mut tables_mask = 0u16;
+        for t in &self.tables {
+            tables_mask |= 1 << (t.0).min(15);
+        }
+        let mut joins_mask = 0u16;
+        for j in &self.joins {
+            joins_mask |= 1 << (j.0).min(15);
+        }
+        (u32::from(joins_mask) << 16) | u32::from(tables_mask)
+    }
+
     /// Borrow as an executor spec.
     pub fn spec(&self) -> QuerySpec<'_> {
         QuerySpec { tables: &self.tables, joins: &self.joins, predicates: &self.predicates }
@@ -151,6 +175,19 @@ mod tests {
         assert!(q.predicates_on(TableId(0)).is_empty());
         let spec = q.spec();
         assert_eq!(spec.tables.len(), 2);
+    }
+
+    #[test]
+    fn join_template_keys_on_shape_not_predicates() {
+        let a = Query::new(vec![TableId(0), TableId(1)], vec![JoinId(0)], vec![pred(1, 1, 9)]);
+        let b = Query::new(vec![TableId(0), TableId(1)], vec![JoinId(0)], vec![pred(0, 2, -4)]);
+        let c = Query::new(vec![TableId(0), TableId(2)], vec![JoinId(1)], vec![pred(1, 1, 9)]);
+        // Same shape, different predicates → same template.
+        assert_eq!(a.join_template(), b.join_template());
+        // Different shape → different template.
+        assert_ne!(a.join_template(), c.join_template());
+        // Layout: tables in the low half, joins in the high half.
+        assert_eq!(a.join_template(), (1 << 16) | 0b11);
     }
 
     #[test]

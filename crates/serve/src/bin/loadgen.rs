@@ -6,6 +6,16 @@
 //! (`RESULT qps=… requests=… errors=…`) for CI smoke checks. Exits
 //! non-zero if any request failed or the run produced no throughput.
 //!
+//! With `--shift` the run becomes the self-healing demo: workers
+//! negotiate protocol v2, report execution feedback after every
+//! estimate, and switch mid-run to `--shift-joins`-join queries the
+//! bootstrap model never trained on. The report then carries the
+//! per-phase q-error arc (pre-shift → spike → final) plus the server's
+//! retrain count and active model version, and the exit code also
+//! asserts the healing happened: at least one retrain, a published
+//! model version > 1, no version regressions, and a final q-error that
+//! actually recovered from the spike.
+//!
 //! Flags (all optional):
 //!
 //! * `--addr HOST:PORT`   server address        (default 127.0.0.1:7878)
@@ -13,6 +23,9 @@
 //! * `--connections N`    concurrent workers    (default 4)
 //! * `--max-joins N`      joins per query bound (default 2)
 //! * `--seed N`           base RNG seed         (default 42)
+//! * `--shift`            run the drift/self-healing demo
+//! * `--shift-at X`       fraction of requests before the shift (default 0.4)
+//! * `--shift-joins N`    joins per post-shift query (default 3)
 
 use std::process::exit;
 use std::time::Duration;
@@ -20,7 +33,9 @@ use std::time::Duration;
 use lc_serve::flags::get;
 use lc_serve::LoadgenConfig;
 
-const FLAGS: &[&str] = &["addr", "requests", "connections", "max-joins", "seed"];
+const FLAGS: &[&str] =
+    &["addr", "requests", "connections", "max-joins", "seed", "shift-at", "shift-joins"];
+const SWITCHES: &[&str] = &["shift"];
 
 fn main() {
     if let Err(message) = run() {
@@ -30,7 +45,8 @@ fn main() {
 }
 
 fn run() -> Result<(), String> {
-    let flags = lc_serve::flags::parse(FLAGS)?;
+    let flags = lc_serve::flags::parse_with_switches(FLAGS, SWITCHES)?;
+    let defaults = LoadgenConfig::default();
     let config = LoadgenConfig {
         addr: flags.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:7878".into()),
         requests: get(&flags, "requests", 1000)?,
@@ -38,10 +54,24 @@ fn run() -> Result<(), String> {
         max_joins: get(&flags, "max-joins", 2)?,
         seed: get(&flags, "seed", 42)?,
         connect_timeout: Duration::from_secs(10),
+        shift: get(&flags, "shift", false)?,
+        shift_at: get(&flags, "shift-at", defaults.shift_at)?,
+        shift_joins: get(&flags, "shift-joins", defaults.shift_joins)?,
     };
     eprintln!(
-        "loadgen: {} requests over {} connections against {} ...",
-        config.requests, config.connections, config.addr
+        "loadgen: {} requests over {} connections against {}{} ...",
+        config.requests,
+        config.connections,
+        config.addr,
+        if config.shift {
+            format!(
+                " (shift to {}-join queries at {:.0}%)",
+                config.shift_joins,
+                config.shift_at * 100.0
+            )
+        } else {
+            String::new()
+        },
     );
     let report = lc_serve::loadgen::run(&config).map_err(|e| format!("run failed: {e}"))?;
     println!("{report}");
@@ -50,6 +80,26 @@ fn run() -> Result<(), String> {
     }
     if report.requests == 0 || report.qps <= 0.0 {
         return Err("no throughput measured".into());
+    }
+    if let Some(shift) = &report.shift {
+        if shift.retrains == 0 {
+            return Err("shift demo: drift never triggered a retrain".into());
+        }
+        if shift.model_version <= 1 {
+            return Err(format!("shift demo: model version stayed at v{}", shift.model_version));
+        }
+        if shift.version_regressions > 0 {
+            return Err(format!(
+                "shift demo: model version went backwards {} time(s)",
+                shift.version_regressions
+            ));
+        }
+        if shift.qerrors.fin >= shift.qerrors.spike {
+            return Err(format!(
+                "shift demo: q-error never recovered (spike {:.2} → final {:.2})",
+                shift.qerrors.spike, shift.qerrors.fin
+            ));
+        }
     }
     Ok(())
 }

@@ -3,11 +3,14 @@
 //! Boots a database snapshot + materialized samples, obtains a model
 //! (either by training a bootstrap MSCN in-process or by loading a
 //! serialized snapshot from `--model`), and serves the wire protocol
-//! until killed. Drive it with the sibling `loadgen` binary:
+//! until killed. Protocol v2 clients can stream execution feedback back;
+//! the drift monitor watches per-join-template rolling q-error and
+//! retrains + republishes the model in the background when a template
+//! drifts. Drive it with the sibling `loadgen` binary:
 //!
 //! ```text
 //! cargo run --release -p lc-serve --bin serve -- --addr 127.0.0.1:7878 &
-//! cargo run --release -p lc-serve --bin loadgen -- --addr 127.0.0.1:7878 --requests 1000
+//! cargo run --release -p lc-serve --bin loadgen -- --addr 127.0.0.1:7878 --shift
 //! ```
 //!
 //! Flags (all optional):
@@ -22,6 +25,17 @@
 //! * `--max-batch N`       micro-batch size bound          (default 64)
 //! * `--max-delay-us N`    micro-batch hard flush bound    (default 200)
 //! * `--workers N`         inference worker threads        (default 1)
+//! * `--drift-window N`    rolling q-error window per template (default 64)
+//! * `--drift-min-samples N`  observations before a window may trip
+//!   (default 32)
+//! * `--drift-threshold X` mean q-error that counts as drift (default 4.0)
+//! * `--drift-min-corpus N` feedback corpus size before retraining
+//!   (default 96)
+//! * `--retrain-epochs N`  epochs per incremental retrain  (default 12)
+//!
+//! Runtime tuning (`LC_KERNEL`, `LC_TRAIN_THREADS`, `LC_INFER_THREADS`,
+//! `LC_PIN_WORKERS`) is read once at startup via
+//! [`lc_nn::RuntimeConfig::from_env`].
 
 use std::process::exit;
 use std::sync::Arc;
@@ -33,7 +47,7 @@ use lc_imdb::ImdbConfig;
 use lc_query::workloads;
 use lc_serve::flags::get;
 use lc_serve::{
-    serve, BatcherConfig, CacheConfig, EstimationService, ModelRegistry, ServiceConfig,
+    serve, BatcherConfig, CacheConfig, DriftConfig, EstimationService, ModelRegistry, ServeConfig,
 };
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -52,6 +66,11 @@ const FLAGS: &[&str] = &[
     "max-batch",
     "max-delay-us",
     "workers",
+    "drift-window",
+    "drift-min-samples",
+    "drift-threshold",
+    "drift-min-corpus",
+    "retrain-epochs",
 ];
 
 fn main() {
@@ -62,6 +81,9 @@ fn main() {
 }
 
 fn run() -> Result<(), String> {
+    // Resolve LC_* tuning once, up front; everything downstream (kernel
+    // dispatch, worker pools, trainer) reads this installed config.
+    lc_nn::RuntimeConfig::from_env().install();
     let flags = lc_serve::flags::parse(FLAGS)?;
     let addr = flags.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:7878".into());
     let queries: usize = get(&flags, "queries", 400)?;
@@ -71,6 +93,12 @@ fn run() -> Result<(), String> {
     let max_batch: usize = get(&flags, "max-batch", 64)?;
     let max_delay_us: u64 = get(&flags, "max-delay-us", 200)?;
     let workers: usize = get(&flags, "workers", 1)?;
+    let drift_defaults = DriftConfig::default();
+    let drift_window: usize = get(&flags, "drift-window", drift_defaults.window)?;
+    let drift_min_samples: usize = get(&flags, "drift-min-samples", drift_defaults.min_samples)?;
+    let drift_threshold: f64 = get(&flags, "drift-threshold", drift_defaults.qerror_threshold)?;
+    let drift_min_corpus: usize = get(&flags, "drift-min-corpus", drift_defaults.min_corpus)?;
+    let retrain_epochs: usize = get(&flags, "retrain-epochs", drift_defaults.retrain.epochs)?;
     if workers == 0 {
         // workers: 0 is the library's manual-flush mode; with no one
         // calling flush_now a server would hang every request.
@@ -117,13 +145,21 @@ fn run() -> Result<(), String> {
     let params = estimator.model().num_params();
 
     let registry = Arc::new(ModelRegistry::new(estimator));
-    let config = ServiceConfig {
+    let config = ServeConfig {
         cache: CacheConfig { capacity: cache_capacity, ..CacheConfig::default() },
         batcher: BatcherConfig {
             max_batch,
             max_delay: Duration::from_micros(max_delay_us),
             workers,
             ..BatcherConfig::default()
+        },
+        drift: DriftConfig {
+            window: drift_window,
+            min_samples: drift_min_samples,
+            qerror_threshold: drift_threshold,
+            min_corpus: drift_min_corpus,
+            retrain: TrainConfig { epochs: retrain_epochs, ..drift_defaults.retrain },
+            ..drift_defaults
         },
     };
     let service = Arc::new(EstimationService::new(db, samples, Arc::clone(&registry), config));
@@ -135,7 +171,7 @@ fn run() -> Result<(), String> {
     // off on new hardware.
     println!(
         "lc-serve listening on {} (model v{}, {} params, {} kernels, cache {}, max batch {}, {} \
-         worker{})",
+         worker{}, drift threshold {} over {}-obs windows)",
         handle.local_addr(),
         registry.active_version(),
         params,
@@ -144,6 +180,8 @@ fn run() -> Result<(), String> {
         max_batch,
         workers,
         if workers == 1 { "" } else { "s" },
+        drift_threshold,
+        drift_window,
     );
     handle.wait();
     Ok(())

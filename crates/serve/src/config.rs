@@ -1,0 +1,66 @@
+//! Typed serving configuration: cache, batcher, and drift thresholds in
+//! one place.
+//!
+//! [`ServeConfig`] replaces the old two-field `ServiceConfig` and adds
+//! the drift/retraining knobs ([`DriftConfig`]) the self-healing loop
+//! runs on. Everything has a sensible default, so
+//! `ServeConfig::default()` is a working production configuration; the
+//! `serve` binary maps its flags onto these fields.
+
+use lc_core::TrainConfig;
+
+use crate::batcher::BatcherConfig;
+use crate::cache::CacheConfig;
+
+/// Configuration of an [`EstimationService`](crate::EstimationService).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeConfig {
+    /// Estimate-cache sizing (capacity 0 disables caching).
+    pub cache: CacheConfig,
+    /// Micro-batcher flush policy and worker count.
+    pub batcher: BatcherConfig,
+    /// Drift detection and incremental-retraining thresholds.
+    pub drift: DriftConfig,
+}
+
+/// Thresholds for the drift monitor and the retrain it schedules.
+///
+/// The defaults are tuned for the serving demo's scale (tiny IMDb
+/// snapshot, hundreds of requests per second): a per-template window of
+/// 64 observations trips once at least [`DriftConfig::min_samples`] of
+/// them average a q-error above [`DriftConfig::qerror_threshold`], and a
+/// retrain fires as soon as the accrued feedback corpus holds
+/// [`DriftConfig::min_corpus`] usable observations.
+#[derive(Clone, Copy, Debug)]
+pub struct DriftConfig {
+    /// Rolling-window capacity per join template (ring buffer size).
+    pub window: usize,
+    /// Observations a template's window must hold before it may trip —
+    /// the guard against declaring drift off a handful of outliers.
+    pub min_samples: usize,
+    /// Rolling mean q-error above which a template counts as drifted.
+    pub qerror_threshold: f64,
+    /// Maximum retained feedback observations (oldest evicted first, so
+    /// the corpus is biased toward the post-shift distribution).
+    pub corpus_cap: usize,
+    /// Feedback observations required before a retrain may fire — below
+    /// this the corpus cannot teach the model anything stable.
+    pub min_corpus: usize,
+    /// Hyperparameters for the incremental retrain (`train_incremental`
+    /// honors epochs, batch size, learning rate, loss, seed, threads;
+    /// the featurizer and label normalization stay frozen).
+    pub retrain: TrainConfig,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            window: 64,
+            min_samples: 32,
+            qerror_threshold: 4.0,
+            corpus_cap: 512,
+            min_corpus: 96,
+            retrain: TrainConfig { epochs: 12, batch_size: 64, ..TrainConfig::default() },
+        }
+    }
+}

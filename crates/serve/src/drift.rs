@@ -1,0 +1,348 @@
+//! Drift detection over client feedback: per-join-template rolling
+//! q-error windows plus the accrued retraining corpus.
+//!
+//! The paper punts on model maintenance (§5 "Updates"); this module is
+//! the detector half of the answer. Clients report `(query, actual)`
+//! pairs after execution ([`Message::Feedback`](crate::wire::Message));
+//! the monitor buckets each observation by the query's
+//! [`join_template`](lc_query::Query::join_template) — MSCN's error
+//! profile is dominated by join shape, so that is the granularity at
+//! which drift shows first — and maintains a fixed-size ring buffer of
+//! recent q-errors per template. A template **trips** when its window
+//! holds at least [`DriftConfig::min_samples`] observations whose mean
+//! q-error exceeds [`DriftConfig::qerror_threshold`]; the service layer
+//! then schedules an incremental retrain over the corpus this monitor
+//! accrued, publishes the result, and calls [`DriftMonitor::on_publish`]
+//! so stale pre-retrain windows cannot re-trip against the new model.
+//!
+//! The hot path ([`DriftMonitor::record`]) allocates only when a query
+//! shape appears for the first time: rings are preallocated at window
+//! capacity, and the bounded corpus deque reuses its ring storage once
+//! it reaches [`DriftConfig::corpus_cap`].
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use lc_eval::metrics::qerror;
+use lc_query::LabeledQuery;
+
+use crate::config::DriftConfig;
+use crate::wire::{TemplateDrift, TemplateStat};
+
+/// What [`DriftMonitor::record`] concluded about one observation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DriftDecision {
+    /// No template is past its threshold.
+    Steady,
+    /// At least one template is drifted, but the corpus is still too
+    /// small to retrain on.
+    DriftedCorpusTooSmall,
+    /// Drift confirmed and the corpus is ready — the caller should
+    /// schedule a retrain.
+    Retrain,
+}
+
+/// One template's rolling q-error ring.
+#[derive(Debug)]
+struct TemplateWindow {
+    template: u32,
+    /// Ring storage, preallocated to the window capacity.
+    ring: Vec<f64>,
+    /// Next write position.
+    head: usize,
+    /// Live entries (≤ capacity).
+    len: usize,
+    /// Lifetime observation count for this template.
+    total: u64,
+}
+
+impl TemplateWindow {
+    fn new(template: u32, capacity: usize) -> Self {
+        TemplateWindow { template, ring: vec![0.0; capacity.max(1)], head: 0, len: 0, total: 0 }
+    }
+
+    fn push(&mut self, q: f64) {
+        self.ring[self.head] = q;
+        self.head = (self.head + 1) % self.ring.len();
+        self.len = (self.len + 1).min(self.ring.len());
+        self.total += 1;
+    }
+
+    /// Mean q-error over the live window (1.0 — "perfect" — when empty,
+    /// so an idle template can never read as drifted).
+    fn mean(&self) -> f64 {
+        if self.len == 0 {
+            return 1.0;
+        }
+        // Recomputed over ≤ window entries: exact, order-deterministic,
+        // and cheap at window sizes drift detection wants (tens).
+        self.ring[..self.len].iter().sum::<f64>() / self.len as f64
+    }
+
+    fn clear(&mut self) {
+        self.head = 0;
+        self.len = 0;
+    }
+}
+
+struct Inner {
+    /// Linear-scan template table: the workload has a handful of join
+    /// shapes, so a Vec beats a map on both locality and simplicity.
+    windows: Vec<TemplateWindow>,
+    /// The retraining corpus: recent feedback, oldest evicted first.
+    corpus: VecDeque<LabeledQuery>,
+    feedback_count: u64,
+    retrains: u32,
+}
+
+/// Thread-safe drift monitor fed by feedback frames. One per service.
+pub struct DriftMonitor {
+    config: DriftConfig,
+    inner: Mutex<Inner>,
+}
+
+impl DriftMonitor {
+    /// Build a monitor with the given thresholds.
+    pub fn new(config: DriftConfig) -> Self {
+        DriftMonitor {
+            config,
+            inner: Mutex::new(Inner {
+                windows: Vec::new(),
+                corpus: VecDeque::with_capacity(config.corpus_cap),
+                feedback_count: 0,
+                retrains: 0,
+            }),
+        }
+    }
+
+    /// The thresholds this monitor runs with.
+    pub fn config(&self) -> &DriftConfig {
+        &self.config
+    }
+
+    /// Record one feedback observation: the model said `estimate`, the
+    /// execution produced `actual` rows. `corpus_entry` is the annotated
+    /// query to retrain on — pass `None` for observations that cannot be
+    /// trained on (e.g. zero-row results, whose log-target is undefined).
+    ///
+    /// Returns what the caller should do about it.
+    pub fn record(
+        &self,
+        template: u32,
+        estimate: f64,
+        actual: u64,
+        corpus_entry: Option<LabeledQuery>,
+    ) -> DriftDecision {
+        let q = qerror(estimate, actual as f64);
+        let mut inner = self.inner.lock().expect("drift monitor poisoned");
+        inner.feedback_count += 1;
+        if let Some(entry) = corpus_entry {
+            if inner.corpus.len() == self.config.corpus_cap {
+                inner.corpus.pop_front();
+            }
+            inner.corpus.push_back(entry);
+        }
+        let min_samples = self.config.min_samples.max(1);
+        let window = match inner.windows.iter_mut().find(|w| w.template == template) {
+            Some(w) => w,
+            None => {
+                inner.windows.push(TemplateWindow::new(template, self.config.window));
+                inner.windows.last_mut().expect("just pushed")
+            }
+        };
+        window.push(q);
+        let tripped = window.len >= min_samples && window.mean() > self.config.qerror_threshold;
+        if !tripped {
+            DriftDecision::Steady
+        } else if inner.corpus.len() < self.config.min_corpus {
+            DriftDecision::DriftedCorpusTooSmall
+        } else {
+            DriftDecision::Retrain
+        }
+    }
+
+    /// Snapshot the retraining corpus (recent feedback, oldest first).
+    pub fn corpus_snapshot(&self) -> Vec<LabeledQuery> {
+        let inner = self.inner.lock().expect("drift monitor poisoned");
+        inner.corpus.iter().cloned().collect()
+    }
+
+    /// A model was published: clear every window (their q-errors were
+    /// measured against the previous model and would re-trip against the
+    /// new one) and count the retrain.
+    pub fn on_publish(&self) {
+        let mut inner = self.inner.lock().expect("drift monitor poisoned");
+        inner.retrains += 1;
+        for w in &mut inner.windows {
+            w.clear();
+        }
+    }
+
+    /// Completed drift-triggered retrains since startup.
+    pub fn retrains(&self) -> u32 {
+        self.inner.lock().expect("drift monitor poisoned").retrains
+    }
+
+    /// Feedback observations recorded since startup.
+    pub fn feedback_count(&self) -> u64 {
+        self.inner.lock().expect("drift monitor poisoned").feedback_count
+    }
+
+    /// Per-template lifetime counts and rolling means, for the `Stats`
+    /// wire message. Sorted by template key for deterministic output.
+    pub fn template_stats(&self) -> Vec<TemplateStat> {
+        let inner = self.inner.lock().expect("drift monitor poisoned");
+        let mut stats: Vec<TemplateStat> = inner
+            .windows
+            .iter()
+            .map(|w| TemplateStat { template: w.template, count: w.total, mean_qerror: w.mean() })
+            .collect();
+        stats.sort_unstable_by_key(|s| s.template);
+        stats
+    }
+
+    /// Per-template window snapshots, for the `DriftStatus` wire
+    /// message. Sorted by template key for deterministic output.
+    pub fn template_drift(&self) -> Vec<TemplateDrift> {
+        let min_samples = self.config.min_samples.max(1);
+        let inner = self.inner.lock().expect("drift monitor poisoned");
+        let mut drifts: Vec<TemplateDrift> = inner
+            .windows
+            .iter()
+            .map(|w| TemplateDrift {
+                template: w.template,
+                window_len: w.len as u32,
+                rolling_qerror: w.mean(),
+                tripped: w.len >= min_samples && w.mean() > self.config.qerror_threshold,
+            })
+            .collect();
+        drifts.sort_unstable_by_key(|d| d.template);
+        drifts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lc_query::Query;
+
+    fn config() -> DriftConfig {
+        DriftConfig {
+            window: 8,
+            min_samples: 4,
+            qerror_threshold: 4.0,
+            corpus_cap: 6,
+            min_corpus: 3,
+            ..DriftConfig::default()
+        }
+    }
+
+    fn entry(card: u64) -> LabeledQuery {
+        LabeledQuery {
+            query: Query::new(vec![], vec![], vec![]),
+            cardinality: card,
+            sample_counts: vec![],
+            bitmaps: vec![],
+            pred_bitmaps: vec![],
+        }
+    }
+
+    /// The rolling-window math, deterministically: no trip below
+    /// `min_samples`, a trip exactly when the window mean crosses the
+    /// threshold, recovery as good observations wash bad ones out of the
+    /// ring, and a reset on publish.
+    #[test]
+    fn drift_trigger_is_deterministic() {
+        let mon = DriftMonitor::new(config());
+        // Three observations with huge q-error: window too short to trip.
+        for i in 0..3 {
+            let d = mon.record(7, 1000.0, 1, Some(entry(1)));
+            assert_eq!(d, DriftDecision::Steady, "observation {i} tripped below min_samples");
+        }
+        // Fourth bad observation: window has min_samples=4, mean 1000 > 4,
+        // corpus has 4 ≥ 3 → retrain.
+        assert_eq!(mon.record(7, 1000.0, 1, Some(entry(1))), DriftDecision::Retrain);
+
+        // A different template is unaffected (independent window).
+        assert_eq!(mon.record(9, 1.0, 1, None), DriftDecision::Steady);
+        let drifts = mon.template_drift();
+        assert_eq!(drifts.len(), 2);
+        assert!(drifts[0].tripped, "template 7 should be tripped");
+        assert_eq!(drifts[0].template, 7);
+        assert!(!drifts[1].tripped);
+
+        // Publishing clears the windows: template 7 no longer trips.
+        mon.on_publish();
+        assert_eq!(mon.retrains(), 1);
+        assert!(mon.template_drift().iter().all(|d| d.window_len == 0 && !d.tripped));
+        // ...and needs min_samples fresh observations to trip again.
+        for _ in 0..3 {
+            assert_eq!(mon.record(7, 1000.0, 1, None), DriftDecision::Steady);
+        }
+        assert_eq!(mon.record(7, 1000.0, 1, None), DriftDecision::Retrain);
+    }
+
+    #[test]
+    fn window_mean_is_over_the_ring_not_the_lifetime() {
+        let mon = DriftMonitor::new(config());
+        // Fill the window (8) with terrible q-errors...
+        for _ in 0..8 {
+            mon.record(1, 1e6, 1, None);
+        }
+        assert!(mon.template_drift()[0].tripped);
+        // ...then 8 perfect observations overwrite the whole ring: the
+        // rolling mean recovers to exactly 1.0 even though the lifetime
+        // count remembers the bad phase.
+        for _ in 0..8 {
+            mon.record(1, 1.0, 1, None);
+        }
+        let d = &mon.template_drift()[0];
+        assert_eq!(d.rolling_qerror, 1.0);
+        assert!(!d.tripped);
+        let s = &mon.template_stats()[0];
+        assert_eq!(s.count, 16);
+    }
+
+    #[test]
+    fn trip_waits_for_min_corpus() {
+        // min_corpus must be reachable: raise the cap alongside it.
+        let cfg = DriftConfig { min_corpus: 10, corpus_cap: 16, ..config() };
+        let mon = DriftMonitor::new(cfg);
+        for _ in 0..3 {
+            mon.record(1, 1000.0, 1, Some(entry(1)));
+        }
+        // Window trips but only 4 corpus entries < 10.
+        assert_eq!(mon.record(1, 1000.0, 1, Some(entry(1))), DriftDecision::DriftedCorpusTooSmall);
+        for i in 0..5 {
+            mon.record(1, 1000.0, 1, Some(entry(i)));
+        }
+        // Tenth entry reaches min_corpus.
+        assert_eq!(mon.record(1, 1000.0, 1, Some(entry(9))), DriftDecision::Retrain);
+    }
+
+    #[test]
+    fn corpus_is_bounded_and_recent_biased() {
+        let mon = DriftMonitor::new(config());
+        for i in 0..10u64 {
+            mon.record(1, 1.0, i + 1, Some(entry(i)));
+        }
+        let corpus = mon.corpus_snapshot();
+        // Cap is 6: the oldest 4 were evicted, order is oldest-first.
+        assert_eq!(corpus.len(), 6);
+        let cards: Vec<u64> = corpus.iter().map(|l| l.cardinality).collect();
+        assert_eq!(cards, vec![4, 5, 6, 7, 8, 9]);
+        assert_eq!(mon.feedback_count(), 10);
+    }
+
+    #[test]
+    fn untrainable_observations_count_for_drift_but_not_corpus() {
+        let mon = DriftMonitor::new(config());
+        for _ in 0..4 {
+            // Zero-row results: drift signal yes, corpus no.
+            let d = mon.record(1, 1000.0, 0, None);
+            assert_ne!(d, DriftDecision::Retrain, "no corpus to retrain on");
+        }
+        assert!(mon.template_drift()[0].tripped);
+        assert!(mon.corpus_snapshot().is_empty());
+    }
+}

@@ -9,12 +9,22 @@ use std::collections::HashMap;
 /// Parse `--name value` pairs from the process arguments, validating
 /// every flag name against `allowed`.
 pub fn parse(allowed: &[&str]) -> Result<HashMap<String, String>, String> {
-    parse_from(std::env::args().skip(1), allowed)
+    parse_from(std::env::args().skip(1), allowed, &[])
+}
+
+/// Like [`parse`], but the names in `switches` are valueless booleans
+/// (`--shift`): present means `"true"`.
+pub fn parse_with_switches(
+    allowed: &[&str],
+    switches: &[&str],
+) -> Result<HashMap<String, String>, String> {
+    parse_from(std::env::args().skip(1), allowed, switches)
 }
 
 fn parse_from(
     args: impl Iterator<Item = String>,
     allowed: &[&str],
+    switches: &[&str],
 ) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
     let mut args = args;
@@ -22,11 +32,14 @@ fn parse_from(
         let name = flag
             .strip_prefix("--")
             .ok_or_else(|| format!("unexpected argument {flag:?} (flags start with --)"))?;
+        if switches.contains(&name) {
+            flags.insert(name.to_string(), "true".to_string());
+            continue;
+        }
         if !allowed.contains(&name) {
-            return Err(format!(
-                "unknown flag --{name} (expected one of: --{})",
-                allowed.join(", --")
-            ));
+            let mut all: Vec<&str> = allowed.iter().chain(switches).copied().collect();
+            all.sort_unstable();
+            return Err(format!("unknown flag --{name} (expected one of: --{})", all.join(", --")));
         }
         let value = args.next().ok_or_else(|| format!("flag --{name} needs a value"))?;
         flags.insert(name.to_string(), value);
@@ -58,7 +71,7 @@ mod tests {
     #[test]
     fn parses_known_flags_and_typed_values() {
         let flags =
-            parse_from(strings(&["--addr", "x:1", "--requests", "5"]), &["addr", "requests"])
+            parse_from(strings(&["--addr", "x:1", "--requests", "5"]), &["addr", "requests"], &[])
                 .unwrap();
         assert_eq!(flags.get("addr").unwrap(), "x:1");
         assert_eq!(get(&flags, "requests", 0usize).unwrap(), 5);
@@ -67,10 +80,25 @@ mod tests {
 
     #[test]
     fn rejects_unknown_flags_bad_values_and_missing_values() {
-        assert!(parse_from(strings(&["--oops", "1"]), &["addr"]).unwrap_err().contains("--oops"));
-        assert!(parse_from(strings(&["addr"]), &["addr"]).is_err());
-        assert!(parse_from(strings(&["--addr"]), &["addr"]).unwrap_err().contains("needs a value"));
-        let flags = parse_from(strings(&["--requests", "many"]), &["requests"]).unwrap();
+        assert!(parse_from(strings(&["--oops", "1"]), &["addr"], &[])
+            .unwrap_err()
+            .contains("--oops"));
+        assert!(parse_from(strings(&["addr"]), &["addr"], &[]).is_err());
+        assert!(parse_from(strings(&["--addr"]), &["addr"], &[])
+            .unwrap_err()
+            .contains("needs a value"));
+        let flags = parse_from(strings(&["--requests", "many"]), &["requests"], &[]).unwrap();
         assert!(get(&flags, "requests", 0usize).unwrap_err().contains("invalid value"));
+    }
+
+    #[test]
+    fn switches_are_valueless_and_listed_in_errors() {
+        let flags = parse_from(strings(&["--shift", "--requests", "5"]), &["requests"], &["shift"])
+            .unwrap();
+        assert_eq!(flags.get("shift").unwrap(), "true");
+        assert_eq!(get(&flags, "requests", 0usize).unwrap(), 5);
+        assert!(get(&flags, "shift", false).unwrap());
+        let err = parse_from(strings(&["--nope"]), &["requests"], &["shift"]).unwrap_err();
+        assert!(err.contains("--shift") && err.contains("--requests"), "got: {err}");
     }
 }

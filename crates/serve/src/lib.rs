@@ -18,12 +18,20 @@
 //!                                            one RaggedBatch forward pass
 //! ```
 //!
-//! * [`wire`] — a length-prefixed binary protocol (requests carry the
-//!   canonical [`Query`](lc_query::Query) encoding; responses carry the
-//!   estimate plus serving metadata). Decoding is strict and panic-free.
+//! * [`wire`] — a length-prefixed, **versioned** binary protocol: a v2
+//!   client opens with a hello carrying its protocol version and a
+//!   capability byte; the server acks with the negotiated (min version,
+//!   capability intersection) pair. v1 clients skip the hello and keep
+//!   working unchanged. v2 adds feedback, stats, and drift-status
+//!   messages. Decoding is strict, panic-free, and version-gated.
 //! * [`registry`] — versioned model snapshots with **atomic hot-swap**:
 //!   publishing a new model never pauses in-flight requests; each
 //!   micro-batch runs against the `Arc` snapshot it grabbed at flush time.
+//! * [`drift`] — per-join-template rolling q-error windows fed by
+//!   feedback frames, plus the accrued retraining corpus. When a window
+//!   trips, the service schedules `lc_core::train_incremental` in the
+//!   background and publishes the result mid-traffic — the self-healing
+//!   loop the paper's §5 sketches (see also [`config::DriftConfig`]).
 //! * [`batcher`] — coalesces concurrent single-query requests into one
 //!   ragged-batch forward pass (size/time-bounded flush), so service
 //!   throughput scales with the matrix kernels instead of per-query
@@ -46,7 +54,7 @@
 //!
 //! use lc_engine::SampleSet;
 //! use lc_query::Query;
-//! use lc_serve::{EstimationService, ModelRegistry, ServiceConfig};
+//! use lc_serve::{EstimationService, ModelRegistry, ServeConfig};
 //! use rand::rngs::SmallRng;
 //! use rand::SeedableRng;
 //!
@@ -60,7 +68,7 @@
 //!
 //! let registry = Arc::new(ModelRegistry::new(trained.estimator));
 //! let service =
-//!     EstimationService::new(db, samples, registry, ServiceConfig::default());
+//!     EstimationService::new(db, samples, registry, ServeConfig::default());
 //! let estimate = service.estimate(&data[0].query).unwrap();
 //! assert!(estimate.cardinality >= 1.0);
 //! // The same query again is a cache hit — no inference.
@@ -69,6 +77,8 @@
 
 pub mod batcher;
 pub mod cache;
+pub mod config;
+pub mod drift;
 pub mod flags;
 pub mod loadgen;
 pub mod registry;
@@ -78,8 +88,10 @@ pub mod wire;
 
 pub use batcher::{BatchStats, BatchedEstimate, BatcherConfig, MicroBatcher};
 pub use cache::{CacheConfig, CacheStats, EstimateCache};
-pub use loadgen::{LatencyHistogram, LoadReport, LoadgenConfig};
+pub use config::{DriftConfig, ServeConfig};
+pub use drift::{DriftDecision, DriftMonitor};
+pub use loadgen::{LatencyHistogram, LoadReport, LoadgenConfig, ShiftReport};
 pub use registry::{ModelRegistry, ModelSnapshot, RegistryError};
 pub use server::{serve, ServerHandle};
-pub use service::{Estimate, EstimationService, PendingEstimate, ServeError, ServiceConfig};
-pub use wire::{Frame, WireError};
+pub use service::{Estimate, EstimationService, PendingEstimate, ServeError};
+pub use wire::{Message, TemplateDrift, TemplateStat, WireError};

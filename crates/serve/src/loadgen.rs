@@ -11,15 +11,32 @@
 //! Queries are drawn from the paper's §3.3 random generator over the
 //! fixed IMDb-style schema, so the generator needs no coordination with
 //! the server beyond that shared schema.
+//!
+//! ## Shift mode — the self-healing demo
+//!
+//! With [`LoadgenConfig::shift`] on, each worker negotiates protocol v2,
+//! and after [`LoadgenConfig::shift_at`] of its requests switches the
+//! workload to queries with exactly [`LoadgenConfig::shift_joins`] joins
+//! — the paper's known generalization cliff (§4.3: accuracy degrades on
+//! join counts beyond the training workload). After every estimate the
+//! worker executes the query against its local replica of the
+//! deterministic tiny snapshot (same bytes the server generated) and
+//! reports the true cardinality back as a [`Message::Feedback`] frame.
+//! The run is scored in three phases — pre-shift, the spike right after
+//! the shift, and the tail — so the report shows the q-error degrade →
+//! recover arc, alongside the retrain count and final model version from
+//! the server's own [`Message::Stats`].
 
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
+use lc_engine::count_star;
+use lc_eval::metrics::qerror;
 use lc_imdb::ImdbConfig;
 use lc_query::{GeneratorConfig, QueryGenerator};
 
-use crate::wire::{read_frame, write_frame, Frame};
+use crate::wire::{read_message, write_message, Message, CAPABILITIES, PROTOCOL_VERSION};
 
 /// Configuration of one load-generation run.
 #[derive(Clone, Debug)]
@@ -30,12 +47,19 @@ pub struct LoadgenConfig {
     pub connections: usize,
     /// Total requests across all connections.
     pub requests: usize,
-    /// Maximum joins per generated query.
+    /// Maximum joins per generated query (pre-shift).
     pub max_joins: usize,
     /// Base RNG seed; worker `i` uses `seed + i`.
     pub seed: u64,
     /// How long to retry the initial connection (covers server startup).
     pub connect_timeout: Duration,
+    /// Run the self-healing demo: negotiate v2, send feedback after
+    /// every estimate, and inject a workload shift mid-run.
+    pub shift: bool,
+    /// Fraction of each worker's requests after which the shift kicks in.
+    pub shift_at: f64,
+    /// Exact join count of every post-shift query.
+    pub shift_joins: usize,
 }
 
 impl Default for LoadgenConfig {
@@ -47,6 +71,9 @@ impl Default for LoadgenConfig {
             max_joins: 2,
             seed: 42,
             connect_timeout: Duration::from_secs(5),
+            shift: false,
+            shift_at: 0.4,
+            shift_joins: 3,
         }
     }
 }
@@ -122,6 +149,19 @@ impl LatencyHistogram {
     }
 }
 
+/// Mean q-error per demo phase (pre-shift, post-shift spike, tail).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseQerrors {
+    /// Mean q-error before the workload shift.
+    pub pre: f64,
+    /// Mean q-error in the first half of the post-shift traffic (the
+    /// degradation the drift monitor is supposed to catch).
+    pub spike: f64,
+    /// Mean q-error in the last half of the post-shift traffic (after
+    /// the retrain had a chance to land).
+    pub fin: f64,
+}
+
 /// Result of a load-generation run.
 #[derive(Clone, Debug)]
 pub struct LoadReport {
@@ -146,6 +186,25 @@ pub struct LoadReport {
     /// Mean micro-batch size over non-cache-hit responses (1.0 = no
     /// coalescing happened).
     pub mean_micro_batch: f64,
+    /// Shift-mode results, if [`LoadgenConfig::shift`] was on.
+    pub shift: Option<ShiftReport>,
+}
+
+/// Shift-mode outcome: the degrade → recover arc plus the server's own
+/// account of what its drift monitor did.
+#[derive(Clone, Copy, Debug)]
+pub struct ShiftReport {
+    /// Mean q-error per phase, measured against locally executed truth.
+    pub qerrors: PhaseQerrors,
+    /// Retrains completed, per the server's final Stats message.
+    pub retrains: u32,
+    /// The model version active at the end of the run.
+    pub model_version: u32,
+    /// Feedback frames the server recorded.
+    pub feedback_count: u64,
+    /// Times any worker observed the model version go backwards in a
+    /// feedback ack (must be 0: publishes are monotonic).
+    pub version_regressions: u64,
 }
 
 impl std::fmt::Display for LoadReport {
@@ -166,12 +225,39 @@ impl std::fmt::Display for LoadReport {
             self.p50_us, self.p95_us, self.p99_us, self.max_us
         )?;
         writeln!(f, "mean micro-batch of inference responses: {:.2}", self.mean_micro_batch)?;
+        if let Some(shift) = &self.shift {
+            writeln!(
+                f,
+                "q-error  pre-shift {:.2} → spike {:.2} → final {:.2}   \
+                 (retrains {}, model v{}, {} feedback frames)",
+                shift.qerrors.pre,
+                shift.qerrors.spike,
+                shift.qerrors.fin,
+                shift.retrains,
+                shift.model_version,
+                shift.feedback_count,
+            )?;
+        }
         // Stable machine-readable trailer (CI greps this line).
         write!(
             f,
             "RESULT qps={:.1} requests={} errors={} cache_hits={}",
             self.qps, self.requests, self.errors, self.cache_hits
-        )
+        )?;
+        if let Some(shift) = &self.shift {
+            write!(
+                f,
+                " retrains={} version={} regressions={} \
+                 qerr_pre={:.2} qerr_spike={:.2} qerr_final={:.2}",
+                shift.retrains,
+                shift.model_version,
+                shift.version_regressions,
+                shift.qerrors.pre,
+                shift.qerrors.spike,
+                shift.qerrors.fin,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -188,6 +274,12 @@ pub fn connect_with_retry(addr: &str, timeout: Duration) -> io::Result<TcpStream
     }
 }
 
+#[derive(Default)]
+struct PhaseSums {
+    sum: [f64; 3],
+    n: [u64; 3],
+}
+
 struct WorkerOutcome {
     histogram: LatencyHistogram,
     ok: u64,
@@ -195,18 +287,19 @@ struct WorkerOutcome {
     cache_hits: u64,
     batch_sum: u64,
     batch_n: u64,
+    qerrors: PhaseSums,
+    version_regressions: u64,
 }
 
 fn worker(
     db: &lc_engine::Database,
-    addr: &str,
+    config: &LoadgenConfig,
     requests: usize,
-    max_joins: usize,
     seed: u64,
-    timeout: Duration,
 ) -> io::Result<WorkerOutcome> {
-    let mut generator = QueryGenerator::new(db, GeneratorConfig { max_joins, seed });
-    let stream = connect_with_retry(addr, timeout)?;
+    let mut generator =
+        QueryGenerator::new(db, GeneratorConfig { max_joins: config.max_joins, seed });
+    let stream = connect_with_retry(&config.addr, config.connect_timeout)?;
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
@@ -217,16 +310,50 @@ fn worker(
         cache_hits: 0,
         batch_sum: 0,
         batch_n: 0,
+        qerrors: PhaseSums::default(),
+        version_regressions: 0,
+    };
+    let mut last_version = 0u32;
+    if config.shift {
+        // Negotiate v2 with every capability; the server must agree (it
+        // is this build's own server) or feedback frames would bounce.
+        write_message(
+            &mut writer,
+            &Message::Hello { id: 0, version: PROTOCOL_VERSION, capabilities: CAPABILITIES },
+        )?;
+        writer.flush()?;
+        match read_message(&mut reader, PROTOCOL_VERSION)? {
+            Some(Message::HelloAck { version: PROTOCOL_VERSION, .. }) => {}
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("hello negotiation failed: {other:?}"),
+                ))
+            }
+        }
+    }
+    // Request i belongs to phase 0 before the shift point, then the
+    // post-shift stretch is split in half: phase 1 is the spike the
+    // drift monitor should catch, phase 2 the recovery tail.
+    let shift_point = if config.shift {
+        ((requests as f64) * config.shift_at.clamp(0.0, 1.0)) as usize
+    } else {
+        requests
     };
     for id in 0..requests as u64 {
-        let query = generator.generate();
+        let i = id as usize;
+        let query = if i < shift_point {
+            generator.generate()
+        } else {
+            generator.generate_with_joins(config.shift_joins)
+        };
         let start = Instant::now();
-        write_frame(&mut writer, &Frame::EstimateRequest { id, query })?;
+        write_message(&mut writer, &Message::EstimateRequest { id, query: query.clone() })?;
         writer.flush()?;
-        match read_frame(&mut reader)? {
-            Some(Frame::EstimateResponse { id: rid, estimate, micro_batch, cache_hit, .. })
-                if rid == id && estimate.is_finite() && estimate >= 1.0 =>
-            {
+        let estimate = match read_message(&mut reader, PROTOCOL_VERSION)? {
+            Some(Message::EstimateResponse {
+                id: rid, estimate, micro_batch, cache_hit, ..
+            }) if rid == id && estimate.is_finite() && estimate >= 1.0 => {
                 out.histogram.record(start.elapsed());
                 out.ok += 1;
                 if cache_hit {
@@ -235,11 +362,65 @@ fn worker(
                     out.batch_sum += u64::from(micro_batch);
                     out.batch_n += 1;
                 }
+                estimate
             }
-            _ => out.errors += 1,
+            _ => {
+                out.errors += 1;
+                continue;
+            }
+        };
+        if config.shift {
+            // Execute locally for ground truth (the tiny snapshot is
+            // deterministic, so this is the server's data bit for bit),
+            // score the estimate, and feed the truth back.
+            let actual = count_star(db, &query.spec());
+            let phase = if i < shift_point {
+                0
+            } else if i - shift_point < (requests - shift_point) / 2 {
+                1
+            } else {
+                2
+            };
+            out.qerrors.sum[phase] += qerror(estimate, actual as f64);
+            out.qerrors.n[phase] += 1;
+            write_message(&mut writer, &Message::Feedback { id, query, actual_card: actual })?;
+            writer.flush()?;
+            match read_message(&mut reader, PROTOCOL_VERSION)? {
+                Some(Message::FeedbackAck { id: rid, model_version }) if rid == id => {
+                    if model_version < last_version {
+                        out.version_regressions += 1;
+                    }
+                    last_version = model_version;
+                }
+                _ => out.errors += 1,
+            }
         }
     }
     Ok(out)
+}
+
+/// Ask the server for its final counters over a fresh v2 connection.
+fn fetch_stats(config: &LoadgenConfig) -> io::Result<(u32, u32, u64)> {
+    let stream = connect_with_retry(&config.addr, config.connect_timeout)?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    write_message(
+        &mut writer,
+        &Message::Hello { id: 0, version: PROTOCOL_VERSION, capabilities: CAPABILITIES },
+    )?;
+    write_message(&mut writer, &Message::StatsRequest { id: 1 })?;
+    writer.flush()?;
+    let _ack = read_message(&mut reader, PROTOCOL_VERSION)?;
+    match read_message(&mut reader, PROTOCOL_VERSION)? {
+        Some(Message::Stats { model_version, retrains, feedback_count, .. }) => {
+            Ok((model_version, retrains, feedback_count))
+        }
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected Stats, got {other:?}"),
+        )),
+    }
 }
 
 /// Run a closed-loop load test and aggregate the per-worker results.
@@ -251,7 +432,8 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadReport> {
     let connections = config.connections.max(1);
     // The schema is fixed by the generator config, so one tiny local
     // instance (built before the clock starts, shared by every worker)
-    // is enough to drive query generation for any server.
+    // is enough to drive query generation for any server — and, in
+    // shift mode, to execute queries for ground truth.
     let db = lc_imdb::generate(&ImdbConfig::tiny());
     let start = Instant::now();
     let mut outcomes: Vec<io::Result<WorkerOutcome>> = Vec::with_capacity(connections);
@@ -261,10 +443,8 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadReport> {
                 let per_worker =
                     config.requests / connections + usize::from(w < config.requests % connections);
                 let db = &db;
-                let addr = config.addr.as_str();
                 let seed = config.seed + w as u64;
-                let (max_joins, timeout) = (config.max_joins, config.connect_timeout);
-                s.spawn(move || worker(db, addr, per_worker, max_joins, seed, timeout))
+                s.spawn(move || worker(db, config, per_worker, seed))
             })
             .collect();
         for handle in handles {
@@ -275,6 +455,8 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadReport> {
 
     let mut histogram = LatencyHistogram::new();
     let (mut ok, mut errors, mut cache_hits, mut batch_sum, mut batch_n) = (0, 0, 0, 0, 0);
+    let mut qerrors = PhaseSums::default();
+    let mut version_regressions = 0;
     for outcome in outcomes {
         let o = outcome?;
         histogram.merge(&o.histogram);
@@ -283,7 +465,31 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadReport> {
         cache_hits += o.cache_hits;
         batch_sum += o.batch_sum;
         batch_n += o.batch_n;
+        for p in 0..3 {
+            qerrors.sum[p] += o.qerrors.sum[p];
+            qerrors.n[p] += o.qerrors.n[p];
+        }
+        version_regressions += o.version_regressions;
     }
+    let shift = if config.shift {
+        let (model_version, retrains, feedback_count) = fetch_stats(config)?;
+        let mean = |p: usize| {
+            if qerrors.n[p] > 0 {
+                qerrors.sum[p] / qerrors.n[p] as f64
+            } else {
+                0.0
+            }
+        };
+        Some(ShiftReport {
+            qerrors: PhaseQerrors { pre: mean(0), spike: mean(1), fin: mean(2) },
+            retrains,
+            model_version,
+            feedback_count,
+            version_regressions,
+        })
+    } else {
+        None
+    };
     Ok(LoadReport {
         requests: ok,
         errors,
@@ -295,6 +501,7 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadReport> {
         p99_us: histogram.quantile_ns(0.99) as f64 / 1_000.0,
         max_us: histogram.max_ns() as f64 / 1_000.0,
         mean_micro_batch: if batch_n > 0 { batch_sum as f64 / batch_n as f64 } else { 0.0 },
+        shift,
     })
 }
 
@@ -340,9 +547,8 @@ mod tests {
         assert_eq!(h.max_ns(), 0);
     }
 
-    #[test]
-    fn report_display_includes_machine_trailer() {
-        let report = LoadReport {
+    fn sample_report() -> LoadReport {
+        LoadReport {
             requests: 100,
             errors: 0,
             cache_hits: 25,
@@ -353,10 +559,37 @@ mod tests {
             p99_us: 800.0,
             max_us: 1000.0,
             mean_micro_batch: 3.5,
-        };
-        let text = report.to_string();
+            shift: None,
+        }
+    }
+
+    #[test]
+    fn report_display_includes_machine_trailer() {
+        let text = sample_report().to_string();
         assert!(text.contains("RESULT qps=200.0 requests=100 errors=0 cache_hits=25"));
         assert!(text.contains("p95"));
+        assert!(!text.contains("retrains="), "no shift keys without shift mode");
+    }
+
+    #[test]
+    fn shift_report_extends_the_trailer() {
+        let mut report = sample_report();
+        report.shift = Some(ShiftReport {
+            qerrors: PhaseQerrors { pre: 2.5, spike: 80.0, fin: 4.0 },
+            retrains: 2,
+            model_version: 3,
+            feedback_count: 100,
+            version_regressions: 0,
+        });
+        let text = report.to_string();
+        assert!(text.contains("RESULT qps=200.0 requests=100 errors=0 cache_hits=25"));
+        assert!(
+            text.contains(
+                "retrains=2 version=3 regressions=0 \
+                 qerr_pre=2.50 qerr_spike=80.00 qerr_final=4.00"
+            ),
+            "got: {text}"
+        );
     }
 
     #[test]

@@ -6,6 +6,19 @@
 //! the connection threads, in the service's batcher, so concurrent
 //! connections coalesce into shared forward passes without any
 //! cross-connection coordination here.
+//!
+//! ## Protocol negotiation
+//!
+//! A v2 client opens with [`Message::Hello`]; the server answers
+//! [`Message::HelloAck`] carrying the [`negotiate`]d version (min of the
+//! two) and capability intersection, and from then on decodes the
+//! connection at the negotiated version — so a frame above that version
+//! earns a `KindAboveVersion` error stamped with the version the *client*
+//! agreed to. A v1 client never sends a hello; the connection simply
+//! stays in the pre-hello state, where the server decodes at its own
+//! maximum version and v1 traffic (kinds 1–5) works unchanged. Old
+//! clients against a new server is the compatibility case the versioned
+//! redesign exists for.
 
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -14,14 +27,17 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crate::service::EstimationService;
-use crate::wire::{read_frame, write_frame, Frame};
+use crate::wire::{
+    negotiate, read_message, write_message, Message, CAPABILITIES, CAP_DRIFT, CAP_FEEDBACK,
+    CAP_STATS, PROTOCOL_VERSION,
+};
 
-/// Cap on outgoing error-frame messages, so an Error reply echoing
+/// Cap on outgoing error messages, so an Error reply echoing
 /// client-supplied content can never exceed [`crate::wire::MAX_FRAME_LEN`]
 /// and become undecodable by a conforming client.
 const MAX_ERROR_MESSAGE: usize = 512;
 
-fn error_frame(id: u64, mut message: String) -> Frame {
+fn error_message(id: u64, mut message: String) -> Message {
     if message.len() > MAX_ERROR_MESSAGE {
         let mut cut = MAX_ERROR_MESSAGE;
         while !message.is_char_boundary(cut) {
@@ -30,7 +46,7 @@ fn error_frame(id: u64, mut message: String) -> Frame {
         message.truncate(cut);
         message.push('…');
     }
-    Frame::Error { id, message }
+    Message::Error { id, message }
 }
 
 /// A running server: its bound address plus shutdown control.
@@ -117,34 +133,82 @@ fn handle_connection(
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
+    // Pre-hello the connection decodes at the server's own maximum
+    // version with every capability available — that is exactly what
+    // keeps hello-less v1 clients working. A Hello narrows both to the
+    // negotiated values for the rest of the connection.
+    let mut version = PROTOCOL_VERSION;
+    let mut caps = CAPABILITIES;
     loop {
-        let frame = match read_frame(&mut reader) {
-            Ok(Some(frame)) => frame,
+        let message = match read_message(&mut reader, version) {
+            Ok(Some(message)) => message,
             Ok(None) => return Ok(()), // clean disconnect
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                 // Malformed frame: report and drop the connection (the
-                // stream position is unrecoverable).
-                write_frame(&mut writer, &error_frame(0, e.to_string()))?;
+                // stream position is unrecoverable). The embedded
+                // WireError already names the negotiated version.
+                write_message(&mut writer, &error_message(0, e.to_string()))?;
                 writer.flush()?;
                 return Ok(());
             }
             Err(e) => return Err(e),
         };
-        let response = match frame {
-            Frame::EstimateRequest { id, query } => match service.estimate(&query) {
-                Ok(est) => Frame::EstimateResponse {
+        let response = match message {
+            Message::Hello { id, version: client_version, capabilities: client_caps } => {
+                let (v, c) = negotiate(client_version, client_caps);
+                version = v;
+                caps = c;
+                Message::HelloAck { id, version: v, capabilities: c }
+            }
+            Message::EstimateRequest { id, query } => match service.estimate(&query) {
+                Ok(est) => Message::EstimateResponse {
                     id,
                     estimate: est.cardinality,
                     model_version: est.model_version,
                     micro_batch: est.micro_batch,
                     cache_hit: est.cache_hit,
                 },
-                Err(e) => error_frame(id, e.to_string()),
+                Err(e) => error_message(id, e.to_string()),
             },
-            Frame::Ping { id } => Frame::Pong { id },
-            other => error_frame(0, format!("unexpected client frame: {other:?}")),
+            Message::Feedback { id, query, actual_card } => {
+                if caps & CAP_FEEDBACK == 0 {
+                    error_message(id, "feedback capability not negotiated".into())
+                } else {
+                    match service.feedback(&query, actual_card) {
+                        Ok(est) => Message::FeedbackAck { id, model_version: est.model_version },
+                        Err(e) => error_message(id, e.to_string()),
+                    }
+                }
+            }
+            Message::StatsRequest { id } => {
+                if caps & CAP_STATS == 0 {
+                    error_message(id, "stats capability not negotiated".into())
+                } else {
+                    let drift = service.drift();
+                    Message::Stats {
+                        id,
+                        model_version: service.registry().active_version(),
+                        retrains: drift.retrains(),
+                        feedback_count: drift.feedback_count(),
+                        templates: drift.template_stats(),
+                    }
+                }
+            }
+            Message::DriftStatusRequest { id } => {
+                if caps & CAP_DRIFT == 0 {
+                    error_message(id, "drift capability not negotiated".into())
+                } else {
+                    Message::DriftStatus {
+                        id,
+                        retrain_in_flight: service.retrain_in_flight(),
+                        templates: service.drift().template_drift(),
+                    }
+                }
+            }
+            Message::Ping { id } => Message::Pong { id },
+            other => error_message(0, format!("unexpected client frame: {other:?}")),
         };
-        write_frame(&mut writer, &response)?;
+        write_message(&mut writer, &response)?;
         writer.flush()?;
         if stop.load(Ordering::SeqCst) {
             // Server is quiescing: answer the request in flight, then
@@ -157,8 +221,9 @@ fn handle_connection(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::ServeConfig;
     use crate::registry::ModelRegistry;
-    use crate::service::ServiceConfig;
+    use crate::wire::{CAP_FEEDBACK, PROTOCOL_V1};
     use lc_core::{train, TrainConfig};
     use lc_engine::SampleSet;
     use lc_imdb::{generate, ImdbConfig};
@@ -174,7 +239,7 @@ mod tests {
         let cfg = TrainConfig { epochs: 2, hidden: 16, ..TrainConfig::default() };
         let est = train(&db, 24, &data, cfg).estimator;
         let registry = Arc::new(ModelRegistry::new(est));
-        (Arc::new(EstimationService::new(db, samples, registry, ServiceConfig::default())), data)
+        (Arc::new(EstimationService::new(db, samples, registry, ServeConfig::default())), data)
     }
 
     #[test]
@@ -188,20 +253,23 @@ mod tests {
         let mut writer = BufWriter::new(stream);
 
         // Ping / pong.
-        write_frame(&mut writer, &Frame::Ping { id: 5 }).unwrap();
+        write_message(&mut writer, &Message::Ping { id: 5 }).unwrap();
         writer.flush().unwrap();
-        assert_eq!(read_frame(&mut reader).unwrap(), Some(Frame::Pong { id: 5 }));
+        assert_eq!(
+            read_message(&mut reader, PROTOCOL_VERSION).unwrap(),
+            Some(Message::Pong { id: 5 })
+        );
 
         // A real estimate round-trip, twice (second hits the cache).
         for expect_hit in [false, true] {
-            write_frame(
+            write_message(
                 &mut writer,
-                &Frame::EstimateRequest { id: 77, query: data[0].query.clone() },
+                &Message::EstimateRequest { id: 77, query: data[0].query.clone() },
             )
             .unwrap();
             writer.flush().unwrap();
-            match read_frame(&mut reader).unwrap() {
-                Some(Frame::EstimateResponse { id, estimate, cache_hit, .. }) => {
+            match read_message(&mut reader, PROTOCOL_VERSION).unwrap() {
+                Some(Message::EstimateResponse { id, estimate, cache_hit, .. }) => {
                     assert_eq!(id, 77);
                     assert!(estimate >= 1.0);
                     assert_eq!(cache_hit, expect_hit);
@@ -218,13 +286,179 @@ mod tests {
         gwriter.write_all(&16u32.to_le_bytes()).unwrap();
         gwriter.write_all(&[0u8; 16]).unwrap();
         gwriter.flush().unwrap();
-        match read_frame(&mut greader).unwrap() {
-            Some(Frame::Error { id: 0, message }) => {
+        match read_message(&mut greader, PROTOCOL_VERSION).unwrap() {
+            Some(Message::Error { id: 0, message }) => {
                 assert!(message.contains("wire protocol error"), "got: {message}");
             }
             other => panic!("expected Error frame, got {other:?}"),
         }
-        assert_eq!(read_frame(&mut greader).unwrap(), None, "server closed after error");
+        assert_eq!(
+            read_message(&mut greader, PROTOCOL_VERSION).unwrap(),
+            None,
+            "server closed after error"
+        );
+
+        handle.shutdown();
+        service.shutdown();
+    }
+
+    /// An "old" client — speaks v1, never sends a hello, only kinds 1–5 —
+    /// must keep working against the v2 server, byte for byte.
+    #[test]
+    fn v1_client_without_hello_is_served_unchanged() {
+        let (service, data) = tiny_service();
+        let handle = serve(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+        let stream = TcpStream::connect(handle.local_addr()).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+
+        // The v1 exchange: ping, then an estimate — decoded by the
+        // client strictly at v1, as an old binary would.
+        write_message(&mut writer, &Message::Ping { id: 1 }).unwrap();
+        writer.flush().unwrap();
+        assert_eq!(read_message(&mut reader, PROTOCOL_V1).unwrap(), Some(Message::Pong { id: 1 }));
+        write_message(
+            &mut writer,
+            &Message::EstimateRequest { id: 2, query: data[0].query.clone() },
+        )
+        .unwrap();
+        writer.flush().unwrap();
+        match read_message(&mut reader, PROTOCOL_V1).unwrap() {
+            Some(Message::EstimateResponse { id: 2, estimate, .. }) => assert!(estimate >= 1.0),
+            other => panic!("v1 client got {other:?}"),
+        }
+
+        handle.shutdown();
+        service.shutdown();
+    }
+
+    /// Hello negotiation pins the connection to min(version) ∩ caps, and
+    /// the server enforces both: v2 kinds above a v1-negotiated
+    /// connection fail with the *negotiated* version in the error, and
+    /// un-negotiated capabilities are refused.
+    #[test]
+    fn negotiation_gates_version_and_capabilities() {
+        let (service, data) = tiny_service();
+        let handle = serve(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+
+        // Client negotiates v2 but only the stats capability: feedback
+        // frames must be refused even though the server implements them.
+        let stream = TcpStream::connect(handle.local_addr()).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        write_message(
+            &mut writer,
+            &Message::Hello { id: 1, version: PROTOCOL_VERSION, capabilities: CAP_STATS },
+        )
+        .unwrap();
+        writer.flush().unwrap();
+        assert_eq!(
+            read_message(&mut reader, PROTOCOL_VERSION).unwrap(),
+            Some(Message::HelloAck { id: 1, version: PROTOCOL_VERSION, capabilities: CAP_STATS })
+        );
+        write_message(
+            &mut writer,
+            &Message::Feedback { id: 2, query: data[0].query.clone(), actual_card: 10 },
+        )
+        .unwrap();
+        writer.flush().unwrap();
+        match read_message(&mut reader, PROTOCOL_VERSION).unwrap() {
+            Some(Message::Error { id: 2, message }) => {
+                assert!(message.contains("capability"), "got: {message}");
+            }
+            other => panic!("expected capability refusal, got {other:?}"),
+        }
+
+        // A (misbehaving) client that negotiates down to v1 and then
+        // sends a v2 kind gets a version-gate error naming v1.
+        let stream = TcpStream::connect(handle.local_addr()).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        write_message(
+            &mut writer,
+            &Message::Hello { id: 3, version: PROTOCOL_V1, capabilities: CAP_FEEDBACK },
+        )
+        .unwrap();
+        writer.flush().unwrap();
+        assert_eq!(
+            read_message(&mut reader, PROTOCOL_VERSION).unwrap(),
+            Some(Message::HelloAck { id: 3, version: PROTOCOL_V1, capabilities: CAP_FEEDBACK })
+        );
+        write_message(&mut writer, &Message::StatsRequest { id: 4 }).unwrap();
+        writer.flush().unwrap();
+        match read_message(&mut reader, PROTOCOL_VERSION).unwrap() {
+            Some(Message::Error { id: 0, message }) => {
+                assert!(message.contains("(v1)"), "error must name negotiated v1: {message}");
+            }
+            other => panic!("expected version-gate error, got {other:?}"),
+        }
+
+        handle.shutdown();
+        service.shutdown();
+    }
+
+    /// The feedback → drift → retrain loop over the real TCP path.
+    #[test]
+    fn feedback_and_stats_over_the_wire() {
+        let (service, data) = tiny_service();
+        let handle = serve(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+        let stream = TcpStream::connect(handle.local_addr()).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+
+        write_message(
+            &mut writer,
+            &Message::Hello { id: 0, version: PROTOCOL_VERSION, capabilities: CAPABILITIES },
+        )
+        .unwrap();
+        writer.flush().unwrap();
+        assert!(matches!(
+            read_message(&mut reader, PROTOCOL_VERSION).unwrap(),
+            Some(Message::HelloAck { version: PROTOCOL_VERSION, .. })
+        ));
+
+        for (i, l) in data.iter().take(8).enumerate() {
+            write_message(
+                &mut writer,
+                &Message::Feedback {
+                    id: i as u64,
+                    query: l.query.clone(),
+                    actual_card: l.cardinality.max(1),
+                },
+            )
+            .unwrap();
+            writer.flush().unwrap();
+            match read_message(&mut reader, PROTOCOL_VERSION).unwrap() {
+                Some(Message::FeedbackAck { id, model_version }) => {
+                    assert_eq!(id, i as u64);
+                    assert_eq!(model_version, 1);
+                }
+                other => panic!("expected FeedbackAck, got {other:?}"),
+            }
+        }
+
+        write_message(&mut writer, &Message::StatsRequest { id: 99 }).unwrap();
+        writer.flush().unwrap();
+        match read_message(&mut reader, PROTOCOL_VERSION).unwrap() {
+            Some(Message::Stats { id: 99, model_version, retrains, feedback_count, templates }) => {
+                assert_eq!(model_version, 1);
+                assert_eq!(retrains, 0);
+                assert_eq!(feedback_count, 8);
+                assert!(!templates.is_empty());
+                assert!(templates.iter().all(|t| t.mean_qerror >= 1.0));
+            }
+            other => panic!("expected Stats, got {other:?}"),
+        }
+
+        write_message(&mut writer, &Message::DriftStatusRequest { id: 100 }).unwrap();
+        writer.flush().unwrap();
+        match read_message(&mut reader, PROTOCOL_VERSION).unwrap() {
+            Some(Message::DriftStatus { id: 100, retrain_in_flight, templates }) => {
+                assert!(!retrain_in_flight);
+                assert!(templates.iter().all(|t| !t.tripped), "8 accurate obs must not trip");
+            }
+            other => panic!("expected DriftStatus, got {other:?}"),
+        }
 
         handle.shutdown();
         service.shutdown();

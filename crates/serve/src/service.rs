@@ -1,5 +1,5 @@
 //! The estimation service: registry → cache → batcher glued behind one
-//! call.
+//! call, plus the self-healing feedback loop.
 //!
 //! [`EstimationService::estimate`] is the whole request path of the
 //! server, in process form: compute the canonical cache key, probe the
@@ -10,6 +10,18 @@
 //! so callers holding many queries can enqueue them all before waiting —
 //! that is what makes the coalesced path reachable from a single thread.
 //!
+//! [`EstimationService::feedback`] closes the maintenance loop the paper
+//! leaves open (§5 "Updates"): each `(query, actual)` observation is
+//! scored against the *current* model, recorded in the
+//! [`DriftMonitor`]'s per-template rolling windows, and banked in the
+//! retraining corpus. When a window trips, a background retrainer thread
+//! runs [`train_incremental`] over the corpus (frozen featurizer, warm
+//! weights — the worker pool parallelizes the steps) and
+//! [`ModelRegistry::publish`]es the result mid-traffic: in-flight
+//! micro-batches keep their snapshot, the version-keyed cache
+//! invalidates for free, and the drift windows reset so stale
+//! pre-retrain q-errors cannot immediately re-trip.
+//!
 //! Inference itself rides `lc_core`'s allocation-free compute core: the
 //! batcher worker's scratch arena persists across batches, and large
 //! coalesced batches go block-parallel inside `estimate_all` without
@@ -17,24 +29,20 @@
 //! notes), so the service can raise `max_batch` for throughput without
 //! a correctness trade.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::Receiver;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
 
+use lc_core::train_incremental;
 use lc_engine::{Database, SampleSet};
 use lc_query::{annotate_query, Query};
 
-use crate::batcher::{BatchStats, BatchedEstimate, BatcherConfig, MicroBatcher};
-use crate::cache::{CacheConfig, CacheStats, EstimateCache};
+use crate::batcher::{BatchStats, BatchedEstimate, MicroBatcher};
+use crate::cache::{CacheStats, EstimateCache};
+use crate::config::ServeConfig;
+use crate::drift::{DriftDecision, DriftMonitor};
 use crate::registry::ModelRegistry;
-
-/// Configuration of an [`EstimationService`].
-#[derive(Clone, Copy, Debug, Default)]
-pub struct ServiceConfig {
-    /// Estimate-cache sizing (capacity 0 disables caching).
-    pub cache: CacheConfig,
-    /// Micro-batcher flush policy and worker count.
-    pub batcher: BatcherConfig,
-}
 
 /// Error returned by [`EstimationService::estimate`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -75,6 +83,13 @@ pub struct EstimationService {
     registry: Arc<ModelRegistry>,
     cache: EstimateCache,
     batcher: MicroBatcher,
+    drift: Arc<DriftMonitor>,
+    /// Guard ensuring at most one retrain runs at a time; reset by the
+    /// retrainer thread itself when it finishes.
+    retrain_in_flight: Arc<AtomicBool>,
+    /// The latest retrainer thread, joined on the next schedule or at
+    /// shutdown.
+    retrainer: Mutex<Option<JoinHandle<()>>>,
 }
 
 /// An estimate in flight: either answered from the cache at submit time
@@ -133,7 +148,7 @@ impl EstimationService {
         db: Database,
         samples: SampleSet,
         registry: Arc<ModelRegistry>,
-        config: ServiceConfig,
+        config: ServeConfig,
     ) -> Self {
         EstimationService {
             db,
@@ -141,6 +156,9 @@ impl EstimationService {
             cache: EstimateCache::new(config.cache),
             batcher: MicroBatcher::new(Arc::clone(&registry), config.batcher),
             registry,
+            drift: Arc::new(DriftMonitor::new(config.drift)),
+            retrain_in_flight: Arc::new(AtomicBool::new(false)),
+            retrainer: Mutex::new(None),
         }
     }
 
@@ -182,9 +200,95 @@ impl EstimationService {
         self.submit(query).wait()
     }
 
+    /// Record execution feedback: the client ran `query` and observed
+    /// `actual_card` rows. The observation is scored against the
+    /// *current* model (so recovery after a retrain is visible in the
+    /// rolling windows), recorded in the drift monitor, and — when its
+    /// true cardinality is trainable (≥ 1 row; a zero-row target has no
+    /// log-space label) — banked in the retraining corpus. If this
+    /// observation trips a drift window and no retrain is already
+    /// running, an incremental retrain is scheduled in the background.
+    ///
+    /// Returns the estimate the current model gave, whose
+    /// `model_version` the feedback ack reports back to the client.
+    pub fn feedback(&self, query: &Query, actual_card: u64) -> Result<Estimate, ServeError> {
+        let estimate = self.estimate(query)?;
+        let corpus_entry = (actual_card >= 1).then(|| {
+            let mut labeled = annotate_query(&self.db, &self.samples, query.clone());
+            labeled.cardinality = actual_card;
+            labeled
+        });
+        let decision = self.drift.record(
+            query.join_template(),
+            estimate.cardinality,
+            actual_card,
+            corpus_entry,
+        );
+        if decision == DriftDecision::Retrain {
+            self.schedule_retrain();
+        }
+        Ok(estimate)
+    }
+
+    /// Spawn the background retrainer unless one is already in flight.
+    /// The thread snapshots the feedback corpus, runs
+    /// [`train_incremental`] (frozen featurizer, warm-started weights),
+    /// publishes the result, and resets the drift windows — all while
+    /// traffic keeps being served by the previous snapshot.
+    fn schedule_retrain(&self) {
+        if self
+            .retrain_in_flight
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return;
+        }
+        let drift = Arc::clone(&self.drift);
+        let registry = Arc::clone(&self.registry);
+        let in_flight = Arc::clone(&self.retrain_in_flight);
+        let handle = std::thread::Builder::new()
+            .name("lc-retrain".into())
+            .spawn(move || {
+                // Catch panics so a failed retrain can never wedge the
+                // in-flight flag (which would silently disable
+                // self-healing for the rest of the process).
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let corpus = drift.corpus_snapshot();
+                    if !corpus.is_empty() {
+                        let prev = registry.current();
+                        let config = drift.config().retrain;
+                        let retrained = train_incremental(&prev.estimator, &corpus, config);
+                        registry.publish(retrained);
+                        drift.on_publish();
+                    }
+                }));
+                in_flight.store(false, Ordering::Release);
+                if result.is_err() {
+                    eprintln!("lc-serve: background retrain panicked; model not updated");
+                }
+            })
+            .expect("spawn retrainer thread");
+        let mut slot = self.retrainer.lock().expect("retrainer slot poisoned");
+        // Any previous retrainer already dropped the in-flight flag, so
+        // this join is (at most) a brief thread-exit wait.
+        if let Some(previous) = slot.replace(handle) {
+            let _ = previous.join();
+        }
+    }
+
     /// The model registry (hot-swap entry point).
     pub fn registry(&self) -> &Arc<ModelRegistry> {
         &self.registry
+    }
+
+    /// The drift monitor (rolling windows, feedback corpus, counters).
+    pub fn drift(&self) -> &DriftMonitor {
+        &self.drift
+    }
+
+    /// True while a background incremental retrain is running.
+    pub fn retrain_in_flight(&self) -> bool {
+        self.retrain_in_flight.load(Ordering::Acquire)
     }
 
     /// Estimate-cache counters.
@@ -203,21 +307,30 @@ impl EstimationService {
         self.batcher.flush_now()
     }
 
-    /// Stop the batcher: drain queued requests, join workers, and refuse
-    /// new submissions. Idempotent (also runs on drop).
+    /// Stop the batcher: drain queued requests, join workers (including
+    /// any in-flight retrainer), and refuse new submissions. Idempotent
+    /// (also runs on drop).
     pub fn shutdown(&self) {
         self.batcher.shutdown();
+        let handle = self.retrainer.lock().expect("retrainer slot poisoned").take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::batcher::BatcherConfig;
+    use crate::cache::CacheConfig;
+    use crate::config::DriftConfig;
     use lc_core::{train, FeatureMode, MscnEstimator, TrainConfig};
     use lc_imdb::{generate, ImdbConfig};
     use lc_query::{workloads, CardinalityEstimator, LabeledQuery};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
+    use std::time::{Duration, Instant};
 
     fn fixture() -> (Database, SampleSet, MscnEstimator, MscnEstimator, Vec<LabeledQuery>) {
         let db = generate(&ImdbConfig::tiny());
@@ -238,9 +351,9 @@ mod tests {
     fn service(workers: usize) -> (EstimationService, MscnEstimator, Vec<LabeledQuery>) {
         let (db, samples, a, _, data) = fixture();
         let registry = Arc::new(ModelRegistry::new(a.clone()));
-        let config = ServiceConfig {
+        let config = ServeConfig {
             batcher: BatcherConfig { workers, ..BatcherConfig::default() },
-            ..ServiceConfig::default()
+            ..ServeConfig::default()
         };
         (EstimationService::new(db, samples, registry, config), a, data)
     }
@@ -290,9 +403,9 @@ mod tests {
         let registry = Arc::new(ModelRegistry::new(a));
         // Cache disabled so every request exercises inference against
         // whichever snapshot is active at flush time.
-        let config = ServiceConfig {
+        let config = ServeConfig {
             cache: CacheConfig { capacity: 0, ..CacheConfig::default() },
-            ..ServiceConfig::default()
+            ..ServeConfig::default()
         };
         let svc = EstimationService::new(db, samples, Arc::clone(&registry), config);
         // 3 clients + the swapping main thread. Clients hammer the
@@ -348,7 +461,7 @@ mod tests {
         let q = &data[3].query;
         let registry = Arc::new(ModelRegistry::new(a.clone()));
         let svc =
-            EstimationService::new(db, samples, Arc::clone(&registry), ServiceConfig::default());
+            EstimationService::new(db, samples, Arc::clone(&registry), ServeConfig::default());
         let v1_answer = svc.estimate(q).unwrap();
         assert!(svc.estimate(q).unwrap().cache_hit);
         registry.publish(b.clone());
@@ -370,5 +483,69 @@ mod tests {
         let (svc, _, data) = service(1);
         svc.shutdown();
         assert_eq!(svc.estimate(&data[0].query), Err(ServeError::Shutdown));
+    }
+
+    /// The whole self-healing loop, in process form: feedback with large
+    /// q-errors trips the drift monitor, a background retrain fires, and
+    /// a strictly newer model version is published mid-service — without
+    /// an estimate ever failing.
+    #[test]
+    fn feedback_driven_retrain_publishes_a_new_version() {
+        let (db, samples, a, _, data) = fixture();
+        let registry = Arc::new(ModelRegistry::new(a));
+        let config = ServeConfig {
+            drift: DriftConfig {
+                window: 16,
+                min_samples: 8,
+                qerror_threshold: 2.0,
+                min_corpus: 8,
+                ..DriftConfig::default()
+            },
+            ..ServeConfig::default()
+        };
+        let svc = EstimationService::new(db, samples, Arc::clone(&registry), config);
+        assert_eq!(registry.active_version(), 1);
+        assert_eq!(svc.drift().retrains(), 0);
+
+        // Report wildly wrong "actuals" so every observation has a huge
+        // q-error; the labels themselves are valid training targets.
+        // Drift windows are per join template, so repeat a handful of
+        // queries: each repetition lands in the same window, and the
+        // first template to accrue `min_samples` observations trips.
+        for l in data.iter().take(5) {
+            for _ in 0..8 {
+                let est = svc.feedback(&l.query, 1_000_000).expect("feedback");
+                assert!(est.cardinality >= 1.0);
+            }
+        }
+        // The retrain runs in the background; wait for it (bounded).
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while (svc.retrain_in_flight() || svc.drift().retrains() == 0) && Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(svc.drift().retrains() >= 1, "drift never triggered a retrain");
+        assert!(
+            registry.active_version() >= 2,
+            "retrain did not publish a new version (active {})",
+            registry.active_version()
+        );
+        // Serving kept working across the publish.
+        let est = svc.estimate(&data[0].query).expect("estimate after retrain");
+        assert!(est.cardinality >= 1.0);
+        svc.shutdown();
+    }
+
+    /// Zero-row feedback contributes to drift detection but is excluded
+    /// from the corpus — ln(0) would poison the training targets.
+    #[test]
+    fn zero_row_feedback_never_reaches_the_corpus() {
+        let (svc, _, data) = service(1);
+        for l in data.iter().take(5) {
+            svc.feedback(&l.query, 0).expect("feedback");
+        }
+        assert_eq!(svc.drift().feedback_count(), 5);
+        assert!(svc.drift().corpus_snapshot().is_empty());
+        svc.shutdown();
     }
 }

@@ -1,14 +1,15 @@
 //! End-to-end: real TCP server + the load generator + a hot-swap while
-//! traffic is in flight.
+//! traffic is in flight, plus the drift-driven self-healing loop over
+//! real sockets.
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use lc_core::{train, FeatureMode, TrainConfig};
 use lc_engine::SampleSet;
 use lc_imdb::ImdbConfig;
 use lc_query::workloads;
-use lc_serve::{serve, EstimationService, LoadgenConfig, ModelRegistry, ServiceConfig};
+use lc_serve::{serve, DriftConfig, EstimationService, LoadgenConfig, ModelRegistry, ServeConfig};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -16,7 +17,9 @@ use rand::SeedableRng;
 /// with server-side (the server owns the samples; 64 mirrors the bins).
 const SAMPLE_SIZE: usize = 64;
 
-fn boot() -> (Arc<EstimationService>, Arc<ModelRegistry>, lc_core::MscnEstimator) {
+fn boot(
+    config: ServeConfig,
+) -> (Arc<EstimationService>, Arc<ModelRegistry>, lc_core::MscnEstimator) {
     let db = lc_imdb::generate(&ImdbConfig::tiny());
     let mut rng = SmallRng::seed_from_u64(17);
     let samples = SampleSet::draw(&db, SAMPLE_SIZE, &mut rng);
@@ -26,18 +29,13 @@ fn boot() -> (Arc<EstimationService>, Arc<ModelRegistry>, lc_core::MscnEstimator
     let v1 = train(&db, SAMPLE_SIZE, &data, cfg).estimator;
     let v2 = train(&db, SAMPLE_SIZE, &data, TrainConfig { seed: 4242, ..cfg }).estimator;
     let registry = Arc::new(ModelRegistry::new(v1));
-    let service = Arc::new(EstimationService::new(
-        db,
-        samples,
-        Arc::clone(&registry),
-        ServiceConfig::default(),
-    ));
+    let service = Arc::new(EstimationService::new(db, samples, Arc::clone(&registry), config));
     (service, registry, v2)
 }
 
 #[test]
 fn loadgen_against_live_server_reports_throughput_across_a_hot_swap() {
-    let (service, registry, v2) = boot();
+    let (service, registry, v2) = boot(ServeConfig::default());
     let handle = serve(Arc::clone(&service), "127.0.0.1:0").expect("bind");
     let addr = handle.local_addr().to_string();
 
@@ -48,6 +46,7 @@ fn loadgen_against_live_server_reports_throughput_across_a_hot_swap() {
         max_joins: 2,
         seed: 7,
         connect_timeout: Duration::from_secs(5),
+        ..LoadgenConfig::default()
     };
     let report = std::thread::scope(|s| {
         let loadgen = s.spawn(|| lc_serve::loadgen::run(&config).expect("loadgen run"));
@@ -69,6 +68,61 @@ fn loadgen_against_live_server_reports_throughput_across_a_hot_swap() {
     assert!(batch.batches >= 1);
     let cache = service.cache_stats();
     assert_eq!(cache.hits + cache.misses, 300, "every request probed the cache");
+
+    handle.shutdown();
+    service.shutdown();
+}
+
+/// The self-healing loop over real sockets: shifted loadgen traffic
+/// trips the drift monitor, the server retrains incrementally in the
+/// background and publishes a strictly newer model — while every single
+/// request keeps being answered.
+#[test]
+fn shifted_loadgen_trips_drift_and_server_republishes_mid_traffic() {
+    // Hair-trigger drift thresholds so the retrain fires well within the
+    // (debug-build) test budget; the retrain itself is kept short.
+    let drift = DriftConfig {
+        window: 16,
+        min_samples: 4,
+        qerror_threshold: 1.5,
+        min_corpus: 16,
+        retrain: TrainConfig { epochs: 3, batch_size: 64, ..TrainConfig::default() },
+        ..DriftConfig::default()
+    };
+    let (service, registry, _) = boot(ServeConfig { drift, ..ServeConfig::default() });
+    let handle = serve(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let addr = handle.local_addr().to_string();
+
+    let config = LoadgenConfig {
+        addr,
+        connections: 2,
+        requests: 240,
+        max_joins: 2,
+        seed: 11,
+        connect_timeout: Duration::from_secs(5),
+        shift: true,
+        shift_at: 0.3,
+        shift_joins: 3,
+    };
+    let report = lc_serve::loadgen::run(&config).expect("loadgen run");
+    assert_eq!(report.requests, 240, "every request must be answered");
+    assert_eq!(report.errors, 0, "feedback traffic must not produce errors");
+    let shift = report.shift.expect("shift mode must produce a shift report");
+    assert!(shift.feedback_count >= 240, "server recorded every feedback frame");
+    assert_eq!(shift.version_regressions, 0, "published versions are monotonic");
+
+    // The retrain runs in the background; it may still be in flight when
+    // the load generator finishes, so wait on the in-process handle.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while service.drift().retrains() == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert!(service.drift().retrains() >= 1, "shifted traffic never triggered a retrain");
+    assert!(
+        registry.active_version() >= 2,
+        "retrain did not publish (active v{})",
+        registry.active_version()
+    );
 
     handle.shutdown();
     service.shutdown();

@@ -30,7 +30,7 @@ fn main() {
         db,
         samples,
         Arc::clone(&registry),
-        ServiceConfig::default(),
+        ServeConfig::default(),
     ));
     let handle = serve(Arc::clone(&service), "127.0.0.1:0").expect("bind server");
     let addr = handle.local_addr();
@@ -44,6 +44,7 @@ fn main() {
         max_joins: 2,
         seed: 5,
         connect_timeout: Duration::from_secs(5),
+        ..LoadgenConfig::default()
     };
     let report = std::thread::scope(|s| {
         let loadgen =

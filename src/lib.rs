@@ -56,15 +56,16 @@ pub mod prelude {
     pub use lc_baselines::{
         FullJoinSizes, IbjsEstimator, PostgresEstimator, RandomSamplingEstimator,
     };
-    pub use lc_core::{train, FeatureMode, MscnEstimator, TrainConfig, TrainedModel};
+    pub use lc_core::{train, Estimator, FeatureMode, MscnEstimator, TrainConfig, TrainedModel};
     pub use lc_engine::{
         count_star, CmpOp, Database, JoinIndexes, Predicate, QuerySpec, SampleSet,
     };
     pub use lc_imdb::ImdbConfig;
-    pub use lc_nn::LossKind;
+    pub use lc_nn::{KernelChoice, LossKind, RuntimeConfig};
     pub use lc_query::{annotate_query, workloads, CardinalityEstimator, LabeledQuery, Query};
     pub use lc_serve::{
-        BatcherConfig, CacheConfig, Estimate, EstimationService, ModelRegistry, ServiceConfig,
+        BatcherConfig, CacheConfig, DriftConfig, DriftMonitor, Estimate, EstimationService,
+        ModelRegistry, ServeConfig,
     };
     pub use rand::rngs::SmallRng;
     pub use rand::SeedableRng;

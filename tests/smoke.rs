@@ -18,9 +18,12 @@ fn prelude_reexports_resolve() {
     assert!(imdb.num_titles > 0);
     let _loss = LossKind::MeanQError; // lc_nn
     let _rng = SmallRng::seed_from_u64(0); // rand re-exports
-    let serve_cfg = ServiceConfig::default(); // lc_serve
+    let serve_cfg = ServeConfig::default(); // lc_serve
     assert!(serve_cfg.batcher.max_batch >= 1);
+    assert!(serve_cfg.drift.qerror_threshold > 1.0);
     assert!(CacheConfig::default().capacity > 0);
+    let _ = KernelChoice::Auto; // lc_nn runtime config
+    assert_eq!(RuntimeConfig::default().train_threads, 0);
 }
 
 #[test]
@@ -33,7 +36,7 @@ fn prelude_serving_pipeline_estimates_and_caches() {
     let cfg = TrainConfig { epochs: 2, hidden: 16, ..TrainConfig::default() };
     let trained = train(&db, 24, &data, cfg);
     let registry = std::sync::Arc::new(ModelRegistry::new(trained.estimator));
-    let service = EstimationService::new(db, samples, registry, ServiceConfig::default());
+    let service = EstimationService::new(db, samples, registry, ServeConfig::default());
     let first: Estimate = service.estimate(&data[0].query).expect("serve");
     assert!(first.cardinality >= 1.0 && !first.cache_hit);
     let second = service.estimate(&data[0].query).expect("serve");
