@@ -34,6 +34,7 @@ use std::time::Instant;
 
 use lc_engine::Database;
 use lc_nn::{Adam, DisjointSliceMut, LossKind, WorkerPool};
+use lc_obs::{metrics, SpanTimer};
 use lc_query::{CardinalityEstimator, LabeledQuery};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -412,6 +413,9 @@ impl Trainer {
             let (loss, scale, n) = (self.loss, self.scale, step.n);
             let model_ref: &MscnModel = model;
             let do_shard = |batch: &RaggedBatch, scr: &mut MscnScratch, g: &mut MscnGrads| {
+                // Per-shard wall time: the histogram's spread (p50 vs
+                // max) is the shard-imbalance signal.
+                let _span = SpanTimer::start(&metrics::TRAIN_SHARD_NS);
                 g.zero();
                 model_ref.forward_scratch(batch, scr);
                 scr.grad_pred.clear();
@@ -481,6 +485,8 @@ impl Trainer {
         corpus: &CorpusSparse,
         order: &[usize],
     ) -> f64 {
+        metrics::TRAIN_EPOCHS.inc();
+        let _span = SpanTimer::start(&metrics::TRAIN_EPOCH_NS);
         let steps = self.assemble_epoch(feats, corpus, order);
         let mut epoch_loss = 0.0f64;
         for step in &steps {

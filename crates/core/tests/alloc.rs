@@ -7,6 +7,12 @@
 //! multi-worker step is one condvar dispatch, not a `thread::scope`
 //! spawn+join (the last per-step allocation source PR 3 documented).
 //!
+//! Since the `lc_obs` instrumentation landed, every measured window also
+//! exercises the metrics layer — counter increments, histogram records,
+//! and `SpanTimer` guards run *inside* the zero-allocation assertions
+//! (and the pooled phases go through the now-instrumented
+//! `WorkerPool::run`), proving that observability rides along for free.
+//!
 //! All phases live in ONE `#[test]`: the allocation counter is
 //! process-global, so a second concurrently-running test's setup would
 //! bleed into the measured window and flake the assertion.
@@ -19,6 +25,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use lc_core::{MscnModel, RaggedBatch};
 use lc_nn::{Adam, DisjointSliceMut, LossKind, WorkerPool};
+use lc_obs::{metrics, SpanTimer};
 
 /// Delegates to the system allocator, counting every allocation call.
 struct CountingAllocator;
@@ -79,6 +86,11 @@ fn train_step(
     adam: &mut Adam,
     slots: &[usize],
 ) {
+    // The same instrumentation `lc_core::train`'s epoch loop runs; it
+    // sits inside the measured window, so a single heap allocation in
+    // the metrics layer would fail the assertions below.
+    metrics::TRAIN_EPOCHS.inc();
+    let _span = SpanTimer::start(&metrics::TRAIN_EPOCH_NS);
     for ((batch, scratch), grads) in
         shards.iter().zip(scratches.iter_mut()).zip(shard_grads.iter_mut())
     {
@@ -112,6 +124,12 @@ fn train_step(
 
 #[test]
 fn steady_state_compute_paths_do_not_allocate() {
+    // Warm the metrics layer's one-time state (the `LC_OBS` env lookup
+    // and the process-start anchor allocate on first touch) before any
+    // measured window opens.
+    lc_obs::init();
+    let _ = lc_obs::enabled();
+
     let dims = (9, 4, 7);
     let mut model = MscnModel::new(dims.0, dims.1, dims.2, 16, 42);
     // Two differently-shaped mini-batches (each pre-sharded in two), so
@@ -178,7 +196,12 @@ fn steady_state_compute_paths_do_not_allocate() {
     }
     let before = allocation_count();
     for _ in 0..10 {
+        // Instrumented exactly like the serving forward path: a span
+        // over the pass plus a size record into a shared histogram.
+        let span = SpanTimer::start(&metrics::BATCH_FORWARD_NS);
         model.forward_scratch(&batch, &mut scratch);
+        drop(span);
+        metrics::BATCH_SIZE.record(batch.targets.len() as u64);
     }
     assert_eq!(
         allocation_count() - before,

@@ -34,6 +34,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
+use lc_obs::{metrics, SpanTimer};
+
 /// Upper bound on participants per [`WorkerPool::run`] call — a sanity
 /// cap on runaway `LC_*_THREADS` values, far above any productive count
 /// for this workload (training caps at 8 shards).
@@ -150,6 +152,8 @@ impl WorkerPool {
             participants <= MAX_PARTICIPANTS,
             "worker-pool dispatch of {participants} exceeds MAX_PARTICIPANTS ({MAX_PARTICIPANTS})"
         );
+        metrics::POOL_DISPATCHES.inc();
+        let _dispatch_span = SpanTimer::start(&metrics::POOL_RUN_NS);
         let _serialize = self.run_lock.lock().expect("pool run lock poisoned");
         self.ensure_workers(participants - 1);
         // SAFETY: erases the borrow's lifetime; the barrier below keeps
@@ -206,6 +210,7 @@ impl WorkerPool {
                 .expect("failed to spawn pool worker");
             workers.push(handle);
         }
+        metrics::POOL_WORKERS.set(workers.len() as u64);
     }
 
     /// Stop and join all workers (tests; the global pool never calls it).

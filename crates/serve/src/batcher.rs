@@ -37,6 +37,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use lc_obs::{metrics, SpanTimer};
 use lc_query::{CardinalityEstimator, LabeledQuery};
 
 use crate::registry::ModelRegistry;
@@ -106,6 +107,8 @@ impl BatchStats {
 struct Pending {
     query: LabeledQuery,
     tx: Sender<BatchedEstimate>,
+    /// When the request entered the queue, for the queue-wait histogram.
+    enqueued: Instant,
 }
 
 struct State {
@@ -160,7 +163,8 @@ impl MicroBatcher {
         if state.shutdown {
             return rx; // tx drops here: the receiver reports disconnect.
         }
-        state.queue.push_back(Pending { query, tx });
+        state.queue.push_back(Pending { query, tx, enqueued: Instant::now() });
+        metrics::BATCH_QUEUE_DEPTH.set(state.queue.len() as u64);
         self.shared.requests.fetch_add(1, Ordering::Relaxed);
         drop(state);
         self.shared.available.notify_one();
@@ -220,7 +224,9 @@ impl Drop for MicroBatcher {
 /// Pop up to `max_batch` requests off the queue.
 fn drain_batch(state: &mut State, max_batch: usize) -> Vec<Pending> {
     let n = state.queue.len().min(max_batch);
-    state.queue.drain(..n).collect()
+    let batch = state.queue.drain(..n).collect();
+    metrics::BATCH_QUEUE_DEPTH.set(state.queue.len() as u64);
+    batch
 }
 
 /// Run one coalesced forward pass and deliver the per-request results.
@@ -230,12 +236,22 @@ fn run_batch(shared: &Shared, registry: &ModelRegistry, batch: Vec<Pending>) -> 
         return 0;
     }
     let n = batch.len();
+    metrics::BATCH_SIZE.record(n as u64);
+    if lc_obs::enabled() {
+        let drained = Instant::now();
+        for p in &batch {
+            metrics::BATCH_QUEUE_WAIT_NS
+                .record_duration(drained.saturating_duration_since(p.enqueued));
+        }
+    }
     // The snapshot is pinned for the whole batch: a concurrent hot-swap
     // affects the *next* batch, never a running one.
     let snapshot = registry.current();
     let (queries, txs): (Vec<LabeledQuery>, Vec<Sender<BatchedEstimate>>) =
         batch.into_iter().map(|p| (p.query, p.tx)).unzip();
+    let forward_span = SpanTimer::start(&metrics::BATCH_FORWARD_NS);
     let estimates = snapshot.estimator.estimate_all(&queries);
+    drop(forward_span);
     shared.batches.fetch_add(1, Ordering::Relaxed);
     shared.max_batch_seen.fetch_max(n as u64, Ordering::Relaxed);
     for (tx, cardinality) in txs.into_iter().zip(estimates) {

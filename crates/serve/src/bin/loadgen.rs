@@ -26,6 +26,8 @@
 //! * `--shift`            run the drift/self-healing demo
 //! * `--shift-at X`       fraction of requests before the shift (default 0.4)
 //! * `--shift-joins N`    joins per post-shift query (default 3)
+//! * `--json`             print the report as one JSON object instead of
+//!   the human-readable text + `RESULT` trailer
 
 use std::process::exit;
 use std::time::Duration;
@@ -35,7 +37,7 @@ use lc_serve::LoadgenConfig;
 
 const FLAGS: &[&str] =
     &["addr", "requests", "connections", "max-joins", "seed", "shift-at", "shift-joins"];
-const SWITCHES: &[&str] = &["shift"];
+const SWITCHES: &[&str] = &["shift", "json"];
 
 fn main() {
     if let Err(message) = run() {
@@ -74,7 +76,11 @@ fn run() -> Result<(), String> {
         },
     );
     let report = lc_serve::loadgen::run(&config).map_err(|e| format!("run failed: {e}"))?;
-    println!("{report}");
+    if get(&flags, "json", false)? {
+        println!("{}", report.to_json());
+    } else {
+        println!("{report}");
+    }
     if report.errors > 0 {
         return Err(format!("{} requests failed", report.errors));
     }

@@ -84,6 +84,9 @@ fn run() -> Result<(), String> {
     // Resolve LC_* tuning once, up front; everything downstream (kernel
     // dispatch, worker pools, trainer) reads this installed config.
     lc_nn::RuntimeConfig::from_env().install();
+    // Anchor the metrics clock now so MetricsSnapshot.uptime_ns measures
+    // from process start, not from the first recorded span.
+    lc_obs::init();
     let flags = lc_serve::flags::parse(FLAGS)?;
     let addr = flags.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:7878".into());
     let queries: usize = get(&flags, "queries", 400)?;

@@ -90,8 +90,8 @@ pub use batcher::{BatchStats, BatchedEstimate, BatcherConfig, MicroBatcher};
 pub use cache::{CacheConfig, CacheStats, EstimateCache};
 pub use config::{DriftConfig, ServeConfig};
 pub use drift::{DriftDecision, DriftMonitor};
-pub use loadgen::{LatencyHistogram, LoadReport, LoadgenConfig, ShiftReport};
+pub use loadgen::{LoadReport, LoadgenConfig, ShiftReport};
 pub use registry::{ModelRegistry, ModelSnapshot, RegistryError};
 pub use server::{serve, ServerHandle};
 pub use service::{Estimate, EstimationService, PendingEstimate, ServeError};
-pub use wire::{Message, TemplateDrift, TemplateStat, WireError};
+pub use wire::{HistogramMetric, Message, ScalarMetric, TemplateDrift, TemplateStat, WireError};

@@ -3,10 +3,12 @@
 //! Each worker owns one TCP connection and drives it closed-loop: send a
 //! request, block for the response, record the latency, repeat. With `n`
 //! workers the server sees up to `n` concurrent requests — exactly the
-//! traffic shape the micro-batcher coalesces. Latencies land in a
-//! log-scaled histogram (no per-request allocation), and the run is
-//! summarized as QPS, latency quantiles, cache hit counts, and the mean
-//! micro-batch size observed.
+//! traffic shape the micro-batcher coalesces. Latencies land in the same
+//! log₂-bucketed [`lc_obs::Histogram`] the server uses internally (no
+//! per-request allocation), and the run is summarized as QPS, latency
+//! quantiles, cache hit counts, and the mean micro-batch size observed —
+//! as human-readable text or, via the `loadgen --json` switch, as a
+//! single JSON object.
 //!
 //! Queries are drawn from the paper's §3.3 random generator over the
 //! fixed IMDb-style schema, so the generator needs no coordination with
@@ -34,6 +36,7 @@ use std::time::{Duration, Instant};
 use lc_engine::count_star;
 use lc_eval::metrics::qerror;
 use lc_imdb::ImdbConfig;
+use lc_obs::{Histogram, HistogramSnapshot};
 use lc_query::{GeneratorConfig, QueryGenerator};
 
 use crate::wire::{read_message, write_message, Message, CAPABILITIES, PROTOCOL_VERSION};
@@ -75,77 +78,6 @@ impl Default for LoadgenConfig {
             shift_at: 0.4,
             shift_joins: 3,
         }
-    }
-}
-
-/// Power-of-two-bucketed latency histogram over nanoseconds.
-///
-/// Bucket `i` covers `[2^i, 2^(i+1))` ns; quantiles report a bucket's
-/// upper bound, so they are exact to within a factor of two — plenty for
-/// a throughput report, with O(1) recording and a fixed 512-byte
-/// footprint.
-#[derive(Clone, Debug)]
-pub struct LatencyHistogram {
-    buckets: [u64; 64],
-    count: u64,
-    max_ns: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram { buckets: [0; 64], count: 0, max_ns: 0 }
-    }
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Record one latency.
-    pub fn record(&mut self, latency: Duration) {
-        let ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
-        let bucket = 63 - ns.max(1).leading_zeros() as usize;
-        self.buckets[bucket] += 1;
-        self.count += 1;
-        self.max_ns = self.max_ns.max(ns);
-    }
-
-    /// Fold another histogram into this one.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
-            *a += b;
-        }
-        self.count += other.count;
-        self.max_ns = self.max_ns.max(other.max_ns);
-    }
-
-    /// Number of recorded samples.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Largest recorded latency in nanoseconds.
-    pub fn max_ns(&self) -> u64 {
-        self.max_ns
-    }
-
-    /// Upper bound of the bucket containing quantile `q ∈ [0, 1]`
-    /// (0 when empty).
-    pub fn quantile_ns(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
-        let mut seen = 0;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                return 1u64 << (i + 1).min(63);
-            }
-        }
-        self.max_ns
     }
 }
 
@@ -261,6 +193,44 @@ impl std::fmt::Display for LoadReport {
     }
 }
 
+impl LoadReport {
+    /// The report as one machine-readable JSON object (the `loadgen
+    /// --json` output). Keys mirror the `RESULT` trailer plus the
+    /// latency quantiles; shift-mode keys appear only when shift mode
+    /// ran.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"qps\":{:.1},\"requests\":{},\"errors\":{},\"cache_hits\":{},\
+             \"seconds\":{:.3},\"p50_us\":{:.1},\"p95_us\":{:.1},\"p99_us\":{:.1},\
+             \"max_us\":{:.1},\"mean_micro_batch\":{:.2}",
+            self.qps,
+            self.requests,
+            self.errors,
+            self.cache_hits,
+            self.seconds,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+            self.max_us,
+            self.mean_micro_batch,
+        );
+        if let Some(shift) = &self.shift {
+            out.push_str(&format!(
+                ",\"retrains\":{},\"model_version\":{},\"version_regressions\":{},\
+                 \"qerr_pre\":{:.2},\"qerr_spike\":{:.2},\"qerr_final\":{:.2}",
+                shift.retrains,
+                shift.model_version,
+                shift.version_regressions,
+                shift.qerrors.pre,
+                shift.qerrors.spike,
+                shift.qerrors.fin,
+            ));
+        }
+        out.push('}');
+        out
+    }
+}
+
 /// Connect with retries until `timeout` elapses — the server may still be
 /// training its bootstrap model when the load generator starts.
 pub fn connect_with_retry(addr: &str, timeout: Duration) -> io::Result<TcpStream> {
@@ -281,7 +251,7 @@ struct PhaseSums {
 }
 
 struct WorkerOutcome {
-    histogram: LatencyHistogram,
+    histogram: HistogramSnapshot,
     ok: u64,
     errors: u64,
     cache_hits: u64,
@@ -303,8 +273,12 @@ fn worker(
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
+    // The worker's private latency histogram — the same lock-free
+    // structure the server's own metrics use, so its quantile semantics
+    // (bucket upper bounds) match what `lc-top` reports server-side.
+    let histogram = Histogram::new();
     let mut out = WorkerOutcome {
-        histogram: LatencyHistogram::new(),
+        histogram: HistogramSnapshot::empty(),
         ok: 0,
         errors: 0,
         cache_hits: 0,
@@ -354,7 +328,7 @@ fn worker(
             Some(Message::EstimateResponse {
                 id: rid, estimate, micro_batch, cache_hit, ..
             }) if rid == id && estimate.is_finite() && estimate >= 1.0 => {
-                out.histogram.record(start.elapsed());
+                histogram.record_duration(start.elapsed());
                 out.ok += 1;
                 if cache_hit {
                     out.cache_hits += 1;
@@ -396,6 +370,7 @@ fn worker(
             }
         }
     }
+    out.histogram = histogram.snapshot();
     Ok(out)
 }
 
@@ -453,7 +428,7 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadReport> {
     });
     let seconds = start.elapsed().as_secs_f64();
 
-    let mut histogram = LatencyHistogram::new();
+    let mut histogram = HistogramSnapshot::empty();
     let (mut ok, mut errors, mut cache_hits, mut batch_sum, mut batch_n) = (0, 0, 0, 0, 0);
     let mut qerrors = PhaseSums::default();
     let mut version_regressions = 0;
@@ -496,10 +471,10 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadReport> {
         cache_hits,
         seconds,
         qps: if seconds > 0.0 { ok as f64 / seconds } else { 0.0 },
-        p50_us: histogram.quantile_ns(0.50) as f64 / 1_000.0,
-        p95_us: histogram.quantile_ns(0.95) as f64 / 1_000.0,
-        p99_us: histogram.quantile_ns(0.99) as f64 / 1_000.0,
-        max_us: histogram.max_ns() as f64 / 1_000.0,
+        p50_us: histogram.quantile(0.50) as f64 / 1_000.0,
+        p95_us: histogram.quantile(0.95) as f64 / 1_000.0,
+        p99_us: histogram.quantile(0.99) as f64 / 1_000.0,
+        max_us: histogram.max as f64 / 1_000.0,
         mean_micro_batch: if batch_n > 0 { batch_sum as f64 / batch_n as f64 } else { 0.0 },
         shift,
     })
@@ -510,41 +485,20 @@ mod tests {
     use super::*;
 
     #[test]
-    fn histogram_quantiles_bracket_recorded_values() {
-        let mut h = LatencyHistogram::new();
+    fn shared_histogram_quantiles_bracket_recorded_latencies() {
+        // The loadgen path records through lc_obs::Histogram; spot-check
+        // the Duration plumbing end to end (bucket semantics themselves
+        // are covered by lc_obs's own tests).
+        let h = Histogram::new();
         for us in [10u64, 20, 40, 80, 5000] {
-            h.record(Duration::from_micros(us));
+            h.record_duration(Duration::from_micros(us));
         }
-        assert_eq!(h.count(), 5);
-        // p50 upper bound must cover the median (40µs) but stay well
-        // below the outlier.
-        let p50 = h.quantile_ns(0.5);
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 5);
+        let p50 = snap.quantile(0.5);
         assert!(p50 >= 40_000, "p50 bound {p50} below median");
         assert!(p50 < 1_000_000, "p50 bound {p50} absorbed the outlier");
-        // p100 covers the maximum.
-        assert!(h.quantile_ns(1.0) >= 5_000_000 || h.max_ns() >= 5_000_000);
-        assert_eq!(h.quantile_ns(0.0).max(1), h.quantile_ns(0.0)); // no panic on edges
-    }
-
-    #[test]
-    fn histogram_merge_adds_counts() {
-        let mut a = LatencyHistogram::new();
-        let mut b = LatencyHistogram::new();
-        for _ in 0..10 {
-            a.record(Duration::from_micros(100));
-            b.record(Duration::from_micros(200));
-        }
-        a.merge(&b);
-        assert_eq!(a.count(), 20);
-        assert!(a.max_ns() >= 200_000);
-    }
-
-    #[test]
-    fn empty_histogram_is_silent() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.count(), 0);
-        assert_eq!(h.quantile_ns(0.99), 0);
-        assert_eq!(h.max_ns(), 0);
+        assert_eq!(snap.max, 5_000_000);
     }
 
     fn sample_report() -> LoadReport {
@@ -569,6 +523,27 @@ mod tests {
         assert!(text.contains("RESULT qps=200.0 requests=100 errors=0 cache_hits=25"));
         assert!(text.contains("p95"));
         assert!(!text.contains("retrains="), "no shift keys without shift mode");
+    }
+
+    #[test]
+    fn json_report_has_flat_keys_and_shift_extension() {
+        let plain = sample_report().to_json();
+        assert!(plain.starts_with('{') && plain.ends_with('}'), "got: {plain}");
+        for key in ["\"qps\":200.0", "\"requests\":100", "\"p99_us\":800.0"] {
+            assert!(plain.contains(key), "missing {key} in {plain}");
+        }
+        assert!(!plain.contains("retrains"), "no shift keys without shift mode");
+        let mut report = sample_report();
+        report.shift = Some(ShiftReport {
+            qerrors: PhaseQerrors { pre: 2.5, spike: 80.0, fin: 4.0 },
+            retrains: 2,
+            model_version: 3,
+            feedback_count: 100,
+            version_regressions: 0,
+        });
+        let shifted = report.to_json();
+        assert!(shifted.contains("\"retrains\":2"), "got: {shifted}");
+        assert!(shifted.contains("\"qerr_spike\":80.00"), "got: {shifted}");
     }
 
     #[test]

@@ -15,6 +15,7 @@ use std::sync::{Arc, RwLock};
 
 use lc_core::serialize::DecodeError;
 use lc_core::MscnEstimator;
+use lc_obs::metrics;
 
 /// An immutable, versioned trained-model snapshot.
 #[derive(Debug)]
@@ -93,6 +94,7 @@ impl ModelRegistry {
         let snapshot =
             inner.versions.get(&version).ok_or(RegistryError::UnknownVersion(version))?;
         inner.active = Arc::clone(snapshot);
+        metrics::MODEL_VERSION.set(u64::from(version));
         Ok(())
     }
 
@@ -104,6 +106,8 @@ impl ModelRegistry {
         let snapshot = Arc::new(ModelSnapshot { version, estimator });
         inner.versions.insert(version, Arc::clone(&snapshot));
         inner.active = snapshot;
+        metrics::REGISTRY_PUBLISHES.inc();
+        metrics::MODEL_VERSION.set(u64::from(version));
         version
     }
 

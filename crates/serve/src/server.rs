@@ -26,10 +26,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use lc_obs::{metrics, MetricKind, SpanTimer};
+
 use crate::service::EstimationService;
 use crate::wire::{
-    negotiate, read_message, write_message, Message, CAPABILITIES, CAP_DRIFT, CAP_FEEDBACK,
-    CAP_STATS, PROTOCOL_VERSION,
+    negotiate, read_message, write_message, HistogramMetric, Message, ScalarMetric, CAPABILITIES,
+    CAP_DRIFT, CAP_FEEDBACK, CAP_METRICS, CAP_STATS, PROTOCOL_VERSION,
 };
 
 /// Cap on outgoing error messages, so an Error reply echoing
@@ -47,6 +49,36 @@ fn error_message(id: u64, mut message: String) -> Message {
         message.push('…');
     }
     Message::Error { id, message }
+}
+
+/// Build a [`Message::MetricsSnapshot`] of the whole `lc_obs` catalog.
+/// Gauges that mirror state owned elsewhere (active model version, cache
+/// population, pool size) are refreshed here, at snapshot time, instead
+/// of being maintained on hot paths that already have the state.
+fn metrics_snapshot(service: &EstimationService, id: u64) -> Message {
+    metrics::MODEL_VERSION.set(u64::from(service.registry().active_version()));
+    metrics::CACHE_ENTRIES.set(service.cache_stats().entries as u64);
+    metrics::POOL_WORKERS.set(lc_nn::WorkerPool::global().workers() as u64);
+    let snap = lc_obs::snapshot();
+    Message::MetricsSnapshot {
+        id,
+        uptime_ns: snap.uptime_ns,
+        scalars: snap
+            .scalars
+            .iter()
+            .map(|s| ScalarMetric { id: s.id, gauge: s.kind == MetricKind::Gauge, value: s.value })
+            .collect(),
+        histograms: snap
+            .histograms
+            .iter()
+            .map(|h| HistogramMetric {
+                id: h.id,
+                sum: h.snapshot.sum,
+                max: h.snapshot.max,
+                buckets: h.snapshot.buckets,
+            })
+            .collect(),
+    }
 }
 
 /// A running server: its bound address plus shutdown control.
@@ -108,6 +140,7 @@ pub fn serve(
             }
             match stream {
                 Ok(stream) => {
+                    metrics::SERVE_CONNECTIONS.inc();
                     let service = Arc::clone(&service);
                     let stop = Arc::clone(&accept_stop);
                     std::thread::spawn(move || {
@@ -147,12 +180,17 @@ fn handle_connection(
                 // Malformed frame: report and drop the connection (the
                 // stream position is unrecoverable). The embedded
                 // WireError already names the negotiated version.
+                metrics::SERVE_WIRE_ERRORS.inc();
+                metrics::SERVE_ERRORS.inc();
                 write_message(&mut writer, &error_message(0, e.to_string()))?;
                 writer.flush()?;
                 return Ok(());
             }
             Err(e) => return Err(e),
         };
+        // One span per inbound frame: decode already happened, so this
+        // covers dispatch, the response encode, and the flush.
+        let _handle_span = SpanTimer::start(&metrics::SERVE_HANDLE_NS);
         let response = match message {
             Message::Hello { id, version: client_version, capabilities: client_caps } => {
                 let (v, c) = negotiate(client_version, client_caps);
@@ -160,20 +198,25 @@ fn handle_connection(
                 caps = c;
                 Message::HelloAck { id, version: v, capabilities: c }
             }
-            Message::EstimateRequest { id, query } => match service.estimate(&query) {
-                Ok(est) => Message::EstimateResponse {
-                    id,
-                    estimate: est.cardinality,
-                    model_version: est.model_version,
-                    micro_batch: est.micro_batch,
-                    cache_hit: est.cache_hit,
-                },
-                Err(e) => error_message(id, e.to_string()),
-            },
+            Message::EstimateRequest { id, query } => {
+                metrics::SERVE_REQUESTS.inc();
+                let _span = SpanTimer::start(&metrics::SERVE_ESTIMATE_NS);
+                match service.estimate(&query) {
+                    Ok(est) => Message::EstimateResponse {
+                        id,
+                        estimate: est.cardinality,
+                        model_version: est.model_version,
+                        micro_batch: est.micro_batch,
+                        cache_hit: est.cache_hit,
+                    },
+                    Err(e) => error_message(id, e.to_string()),
+                }
+            }
             Message::Feedback { id, query, actual_card } => {
                 if caps & CAP_FEEDBACK == 0 {
                     error_message(id, "feedback capability not negotiated".into())
                 } else {
+                    let _span = SpanTimer::start(&metrics::SERVE_FEEDBACK_NS);
                     match service.feedback(&query, actual_card) {
                         Ok(est) => Message::FeedbackAck { id, model_version: est.model_version },
                         Err(e) => error_message(id, e.to_string()),
@@ -205,9 +248,20 @@ fn handle_connection(
                     }
                 }
             }
+            Message::MetricsRequest { id } => {
+                if caps & CAP_METRICS == 0 {
+                    error_message(id, "metrics capability not negotiated".into())
+                } else {
+                    metrics::SERVE_METRICS_REQUESTS.inc();
+                    metrics_snapshot(service, id)
+                }
+            }
             Message::Ping { id } => Message::Pong { id },
             other => error_message(0, format!("unexpected client frame: {other:?}")),
         };
+        if matches!(response, Message::Error { .. }) {
+            metrics::SERVE_ERRORS.inc();
+        }
         write_message(&mut writer, &response)?;
         writer.flush()?;
         if stop.load(Ordering::SeqCst) {

@@ -36,6 +36,7 @@ use std::thread::JoinHandle;
 
 use lc_core::train_incremental;
 use lc_engine::{Database, SampleSet};
+use lc_obs::{metrics, RateLimitedLog, SpanTimer};
 use lc_query::{annotate_query, Query};
 
 use crate::batcher::{BatchStats, BatchedEstimate, MicroBatcher};
@@ -178,6 +179,7 @@ impl EstimationService {
             let version = self.registry.active_version();
             query_key.extend_from_slice(&version.to_le_bytes());
             if let Some(cardinality) = self.cache.get(&query_key) {
+                metrics::CACHE_HITS.inc();
                 return PendingEstimate {
                     service: self,
                     state: PendingState::Ready(Estimate {
@@ -189,6 +191,7 @@ impl EstimationService {
                 };
             }
             query_key.truncate(query_key.len() - 4);
+            metrics::CACHE_MISSES.inc();
         }
         let annotated = annotate_query(&self.db, &self.samples, query.clone());
         let rx = self.batcher.submit(annotated);
@@ -212,6 +215,7 @@ impl EstimationService {
     /// Returns the estimate the current model gave, whose
     /// `model_version` the feedback ack reports back to the client.
     pub fn feedback(&self, query: &Query, actual_card: u64) -> Result<Estimate, ServeError> {
+        metrics::SERVE_FEEDBACK.inc();
         let estimate = self.estimate(query)?;
         let corpus_entry = (actual_card >= 1).then(|| {
             let mut labeled = annotate_query(&self.db, &self.samples, query.clone());
@@ -225,6 +229,7 @@ impl EstimationService {
             corpus_entry,
         );
         if decision == DriftDecision::Retrain {
+            metrics::DRIFT_TRIPS.inc();
             self.schedule_retrain();
         }
         Ok(estimate)
@@ -252,6 +257,7 @@ impl EstimationService {
                 // Catch panics so a failed retrain can never wedge the
                 // in-flight flag (which would silently disable
                 // self-healing for the rest of the process).
+                let span = SpanTimer::start(&metrics::RETRAIN_NS);
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     let corpus = drift.corpus_snapshot();
                     if !corpus.is_empty() {
@@ -262,9 +268,24 @@ impl EstimationService {
                         drift.on_publish();
                     }
                 }));
+                drop(span);
                 in_flight.store(false, Ordering::Release);
-                if result.is_err() {
-                    eprintln!("lc-serve: background retrain panicked; model not updated");
+                match result {
+                    Ok(()) => metrics::RETRAIN_SUCCESS.inc(),
+                    Err(_) => {
+                        // The counter records every panic; the log line is
+                        // rate-limited so a persistently failing retrain
+                        // cannot flood stderr under sustained drift.
+                        metrics::RETRAIN_PANICS.inc();
+                        static PANIC_LOG: RateLimitedLog = RateLimitedLog::new();
+                        if PANIC_LOG.should_log(std::time::Duration::from_secs(5)) {
+                            eprintln!(
+                                "lc-serve: background retrain panicked; model not updated \
+                                 ({} panics total)",
+                                metrics::RETRAIN_PANICS.get()
+                            );
+                        }
+                    }
                 }
             })
             .expect("spawn retrainer thread");

@@ -18,7 +18,7 @@
 //! ping         := kind 4
 //! pong         := kind 5
 //!
-//! # protocol version 2 (kinds 6–13)
+//! # protocol version 2 (kinds 6–15)
 //! hello        := kind 6  | u8 version | u8 capabilities
 //! hello_ack    := kind 7  | u8 version | u8 capabilities (both negotiated)
 //! feedback     := kind 8  | u64 actual_card | canonical query encoding
@@ -28,11 +28,23 @@
 //!                         | u64 feedback_count | u16 n | n × template_stat
 //! drift_req    := kind 12
 //! drift_status := kind 13 | u8 retrain_in_flight | u16 n | n × template_drift
+//! metrics_req  := kind 14
+//! metrics      := kind 15 | u64 uptime_ns | u16 n | n × scalar_metric
+//!                         | u16 m | m × histogram_metric
 //!
 //! template_stat  := u32 template | u64 count | f64 mean_qerror
 //! template_drift := u32 template | u32 window_len | f64 rolling_qerror
 //!                 | u8 tripped
+//! scalar_metric  := u16 metric_id | u8 is_gauge | u64 value
+//! histogram_metric := u16 metric_id | u64 sum | u64 max
+//!                   | u64 mask | popcount(mask) × u64 bucket_count
 //! ```
+//!
+//! A histogram's 64 log₂ buckets travel sparsely: `mask` bit *i* is set
+//! iff bucket *i* is nonzero, and only the nonzero counts follow, in
+//! bucket order. The encoding is canonical — a zero count under a set
+//! mask bit is rejected as malformed — so encode → decode is exact and
+//! a re-encode is byte-identical.
 //!
 //! # Versioning and capabilities
 //!
@@ -80,8 +92,11 @@ pub const CAP_FEEDBACK: u8 = 1;
 pub const CAP_STATS: u8 = 1 << 1;
 /// Capability bit: the server answers [`Message::DriftStatusRequest`].
 pub const CAP_DRIFT: u8 = 1 << 2;
+/// Capability bit: the server answers [`Message::MetricsRequest`] with a
+/// full [`Message::MetricsSnapshot`] of the `lc_obs` catalog.
+pub const CAP_METRICS: u8 = 1 << 3;
 /// Every capability this build implements.
-pub const CAPABILITIES: u8 = CAP_FEEDBACK | CAP_STATS | CAP_DRIFT;
+pub const CAPABILITIES: u8 = CAP_FEEDBACK | CAP_STATS | CAP_DRIFT | CAP_METRICS;
 
 /// Negotiate a hello: the connection runs at the *minimum* of the two
 /// protocol versions and the *intersection* of the capability sets.
@@ -223,7 +238,36 @@ pub struct TemplateDrift {
     pub tripped: bool,
 }
 
-/// One protocol message. Kinds 1–5 are protocol v1; 6–13 need v2.
+/// One counter or gauge value in a [`Message::MetricsSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScalarMetric {
+    /// Index into the server's `lc_obs::CATALOG` (resolve names with
+    /// `lc_obs::metric_name`).
+    pub id: u16,
+    /// True for a gauge (instantaneous), false for a counter
+    /// (monotonic).
+    pub gauge: bool,
+    /// The value at snapshot time.
+    pub value: u64,
+}
+
+/// One histogram state in a [`Message::MetricsSnapshot`]: the full
+/// log₂-bucket counts plus exact sum and max, enough for a client to
+/// compute count, mean, and quantiles — and, by differencing two
+/// snapshots, interval rates and interval percentiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramMetric {
+    /// Index into the server's `lc_obs::CATALOG`.
+    pub id: u16,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Per-bucket counts: bucket `i` counted values in `[2^i, 2^(i+1))`.
+    pub buckets: [u64; 64],
+}
+
+/// One protocol message. Kinds 1–5 are protocol v1; 6–15 need v2.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
     /// Client → server: estimate the cardinality of `query`. (v1)
@@ -337,6 +381,24 @@ pub enum Message {
         /// Per-join-template window snapshots.
         templates: Vec<TemplateDrift>,
     },
+    /// Client → server: ask for a full metrics snapshot (requires
+    /// [`CAP_METRICS`]). (v2)
+    MetricsRequest {
+        /// Echo token.
+        id: u64,
+    },
+    /// Server → client: every metric in the server's `lc_obs` catalog
+    /// at one instant. (v2)
+    MetricsSnapshot {
+        /// Token of the request this answers.
+        id: u64,
+        /// Nanoseconds the server process has been up.
+        uptime_ns: u64,
+        /// Every counter and gauge, in catalog-id order.
+        scalars: Vec<ScalarMetric>,
+        /// Every histogram, in catalog-id order.
+        histograms: Vec<HistogramMetric>,
+    },
 }
 
 /// The lowest protocol version that defines kind tag `kind`, or `None`
@@ -344,7 +406,7 @@ pub enum Message {
 fn kind_min_version(kind: u8) -> Option<u8> {
     match kind {
         1..=5 => Some(PROTOCOL_V1),
-        6..=13 => Some(PROTOCOL_VERSION),
+        6..=15 => Some(PROTOCOL_VERSION),
         _ => None,
     }
 }
@@ -382,6 +444,8 @@ impl Message {
             Message::Stats { .. } => 11,
             Message::DriftStatusRequest { .. } => 12,
             Message::DriftStatus { .. } => 13,
+            Message::MetricsRequest { .. } => 14,
+            Message::MetricsSnapshot { .. } => 15,
         }
     }
 
@@ -416,7 +480,8 @@ impl Message {
             Message::Ping { id }
             | Message::Pong { id }
             | Message::StatsRequest { id }
-            | Message::DriftStatusRequest { id } => {
+            | Message::DriftStatusRequest { id }
+            | Message::MetricsRequest { id } => {
                 buf.put_u64_le(*id);
             }
             Message::Hello { id, version, capabilities }
@@ -455,6 +520,32 @@ impl Message {
                     buf.put_u32_le(t.window_len);
                     buf.put_f64_le(t.rolling_qerror);
                     buf.put_u8(u8::from(t.tripped));
+                }
+            }
+            Message::MetricsSnapshot { id, uptime_ns, scalars, histograms } => {
+                buf.put_u64_le(*id);
+                buf.put_u64_le(*uptime_ns);
+                buf.put_u16_le(scalars.len() as u16);
+                for s in scalars {
+                    buf.put_u16_le(s.id);
+                    buf.put_u8(u8::from(s.gauge));
+                    buf.put_u64_le(s.value);
+                }
+                buf.put_u16_le(histograms.len() as u16);
+                for h in histograms {
+                    buf.put_u16_le(h.id);
+                    buf.put_u64_le(h.sum);
+                    buf.put_u64_le(h.max);
+                    let mut mask = 0u64;
+                    for (i, &count) in h.buckets.iter().enumerate() {
+                        if count != 0 {
+                            mask |= 1 << i;
+                        }
+                    }
+                    buf.put_u64_le(mask);
+                    for &count in h.buckets.iter().filter(|&&count| count != 0) {
+                        buf.put_u64_le(count);
+                    }
                 }
             }
         }
@@ -590,6 +681,49 @@ impl Message {
                     })
                     .collect::<Result<Vec<_>, _>>()?;
                 Message::DriftStatus { id, retrain_in_flight, templates }
+            }
+            14 => Message::MetricsRequest { id },
+            15 => {
+                need(buf, 8 + 2, "metrics header", version)?;
+                let uptime_ns = buf.get_u64_le();
+                let n = buf.get_u16_le() as usize;
+                need(buf, n * (2 + 1 + 8), "metrics scalars", version)?;
+                let scalars = (0..n)
+                    .map(|_| -> Result<ScalarMetric, WireError> {
+                        let metric_id = buf.get_u16_le();
+                        let gauge = get_bool(&mut buf, "scalar metric kind", version)?;
+                        Ok(ScalarMetric { id: metric_id, gauge, value: buf.get_u64_le() })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                need(buf, 2, "metrics histogram count", version)?;
+                let n = buf.get_u16_le() as usize;
+                let mut histograms = Vec::with_capacity(n.min(256));
+                for _ in 0..n {
+                    need(buf, 2 + 8 + 8 + 8, "histogram metric header", version)?;
+                    let metric_id = buf.get_u16_le();
+                    let sum = buf.get_u64_le();
+                    let max = buf.get_u64_le();
+                    let mask = buf.get_u64_le();
+                    need(buf, mask.count_ones() as usize * 8, "histogram buckets", version)?;
+                    let mut buckets = [0u64; 64];
+                    for (i, bucket) in buckets.iter_mut().enumerate() {
+                        if mask & (1 << i) != 0 {
+                            let count = buf.get_u64_le();
+                            if count == 0 {
+                                return Err(WireError::Malformed {
+                                    version,
+                                    detail: format!(
+                                        "histogram metric {metric_id}: zero count under set mask \
+                                         bit {i} (non-canonical encoding)"
+                                    ),
+                                });
+                            }
+                            *bucket = count;
+                        }
+                    }
+                    histograms.push(HistogramMetric { id: metric_id, sum, max, buckets });
+                }
+                Message::MetricsSnapshot { id, uptime_ns, scalars, histograms }
             }
             t => unreachable!("kind {t} passed the version gate but has no decoder"),
         };
@@ -746,6 +880,31 @@ mod tests {
                 }],
             },
             Message::DriftStatus { id: 32, retrain_in_flight: false, templates: vec![] },
+            Message::MetricsRequest { id: 41 },
+            Message::MetricsSnapshot {
+                id: 41,
+                uptime_ns: 5_000_000_000,
+                scalars: vec![
+                    ScalarMetric { id: 0, gauge: false, value: 12_345 },
+                    ScalarMetric { id: 14, gauge: true, value: 7 },
+                ],
+                histograms: vec![
+                    HistogramMetric { id: 18, sum: 0, max: 0, buckets: [0; 64] },
+                    HistogramMetric {
+                        id: 19,
+                        sum: u64::MAX,
+                        max: u64::MAX,
+                        buckets: {
+                            let mut b = [0u64; 64];
+                            b[0] = 3;
+                            b[17] = 1_000_000;
+                            b[63] = 1;
+                            b
+                        },
+                    },
+                ],
+            },
+            Message::MetricsSnapshot { id: 42, uptime_ns: 0, scalars: vec![], histograms: vec![] },
         ]
     }
 
@@ -850,6 +1009,7 @@ mod tests {
             Message::Feedback { id: 2, query: sample_query(), actual_card: 10 },
             Message::StatsRequest { id: 3 },
             Message::DriftStatusRequest { id: 4 },
+            Message::MetricsRequest { id: 5 },
         ];
         for message in &v2_only {
             let body = &message.to_bytes()[4..];
@@ -901,6 +1061,41 @@ mod tests {
         let drift = Message::DriftStatus { id: 1, retrain_in_flight: false, templates: vec![] };
         let mut body = drift.to_bytes()[4..].to_vec();
         body[9] = 7; // retrain_in_flight must be 0|1
+        assert!(matches!(
+            Message::decode_body(&body, PROTOCOL_VERSION),
+            Err(WireError::Malformed { .. })
+        ));
+    }
+
+    /// The sparse histogram encoding is canonical: a zero bucket count
+    /// under a set mask bit must be rejected, not silently accepted.
+    #[test]
+    fn non_canonical_histogram_encoding_is_malformed() {
+        let mut buckets = [0u64; 64];
+        buckets[5] = 9;
+        let snap = Message::MetricsSnapshot {
+            id: 1,
+            uptime_ns: 100,
+            scalars: vec![],
+            histograms: vec![HistogramMetric { id: 20, sum: 300, max: 40, buckets }],
+        };
+        let mut body = snap.to_bytes()[4..].to_vec();
+        // The single bucket count is the last 8 bytes of the body.
+        let tail = body.len() - 8;
+        body[tail..].copy_from_slice(&0u64.to_le_bytes());
+        let err = Message::decode_body(&body, PROTOCOL_VERSION).unwrap_err();
+        assert!(matches!(err, WireError::Malformed { .. }), "{err}");
+        assert!(err.to_string().contains("non-canonical"));
+        // A bad scalar kind byte (not 0|1) is also malformed.
+        let scalar = Message::MetricsSnapshot {
+            id: 1,
+            uptime_ns: 100,
+            scalars: vec![ScalarMetric { id: 0, gauge: false, value: 1 }],
+            histograms: vec![],
+        };
+        let mut body = scalar.to_bytes()[4..].to_vec();
+        // kind(1) + id(8) + uptime(8) + count(2) + metric id(2) = offset 21.
+        body[21] = 2;
         assert!(matches!(
             Message::decode_body(&body, PROTOCOL_VERSION),
             Err(WireError::Malformed { .. })
@@ -992,8 +1187,39 @@ mod tests {
             .collect()
     }
 
+    fn arb_scalar_metrics(rng: &mut SmallRng) -> Vec<ScalarMetric> {
+        (0..rng.gen_range(0..24usize))
+            .map(|_| ScalarMetric {
+                id: rng.gen_range(0u16..=u16::MAX),
+                gauge: rng.gen_bool(0.5),
+                value: rng.gen_range(0u64..=u64::MAX),
+            })
+            .collect()
+    }
+
+    fn arb_histogram_metrics(rng: &mut SmallRng) -> Vec<HistogramMetric> {
+        (0..rng.gen_range(0..12usize))
+            .map(|_| {
+                let mut buckets = [0u64; 64];
+                for bucket in buckets.iter_mut() {
+                    // ~25% of buckets populated; zero buckets stay off
+                    // the wire, which is exactly the canonical form.
+                    if rng.gen_bool(0.25) {
+                        *bucket = rng.gen_range(1u64..=u64::MAX);
+                    }
+                }
+                HistogramMetric {
+                    id: rng.gen_range(0u16..=u16::MAX),
+                    sum: rng.gen_range(0u64..=u64::MAX),
+                    max: rng.gen_range(0u64..=u64::MAX),
+                    buckets,
+                }
+            })
+            .collect()
+    }
+
     /// Generator covering every arm of the v2 protocol: `arm` picks the
-    /// variant (so all 13 are exercised no matter what the RNG draws),
+    /// variant (so all 15 are exercised no matter what the RNG draws),
     /// `rng` fills in the fields.
     fn arb_message(arm: usize, rng: &mut SmallRng) -> Message {
         let id = rng.gen_range(0u64..=u64::MAX);
@@ -1039,6 +1265,13 @@ mod tests {
                 retrain_in_flight: rng.gen_bool(0.5),
                 templates: arb_template_drifts(rng),
             },
+            13 => Message::MetricsRequest { id },
+            14 => Message::MetricsSnapshot {
+                id,
+                uptime_ns: rng.gen_range(0u64..=u64::MAX),
+                scalars: arb_scalar_metrics(rng),
+                histograms: arb_histogram_metrics(rng),
+            },
             _ => unreachable!("arm out of range"),
         }
     }
@@ -1050,7 +1283,7 @@ mod tests {
         /// round trip byte-exactly, and every strict prefix of the frame
         /// is "incomplete", never an error or a wrong parse.
         #[test]
-        fn every_arm_roundtrips(arm in 0usize..13, seed in 0u64..u64::MAX) {
+        fn every_arm_roundtrips(arm in 0usize..15, seed in 0u64..u64::MAX) {
             let mut rng = SmallRng::seed_from_u64(seed);
             let message = arb_message(arm, &mut rng);
             let bytes = message.to_bytes();
