@@ -8,14 +8,23 @@
 //! pass per request, `max_batch: 64` coalesces all 64 requests into one
 //! ragged forward pass. `direct_inference_64` is the reference floor: raw
 //! annotation + per-query inference with no serving machinery at all.
+//!
+//! The `tcp_*` entries go through real sockets and the sharded reactor
+//! front (`lc_serve::serve`): `tcp_round_trip` is one closed-loop
+//! request on one connection — wire encode, readiness loop, incremental
+//! decode, shard batcher, response write — and `tcp_burst_64` pipelines
+//! one request down each of 64 idle connections and drains the
+//! responses, the open-loop burst shape the per-shard batcher coalesces.
 
+use std::net::TcpStream;
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lc_bench::BenchFixture;
 use lc_core::{train, FeatureMode, TrainConfig};
 use lc_query::{annotate_query, CardinalityEstimator, Query};
-use lc_serve::{BatcherConfig, CacheConfig, EstimationService, ModelRegistry, ServeConfig};
+use lc_serve::wire::{read_message, write_message, Message, CAPABILITIES, PROTOCOL_VERSION};
+use lc_serve::{serve, BatcherConfig, CacheConfig, EstimationService, ModelRegistry, ServeConfig};
 
 const BATCH: usize = 64;
 
@@ -105,7 +114,66 @@ fn bench_serve(c: &mut Criterion) {
             pending.wait().expect("estimate").cardinality
         })
     });
+
+    // Full-stack sockets: the same no-cache request path, but through
+    // the event-driven shard front instead of direct service calls.
+    let tcp_service = Arc::new(manual_service(
+        &f,
+        &registry,
+        BATCH,
+        CacheConfig { capacity: 0, ..CacheConfig::default() },
+    ));
+    let handle = serve(Arc::clone(&tcp_service), "127.0.0.1:0").expect("bind bench server");
+    let addr = handle.local_addr();
+    let connect = || {
+        let stream = TcpStream::connect(addr).expect("connect bench server");
+        stream.set_nodelay(true).expect("nodelay");
+        write_message(
+            &mut &stream,
+            &Message::Hello { id: 0, version: PROTOCOL_VERSION, capabilities: CAPABILITIES },
+        )
+        .expect("hello");
+        match read_message(&mut &stream, PROTOCOL_VERSION).expect("hello ack") {
+            Some(Message::HelloAck { .. }) => stream,
+            other => panic!("expected HelloAck, got {other:?}"),
+        }
+    };
+    let mut next_id = 0u64;
+    group.bench_function("tcp_round_trip", |b| {
+        let stream = connect();
+        b.iter(|| {
+            next_id += 1;
+            let query = queries[next_id as usize % BATCH].clone();
+            write_message(&mut &stream, &Message::EstimateRequest { id: next_id, query })
+                .expect("send");
+            match read_message(&mut &stream, PROTOCOL_VERSION).expect("recv") {
+                Some(Message::EstimateResponse { estimate, .. }) => estimate,
+                other => panic!("expected EstimateResponse, got {other:?}"),
+            }
+        })
+    });
+    group.bench_function("tcp_burst_64", |b| {
+        let conns: Vec<TcpStream> = (0..BATCH).map(|_| connect()).collect();
+        b.iter(|| {
+            let mut total = 0.0f64;
+            for (i, stream) in conns.iter().enumerate() {
+                next_id += 1;
+                let query = queries[i].clone();
+                write_message(&mut &*stream, &Message::EstimateRequest { id: next_id, query })
+                    .expect("send");
+            }
+            for stream in &conns {
+                match read_message(&mut &*stream, PROTOCOL_VERSION).expect("recv") {
+                    Some(Message::EstimateResponse { estimate, .. }) => total += estimate,
+                    other => panic!("expected EstimateResponse, got {other:?}"),
+                }
+            }
+            total
+        })
+    });
     group.finish();
+    handle.shutdown();
+    tcp_service.shutdown();
 }
 
 criterion_group! {

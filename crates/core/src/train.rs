@@ -474,6 +474,12 @@ impl Trainer {
                 }
             }
         }
+        // Re-derive each layer's cached Wᵀ once per step, so the next
+        // step's backward shards all reuse it instead of re-transposing
+        // per shard (bitwise-neutral; see Linear::refresh_transpose_cache).
+        for mlp in model.mlps_mut() {
+            mlp.refresh_transpose_cache();
+        }
         self.scratches[..num_shards].iter().map(|scr| scr.loss).sum::<f64>() / step.n as f64
     }
 

@@ -55,7 +55,7 @@ pub use linear::{Linear, LinearGrads};
 pub use loss::LossKind;
 pub use matrix::Matrix;
 pub use mlp::{FinalActivation, Mlp, MlpCache, MlpGrads};
-pub use pool::{threads_spawned, DisjointSliceMut, WorkerPool};
+pub use pool::{pin_thread_to_core, threads_spawned, DisjointSliceMut, WorkerPool};
 pub use runtime::{KernelChoice, RuntimeConfig};
 pub use scratch::Scratch;
 pub use sparse::SparseRows;

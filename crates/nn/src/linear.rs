@@ -64,6 +64,14 @@ pub struct Linear {
     w: Matrix,
     b: Vec<f32>,
     grads: LinearGrads,
+    /// Cached `Wᵀ` for the backward input-gradient product (see
+    /// [`Linear::refresh_transpose_cache`]). The buffer persists across
+    /// invalidations (resized in place), so steady-state training stays
+    /// allocation-free.
+    wt: Matrix,
+    /// Whether `wt` currently matches `w`. Any mutable access to the
+    /// parameters clears this; only an explicit refresh sets it.
+    wt_valid: bool,
 }
 
 impl Linear {
@@ -75,7 +83,22 @@ impl Linear {
             w: Matrix::from_vec(input, output, data),
             b: vec![0.0; output],
             grads: LinearGrads::zeros(input, output),
+            wt: Matrix::zeros(0, 0),
+            wt_valid: false,
         }
+    }
+
+    /// Recompute the cached `Wᵀ` from the current weights. The trainer
+    /// calls this once per optimizer step; every backward pass until the
+    /// next weight mutation then reuses the transpose instead of
+    /// re-materializing it per step (`matmul_transb_scratch` re-transposed
+    /// the weights on every call — ~10% of backward at high shard counts,
+    /// and once per shard rather than once per step). Bitwise-neutral:
+    /// the cached path feeds the *same* transposed operand to the *same*
+    /// kernel the scratch path uses.
+    pub fn refresh_transpose_cache(&mut self) {
+        self.w.transpose_into(&mut self.wt);
+        self.wt_valid = true;
     }
 
     /// Fresh zeroed external gradient buffers matching this layer.
@@ -202,9 +225,16 @@ impl Linear {
         scratch.put(xt);
         accumulate_bias_grads(grad_out, grads);
         if let Some(grad_in) = grad_in {
-            let mut wt = scratch.take(0, 0);
-            grad_out.matmul_transb_scratch(&self.w, grad_in, &mut wt);
-            scratch.put(wt);
+            if self.wt_valid {
+                // Cached-transpose fast path: identical operand, identical
+                // kernel, so bitwise-identical to the scratch transpose
+                // below — just without re-materializing `Wᵀ` per call.
+                grad_out.matmul_into(&self.wt, grad_in);
+            } else {
+                let mut wt = scratch.take(0, 0);
+                grad_out.matmul_transb_scratch(&self.w, grad_in, &mut wt);
+                scratch.put(wt);
+            }
         }
     }
 
@@ -216,7 +246,8 @@ impl Linear {
     /// Parameter/gradient pairs, weights first then bias — the order the
     /// optimizer and the serializer rely on.
     pub fn params_and_grads(&mut self) -> [(&mut [f32], &[f32]); 2] {
-        let Linear { w, b, grads } = self;
+        let Linear { w, b, grads, wt_valid, .. } = self;
+        *wt_valid = false; // caller may mutate the weights
         [(w.data_mut(), grads.w.data()), (b.as_mut_slice(), grads.b.as_slice())]
     }
 
@@ -224,7 +255,8 @@ impl Linear {
     /// pairs with [`LinearGrads::tensors`] in the external-gradient
     /// optimizer loop.
     pub fn params_mut(&mut self) -> [&mut [f32]; 2] {
-        let Linear { w, b, .. } = self;
+        let Linear { w, b, wt_valid, .. } = self;
+        *wt_valid = false; // caller may mutate the weights
         [w.data_mut(), b.as_mut_slice()]
     }
 
@@ -247,6 +279,7 @@ impl Linear {
         assert_eq!(b.len(), self.b.len(), "bias size mismatch");
         self.w = Matrix::from_vec(self.w.rows(), self.w.cols(), w);
         self.b = b;
+        self.wt_valid = false;
     }
 }
 
@@ -371,6 +404,60 @@ mod tests {
         layer.backward_scratch(&x, &ones, &mut leaf, None, &mut scratch);
         assert_eq!(leaf.w.data(), ext.w.data());
         assert_eq!(leaf.b, ext.b);
+    }
+
+    /// The cached-`Wᵀ` backward path must be bitwise-identical to the
+    /// per-call transpose path, and every weight-mutation entry point
+    /// must invalidate the cache.
+    #[test]
+    fn transpose_cache_is_bitwise_neutral_and_invalidated() {
+        let mut rng = SmallRng::seed_from_u64(19);
+        let mut layer = Linear::new(6, 4, &mut rng);
+        let x = Matrix::from_vec(3, 6, (0..18).map(|i| (i as f32 - 9.0) * 0.21).collect());
+        let grad_out = Matrix::from_vec(3, 4, (0..12).map(|i| 0.17 * i as f32 - 0.9).collect());
+        let mut scratch = crate::scratch::Scratch::new();
+
+        // Reference: the uncached path.
+        assert!(!layer.wt_valid, "fresh layers start uncached");
+        let mut cold = layer.new_grads();
+        let mut grad_in_cold = Matrix::zeros(0, 0);
+        layer.backward_scratch(&x, &grad_out, &mut cold, Some(&mut grad_in_cold), &mut scratch);
+
+        // Cached path: same bits, and the scratch pool is not touched
+        // for the transpose (only the xt temporary returns).
+        layer.refresh_transpose_cache();
+        assert!(layer.wt_valid);
+        let mut warm = layer.new_grads();
+        let mut grad_in_warm = Matrix::zeros(0, 0);
+        layer.backward_scratch(&x, &grad_out, &mut warm, Some(&mut grad_in_warm), &mut scratch);
+        assert_eq!(grad_in_warm.data(), grad_in_cold.data(), "input grads must match bitwise");
+        assert_eq!(warm.w.data(), cold.w.data());
+        assert_eq!(warm.b, cold.b);
+
+        // Every mutable-parameter entry point invalidates.
+        layer.refresh_transpose_cache();
+        let _ = layer.params_mut();
+        assert!(!layer.wt_valid, "params_mut must invalidate");
+        layer.refresh_transpose_cache();
+        let _ = layer.params_and_grads();
+        assert!(!layer.wt_valid, "params_and_grads must invalidate");
+        layer.refresh_transpose_cache();
+        let (w, b) = (layer.weights().data().to_vec(), layer.bias().to_vec());
+        layer.load(w, b);
+        assert!(!layer.wt_valid, "load must invalidate");
+
+        // A stale cache is never consulted: mutate a weight through
+        // params_mut, then check the fallback path sees the new value.
+        layer.refresh_transpose_cache();
+        layer.params_mut()[0][0] += 1.0;
+        let mut after = layer.new_grads();
+        let mut grad_in_after = Matrix::zeros(0, 0);
+        layer.backward_scratch(&x, &grad_out, &mut after, Some(&mut grad_in_after), &mut scratch);
+        let mut expect = Matrix::zeros(0, 0);
+        let mut tmp = Matrix::zeros(0, 0);
+        grad_out.matmul_transb_scratch(layer.weights(), &mut expect, &mut tmp);
+        assert_eq!(grad_in_after.data(), expect.data(), "stale cache must not be used");
+        assert_ne!(grad_in_after.data(), grad_in_cold.data(), "weight change must show through");
     }
 
     #[test]

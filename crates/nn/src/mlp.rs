@@ -216,6 +216,15 @@ impl Mlp {
         scratch.put(grad_hidden);
     }
 
+    /// Recompute both layers' cached `Wᵀ` (see
+    /// [`Linear::refresh_transpose_cache`]) — called by the trainer after
+    /// each optimizer step so every backward pass until the next update
+    /// reuses the transposes instead of re-materializing them.
+    pub fn refresh_transpose_cache(&mut self) {
+        self.l1.refresh_transpose_cache();
+        self.l2.refresh_transpose_cache();
+    }
+
     /// Fresh zeroed external gradient buffers matching this module.
     pub fn new_grads(&self) -> MlpGrads {
         MlpGrads { l1: self.l1.new_grads(), l2: self.l2.new_grads() }

@@ -277,12 +277,23 @@ fn worker_loop(shared: &'static Shared, id: usize) {
 /// Best-effort: pin the calling thread to core `id % cores`. No-op on
 /// single-core hosts, when [`RuntimeConfig`](crate::RuntimeConfig)
 /// disables pinning (`LC_PIN_WORKERS=0`), and off Linux/x86-64.
-fn pin_self(id: usize) {
+///
+/// Public so other subsystems with a thread-per-core layout (`lc-serve`'s
+/// reactor shards) share the pool's affinity policy — same modular core
+/// assignment, same `LC_PIN_WORKERS` off-switch. Returns whether the
+/// kernel accepted the mask (false covers every no-op case too).
+pub fn pin_thread_to_core(id: usize) -> bool {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     if cores <= 1 || !crate::runtime::RuntimeConfig::global().pin_workers {
-        return;
+        return false;
     }
-    let _ = pin_to_cpu(id % cores);
+    pin_to_cpu(id % cores)
+}
+
+/// Worker-spawn wrapper around [`pin_thread_to_core`], discarding the
+/// best-effort result.
+fn pin_self(id: usize) {
+    let _ = pin_thread_to_core(id);
 }
 
 /// Raw `sched_setaffinity(0, ...)` for the calling thread (pid 0 =

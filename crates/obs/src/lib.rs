@@ -420,12 +420,52 @@ define_catalog! {
         REGISTRY_PUBLISHES => "registry.publishes",
         TRAIN_EPOCHS => "train.epochs",
         POOL_DISPATCHES => "pool.dispatches",
+        SHARD0_ACCEPTED => "serve.shard0.accepted",
+        SHARD0_SHED => "serve.shard0.shed",
+        SHARD0_WAKEUPS => "serve.shard0.wakeups",
+        SHARD1_ACCEPTED => "serve.shard1.accepted",
+        SHARD1_SHED => "serve.shard1.shed",
+        SHARD1_WAKEUPS => "serve.shard1.wakeups",
+        SHARD2_ACCEPTED => "serve.shard2.accepted",
+        SHARD2_SHED => "serve.shard2.shed",
+        SHARD2_WAKEUPS => "serve.shard2.wakeups",
+        SHARD3_ACCEPTED => "serve.shard3.accepted",
+        SHARD3_SHED => "serve.shard3.shed",
+        SHARD3_WAKEUPS => "serve.shard3.wakeups",
+        SHARD4_ACCEPTED => "serve.shard4.accepted",
+        SHARD4_SHED => "serve.shard4.shed",
+        SHARD4_WAKEUPS => "serve.shard4.wakeups",
+        SHARD5_ACCEPTED => "serve.shard5.accepted",
+        SHARD5_SHED => "serve.shard5.shed",
+        SHARD5_WAKEUPS => "serve.shard5.wakeups",
+        SHARD6_ACCEPTED => "serve.shard6.accepted",
+        SHARD6_SHED => "serve.shard6.shed",
+        SHARD6_WAKEUPS => "serve.shard6.wakeups",
+        SHARD7_ACCEPTED => "serve.shard7.accepted",
+        SHARD7_SHED => "serve.shard7.shed",
+        SHARD7_WAKEUPS => "serve.shard7.wakeups",
     }
     gauges {
         MODEL_VERSION => "registry.active_version",
         CACHE_ENTRIES => "cache.entries",
         BATCH_QUEUE_DEPTH => "batcher.queue_depth",
         POOL_WORKERS => "pool.workers",
+        SHARD0_CONNECTIONS => "serve.shard0.connections",
+        SHARD0_INFLIGHT => "serve.shard0.inflight",
+        SHARD1_CONNECTIONS => "serve.shard1.connections",
+        SHARD1_INFLIGHT => "serve.shard1.inflight",
+        SHARD2_CONNECTIONS => "serve.shard2.connections",
+        SHARD2_INFLIGHT => "serve.shard2.inflight",
+        SHARD3_CONNECTIONS => "serve.shard3.connections",
+        SHARD3_INFLIGHT => "serve.shard3.inflight",
+        SHARD4_CONNECTIONS => "serve.shard4.connections",
+        SHARD4_INFLIGHT => "serve.shard4.inflight",
+        SHARD5_CONNECTIONS => "serve.shard5.connections",
+        SHARD5_INFLIGHT => "serve.shard5.inflight",
+        SHARD6_CONNECTIONS => "serve.shard6.connections",
+        SHARD6_INFLIGHT => "serve.shard6.inflight",
+        SHARD7_CONNECTIONS => "serve.shard7.connections",
+        SHARD7_INFLIGHT => "serve.shard7.inflight",
     }
     histograms {
         SERVE_HANDLE_NS => "serve.handle_ns",
@@ -444,6 +484,63 @@ define_catalog! {
 /// The name of metric `id`, if this build defines it.
 pub fn metric_name(id: u16) -> Option<&'static str> {
     CATALOG.get(usize::from(id)).map(|def| def.name)
+}
+
+/// Number of reactor shards the catalog pre-declares metrics for. The
+/// catalog is static, so the per-shard entries are fixed at build time;
+/// a front running more shards than this folds shard `i` onto entry
+/// `i % MAX_SHARDS` (see [`shard_metrics`]), trading per-shard
+/// attribution for the same zero-allocation recording guarantee.
+pub const MAX_SHARDS: usize = 8;
+
+/// The statics one reactor shard of the serving front records into,
+/// bundled so the shard resolves them once at startup instead of
+/// matching on its index per event.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardMetrics {
+    /// Connections this shard accepted (`serve.shardN.accepted`).
+    pub accepted: &'static Counter,
+    /// Requests refused by admission control (`serve.shardN.shed`).
+    pub shed: &'static Counter,
+    /// Readiness wake-ups, i.e. poll returns with at least one event
+    /// (`serve.shardN.wakeups`).
+    pub wakeups: &'static Counter,
+    /// Connections currently owned by this shard
+    /// (`serve.shardN.connections`).
+    pub connections: &'static Gauge,
+    /// Estimate requests admitted but not yet answered
+    /// (`serve.shardN.inflight`).
+    pub inflight: &'static Gauge,
+}
+
+static SHARD_METRICS: [ShardMetrics; MAX_SHARDS] = {
+    macro_rules! shard {
+        ($a:ident, $s:ident, $w:ident, $c:ident, $i:ident) => {
+            ShardMetrics {
+                accepted: &metrics::$a,
+                shed: &metrics::$s,
+                wakeups: &metrics::$w,
+                connections: &metrics::$c,
+                inflight: &metrics::$i,
+            }
+        };
+    }
+    [
+        shard!(SHARD0_ACCEPTED, SHARD0_SHED, SHARD0_WAKEUPS, SHARD0_CONNECTIONS, SHARD0_INFLIGHT),
+        shard!(SHARD1_ACCEPTED, SHARD1_SHED, SHARD1_WAKEUPS, SHARD1_CONNECTIONS, SHARD1_INFLIGHT),
+        shard!(SHARD2_ACCEPTED, SHARD2_SHED, SHARD2_WAKEUPS, SHARD2_CONNECTIONS, SHARD2_INFLIGHT),
+        shard!(SHARD3_ACCEPTED, SHARD3_SHED, SHARD3_WAKEUPS, SHARD3_CONNECTIONS, SHARD3_INFLIGHT),
+        shard!(SHARD4_ACCEPTED, SHARD4_SHED, SHARD4_WAKEUPS, SHARD4_CONNECTIONS, SHARD4_INFLIGHT),
+        shard!(SHARD5_ACCEPTED, SHARD5_SHED, SHARD5_WAKEUPS, SHARD5_CONNECTIONS, SHARD5_INFLIGHT),
+        shard!(SHARD6_ACCEPTED, SHARD6_SHED, SHARD6_WAKEUPS, SHARD6_CONNECTIONS, SHARD6_INFLIGHT),
+        shard!(SHARD7_ACCEPTED, SHARD7_SHED, SHARD7_WAKEUPS, SHARD7_CONNECTIONS, SHARD7_INFLIGHT),
+    ]
+};
+
+/// The metrics bundle for reactor shard `shard` (folded modulo
+/// [`MAX_SHARDS`]).
+pub fn shard_metrics(shard: usize) -> &'static ShardMetrics {
+    &SHARD_METRICS[shard % MAX_SHARDS]
 }
 
 /// One counter or gauge value in a [`Snapshot`].
@@ -645,6 +742,28 @@ mod tests {
         let handle =
             snap.histograms.iter().find(|h| metric_name(h.id) == Some("serve.handle_ns")).unwrap();
         assert!(handle.snapshot.count() >= 1);
+    }
+
+    #[test]
+    fn shard_metrics_resolve_catalog_entries_and_fold() {
+        for shard in 0..MAX_SHARDS {
+            let m = shard_metrics(shard);
+            // The bundle points at the catalog entries carrying the
+            // shard's name, so the wire ids resolve to the right rows.
+            let accepted_name = format!("serve.shard{shard}.accepted");
+            let id = CATALOG
+                .iter()
+                .position(|def| def.name == accepted_name)
+                .expect("per-shard counter in catalog");
+            match CATALOG[id].metric {
+                MetricRef::Counter(c) => assert!(std::ptr::eq(c, m.accepted)),
+                _ => panic!("accepted must be a counter"),
+            }
+        }
+        // Out-of-range shards fold instead of panicking.
+        assert!(std::ptr::eq(shard_metrics(MAX_SHARDS + 3).shed, shard_metrics(3).shed));
+        shard_metrics(2).connections.set(41);
+        assert_eq!(metrics::SHARD2_CONNECTIONS.get(), 41);
     }
 
     #[test]

@@ -183,6 +183,11 @@ impl MicroBatcher {
         run_batch(&self.shared, &self.registry, batch)
     }
 
+    /// The flush policy this batcher was built with.
+    pub fn config(&self) -> BatcherConfig {
+        self.config
+    }
+
     /// Aggregate request/batch counters.
     pub fn stats(&self) -> BatchStats {
         BatchStats {

@@ -228,6 +228,32 @@ fn render(
         sample.scalar("batcher.queue_depth"),
         batch.mean(),
     )?;
+    // Reactor shards: per-shard counters folded into one row (shards
+    // beyond lc_obs::MAX_SHARDS share the last slot server-side). A
+    // shard is "active" once any of its counters or gauges moved.
+    let mut active = 0usize;
+    let (mut conns, mut inflight, mut accepted, mut shed, mut wakeups) = (0, 0, 0, 0, 0u64);
+    for i in 0..lc_obs::MAX_SHARDS {
+        let read = |field: &str| sample.scalar(&format!("serve.shard{i}.{field}"));
+        let rate = |field: &str| delta(&format!("serve.shard{i}.{field}"));
+        let (c, f) = (read("connections"), read("inflight"));
+        let (a, s, w) = (read("accepted"), read("shed"), read("wakeups"));
+        if c + f + a + s + w > 0 {
+            active += 1;
+        }
+        conns += c;
+        inflight += f;
+        accepted += a;
+        shed += s;
+        wakeups += rate("wakeups");
+    }
+    writeln!(
+        out,
+        "shards   active {active}/{}   conns {conns}   inflight {inflight}   accepted \
+         {accepted}   shed {shed}   wakeups/s {:.1}",
+        lc_obs::MAX_SHARDS,
+        wakeups as f64 / interval_s,
+    )?;
     writeln!(out)?;
     writeln!(out, "  stage        count      p50 µs      p95 µs      p99 µs      max µs")?;
     for (label, metric) in STAGES {
@@ -383,6 +409,13 @@ mod tests {
             "pool.workers",
         ] {
             id_of(name);
+        }
+        // Every name the shards row synthesizes must exist for every
+        // shard index up to the fold limit.
+        for i in 0..lc_obs::MAX_SHARDS {
+            for field in ["accepted", "shed", "wakeups", "connections", "inflight"] {
+                id_of(&format!("serve.shard{i}.{field}"));
+            }
         }
     }
 }

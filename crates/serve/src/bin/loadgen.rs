@@ -1,10 +1,17 @@
-//! `loadgen` — closed-loop load generator for the `serve` binary.
+//! `loadgen` — load generator for the `serve` binary.
 //!
 //! Opens `--connections` TCP connections, drives `--requests` total
 //! estimation requests through them closed-loop, and prints a QPS /
 //! latency / cache report. The final stdout line is machine-readable
 //! (`RESULT qps=… requests=… errors=…`) for CI smoke checks. Exits
 //! non-zero if any request failed or the run produced no throughput.
+//!
+//! With `--open-loop` the traffic shape inverts: all `--connections`
+//! are opened up front and held mostly idle (the 10k-connection case
+//! the sharded server front exists for) while requests arrive at the
+//! fixed total rate `--qps`, in bursts of `--burst`. Overload then
+//! shows up as `shed=` in the report — `Busy`/retry frames from the
+//! server's admission control — never as errors or unbounded queueing.
 //!
 //! With `--shift` the run becomes the self-healing demo: workers
 //! negotiate protocol v2, report execution feedback after every
@@ -26,6 +33,12 @@
 //! * `--shift`            run the drift/self-healing demo
 //! * `--shift-at X`       fraction of requests before the shift (default 0.4)
 //! * `--shift-joins N`    joins per post-shift query (default 3)
+//! * `--open-loop`        hold all connections open, inject at a fixed
+//!   rate (mutually exclusive with `--shift`)
+//! * `--qps N`            open-loop total request rate, 0 = unthrottled
+//!   (default 1000)
+//! * `--burst N`          open-loop requests injected per pacing tick
+//!   (default 32)
 //! * `--json`             print the report as one JSON object instead of
 //!   the human-readable text + `RESULT` trailer
 
@@ -35,9 +48,18 @@ use std::time::Duration;
 use lc_serve::flags::get;
 use lc_serve::LoadgenConfig;
 
-const FLAGS: &[&str] =
-    &["addr", "requests", "connections", "max-joins", "seed", "shift-at", "shift-joins"];
-const SWITCHES: &[&str] = &["shift", "json"];
+const FLAGS: &[&str] = &[
+    "addr",
+    "requests",
+    "connections",
+    "max-joins",
+    "seed",
+    "shift-at",
+    "shift-joins",
+    "qps",
+    "burst",
+];
+const SWITCHES: &[&str] = &["shift", "open-loop", "json"];
 
 fn main() {
     if let Err(message) = run() {
@@ -59,13 +81,29 @@ fn run() -> Result<(), String> {
         shift: get(&flags, "shift", false)?,
         shift_at: get(&flags, "shift-at", defaults.shift_at)?,
         shift_joins: get(&flags, "shift-joins", defaults.shift_joins)?,
+        open_loop: get(&flags, "open-loop", false)?,
+        qps: get(&flags, "qps", defaults.qps)?,
+        burst: get(&flags, "burst", defaults.burst)?,
     };
+    if config.open_loop && config.shift {
+        return Err("--open-loop and --shift are mutually exclusive".into());
+    }
     eprintln!(
         "loadgen: {} requests over {} connections against {}{} ...",
         config.requests,
         config.connections,
         config.addr,
-        if config.shift {
+        if config.open_loop {
+            format!(
+                " (open-loop at {}, bursts of {})",
+                if config.qps == 0 {
+                    "unthrottled rate".into()
+                } else {
+                    format!("{} QPS", config.qps)
+                },
+                config.burst
+            )
+        } else if config.shift {
             format!(
                 " (shift to {}-join queries at {:.0}%)",
                 config.shift_joins,

@@ -25,6 +25,13 @@
 //! * `--max-batch N`       micro-batch size bound          (default 64)
 //! * `--max-delay-us N`    micro-batch hard flush bound    (default 200)
 //! * `--workers N`         inference worker threads        (default 1)
+//! * `--shards N`          reactor shards, 0 = one per core (default 0)
+//! * `--max-conns N`       open-connection cap, 0 = unlimited
+//!   (default 65536)
+//! * `--inflight-budget N` per-shard estimates in flight before
+//!   shedding, 0 = never shed               (default 1024)
+//! * `--retry-after-ms N`  retry hint carried by shed Busy frames
+//!   (default 20)
 //! * `--drift-window N`    rolling q-error window per template (default 64)
 //! * `--drift-min-samples N`  observations before a window may trip
 //!   (default 32)
@@ -47,7 +54,8 @@ use lc_imdb::ImdbConfig;
 use lc_query::workloads;
 use lc_serve::flags::get;
 use lc_serve::{
-    serve, BatcherConfig, CacheConfig, DriftConfig, EstimationService, ModelRegistry, ServeConfig,
+    serve, BatcherConfig, CacheConfig, DriftConfig, EstimationService, FrontConfig, ModelRegistry,
+    ServeConfig,
 };
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -66,6 +74,10 @@ const FLAGS: &[&str] = &[
     "max-batch",
     "max-delay-us",
     "workers",
+    "shards",
+    "max-conns",
+    "inflight-budget",
+    "retry-after-ms",
     "drift-window",
     "drift-min-samples",
     "drift-threshold",
@@ -96,6 +108,11 @@ fn run() -> Result<(), String> {
     let max_batch: usize = get(&flags, "max-batch", 64)?;
     let max_delay_us: u64 = get(&flags, "max-delay-us", 200)?;
     let workers: usize = get(&flags, "workers", 1)?;
+    let front_defaults = FrontConfig::default();
+    let shards: usize = get(&flags, "shards", front_defaults.shards)?;
+    let max_conns: usize = get(&flags, "max-conns", front_defaults.max_connections)?;
+    let inflight_budget: usize = get(&flags, "inflight-budget", front_defaults.inflight_budget)?;
+    let retry_after_ms: u32 = get(&flags, "retry-after-ms", front_defaults.retry_after_ms)?;
     let drift_defaults = DriftConfig::default();
     let drift_window: usize = get(&flags, "drift-window", drift_defaults.window)?;
     let drift_min_samples: usize = get(&flags, "drift-min-samples", drift_defaults.min_samples)?;
@@ -164,6 +181,7 @@ fn run() -> Result<(), String> {
             retrain: TrainConfig { epochs: retrain_epochs, ..drift_defaults.retrain },
             ..drift_defaults
         },
+        front: FrontConfig { shards, max_connections: max_conns, inflight_budget, retry_after_ms },
     };
     let service = Arc::new(EstimationService::new(db, samples, Arc::clone(&registry), config));
     let handle = serve(Arc::clone(&service), addr.as_str())
@@ -173,16 +191,17 @@ fn run() -> Result<(), String> {
     // resolved to — the first thing to check when serving latency looks
     // off on new hardware.
     println!(
-        "lc-serve listening on {} (model v{}, {} params, {} kernels, cache {}, max batch {}, {} \
-         worker{}, drift threshold {} over {}-obs windows)",
+        "lc-serve listening on {} (model v{}, {} params, {} kernels, {} shard{}, cache {}, max \
+         batch {}, inflight budget {}, drift threshold {} over {}-obs windows)",
         handle.local_addr(),
         registry.active_version(),
         params,
         lc_nn::kernel_name(),
+        handle.shard_count(),
+        if handle.shard_count() == 1 { "" } else { "s" },
         cache_capacity,
         max_batch,
-        workers,
-        if workers == 1 { "" } else { "s" },
+        inflight_budget,
         drift_threshold,
         drift_window,
     );

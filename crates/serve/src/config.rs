@@ -21,6 +21,49 @@ pub struct ServeConfig {
     pub batcher: BatcherConfig,
     /// Drift detection and incremental-retraining thresholds.
     pub drift: DriftConfig,
+    /// Event-driven TCP front: shard count, connection cap, admission
+    /// budget.
+    pub front: FrontConfig,
+}
+
+/// Sizing and admission policy of the shard-per-core TCP front.
+///
+/// The front runs [`FrontConfig::shards`] reactor threads, each pinned
+/// to a core (when pinning is enabled via `lc_nn::RuntimeConfig`) and
+/// each owning its accepted connections outright — sockets, partial
+/// frames, and in-flight estimates never cross shards. Admission
+/// control is two bounds: a global cap on open connections
+/// ([`FrontConfig::max_connections`], enforced at accept) and a
+/// per-shard budget of estimates queued for one micro-batch flush
+/// ([`FrontConfig::inflight_budget`], enforced per request). A request
+/// over budget is *shed*, not queued: clients that negotiated
+/// [`crate::wire::CAP_RETRY`] get a [`crate::wire::Message::Busy`]
+/// frame telling them when to retry; older clients get a plain error
+/// frame. Either way the connection stays open and healthy.
+#[derive(Clone, Copy, Debug)]
+pub struct FrontConfig {
+    /// Reactor shard count; 0 means one shard per available core.
+    pub shards: usize,
+    /// Open-connection cap across all shards; a connection accepted
+    /// over the cap is closed immediately. 0 means unlimited.
+    pub max_connections: usize,
+    /// Estimates one shard may hold between micro-batch flushes before
+    /// it starts shedding. 0 means unlimited (never shed).
+    pub inflight_budget: usize,
+    /// Retry hint carried by shed [`crate::wire::Message::Busy`]
+    /// frames, in milliseconds.
+    pub retry_after_ms: u32,
+}
+
+impl Default for FrontConfig {
+    fn default() -> Self {
+        FrontConfig {
+            shards: 0,
+            max_connections: 65_536,
+            inflight_budget: 1024,
+            retry_after_ms: 20,
+        }
+    }
 }
 
 /// Thresholds for the drift monitor and the retrain it schedules.

@@ -7,15 +7,16 @@
 //! [`MscnEstimator`](lc_core::MscnEstimator) snapshots and answers streams
 //! of estimation requests from concurrent clients.
 //!
-//! Architecture — a request flows `wire → cache → batcher → model`:
+//! Architecture — a request flows `wire → cache → batcher → model`,
+//! inside one of N shard-per-core reactors (see [`server`]):
 //!
 //! ```text
-//!            TCP frame                  miss                 flush (≤ max_batch
-//! client ──► [wire]  ──► [EstimateCache] ──► [MicroBatcher] ──  or ≤ max_delay)
-//!                         ▲    sharded LRU        │ coalesces concurrent
-//!                         │                       ▼ requests
-//!                         └──── insert ──── [ModelRegistry::current()]
-//!                                            one RaggedBatch forward pass
+//!          readiness event            miss                  end-of-pass flush
+//! client ──► [lc_poll] ─► [wire] ─► [EstimateCache] ─► [shard MicroBatcher]
+//!  (one of 10k+ nonblocking          ▲   sharded LRU        │ coalesces the
+//!   sockets owned by this shard)     │                      ▼ whole pass
+//!                                    └── insert ── [ModelRegistry::current()]
+//!                                                one RaggedBatch forward pass
 //! ```
 //!
 //! * [`wire`] — a length-prefixed, **versioned** binary protocol: a v2
@@ -43,9 +44,17 @@
 //!   hot-swap.
 //! * [`service`] — glues the four together behind
 //!   [`EstimationService::estimate`].
-//! * [`server`] / [`loadgen`] — a threaded TCP server binary (`serve`)
-//!   and a closed-loop load-generator binary (`loadgen`) with a latency
-//!   histogram and QPS report.
+//! * [`server`] — the event-driven, shard-per-core TCP front: N reactor
+//!   threads share one listener via exclusive-wakeup registration
+//!   (vendored [`lc_poll`] epoll shim), each owning its accepted
+//!   connections outright — nonblocking sockets, incremental frame
+//!   decode that tolerates splits at any byte offset, and a per-shard
+//!   micro-batch flush at the end of every readiness pass. Admission
+//!   control ([`config::FrontConfig`]) sheds over-budget requests with
+//!   v2 `Busy`/retry frames instead of queueing them.
+//! * [`loadgen`] — a load-generator binary with closed-loop (latency
+//!   histogram + QPS report) and open-loop (`--open-loop`, fixed-rate
+//!   against thousands of mostly-idle connections) modes.
 //!
 //! ## Quickstart
 //!
@@ -88,7 +97,7 @@ pub mod wire;
 
 pub use batcher::{BatchStats, BatchedEstimate, BatcherConfig, MicroBatcher};
 pub use cache::{CacheConfig, CacheStats, EstimateCache};
-pub use config::{DriftConfig, ServeConfig};
+pub use config::{DriftConfig, FrontConfig, ServeConfig};
 pub use drift::{DriftDecision, DriftMonitor};
 pub use loadgen::{LoadReport, LoadgenConfig, ShiftReport};
 pub use registry::{ModelRegistry, ModelSnapshot, RegistryError};

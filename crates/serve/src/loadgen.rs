@@ -28,7 +28,23 @@
 //! the shift, and the tail — so the report shows the q-error degrade →
 //! recover arc, alongside the retrain count and final model version from
 //! the server's own [`Message::Stats`].
+//!
+//! ## Open-loop mode — many idle connections, fixed arrival rate
+//!
+//! With [`LoadgenConfig::open_loop`] on, the generator inverts its
+//! shape: instead of a few connections each driven as hard as the server
+//! allows, it opens *all* [`LoadgenConfig::connections`] up front (they
+//! negotiate v2 once and then mostly sit idle — the 10k-connection case
+//! the sharded server front exists for) and injects requests at the
+//! fixed rate [`LoadgenConfig::qps`], in bursts of
+//! [`LoadgenConfig::burst`] spread round-robin over the idle mass.
+//! Arrival rate no longer adapts to server latency, which is what makes
+//! overload visible: when a burst exceeds the server's admission budget
+//! the surplus comes back as [`Message::Busy`] frames, counted in
+//! [`LoadReport::shed`] — never as errors, and never as unbounded
+//! queueing delay.
 
+use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
@@ -63,6 +79,17 @@ pub struct LoadgenConfig {
     pub shift_at: f64,
     /// Exact join count of every post-shift query.
     pub shift_joins: usize,
+    /// Open-loop mode: hold all `connections` open (mostly idle) and
+    /// inject requests at a fixed rate instead of driving each
+    /// connection closed-loop.
+    pub open_loop: bool,
+    /// Open-loop target request rate, total across all connections
+    /// (0 = unthrottled).
+    pub qps: u64,
+    /// Open-loop burst size: requests injected back-to-back per pacing
+    /// tick — the concurrency the micro-batcher (and, over budget, the
+    /// load-shedder) sees at once.
+    pub burst: usize,
 }
 
 impl Default for LoadgenConfig {
@@ -77,6 +104,9 @@ impl Default for LoadgenConfig {
             shift: false,
             shift_at: 0.4,
             shift_joins: 3,
+            open_loop: false,
+            qps: 1000,
+            burst: 32,
         }
     }
 }
@@ -103,6 +133,9 @@ pub struct LoadReport {
     pub errors: u64,
     /// Responses flagged as cache hits.
     pub cache_hits: u64,
+    /// Requests the server shed with a `Busy`/retry frame (open-loop
+    /// overload; always 0 closed-loop, where arrival adapts to latency).
+    pub shed: u64,
     /// Wall-clock duration of the whole run in seconds.
     pub seconds: f64,
     /// Successful requests per second.
@@ -143,11 +176,12 @@ impl std::fmt::Display for LoadReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "{} requests in {:.2}s — {:.0} QPS, {} errors, {} cache hits ({:.1}%)",
+            "{} requests in {:.2}s — {:.0} QPS, {} errors, {} shed, {} cache hits ({:.1}%)",
             self.requests,
             self.seconds,
             self.qps,
             self.errors,
+            self.shed,
             self.cache_hits,
             100.0 * self.cache_hits as f64 / (self.requests.max(1)) as f64,
         )?;
@@ -170,11 +204,12 @@ impl std::fmt::Display for LoadReport {
                 shift.feedback_count,
             )?;
         }
-        // Stable machine-readable trailer (CI greps this line).
+        // Stable machine-readable trailer (CI greps this line). New keys
+        // append after the original four, never between them.
         write!(
             f,
-            "RESULT qps={:.1} requests={} errors={} cache_hits={}",
-            self.qps, self.requests, self.errors, self.cache_hits
+            "RESULT qps={:.1} requests={} errors={} cache_hits={} shed={}",
+            self.qps, self.requests, self.errors, self.cache_hits, self.shed
         )?;
         if let Some(shift) = &self.shift {
             write!(
@@ -200,13 +235,14 @@ impl LoadReport {
     /// ran.
     pub fn to_json(&self) -> String {
         let mut out = format!(
-            "{{\"qps\":{:.1},\"requests\":{},\"errors\":{},\"cache_hits\":{},\
+            "{{\"qps\":{:.1},\"requests\":{},\"errors\":{},\"cache_hits\":{},\"shed\":{},\
              \"seconds\":{:.3},\"p50_us\":{:.1},\"p95_us\":{:.1},\"p99_us\":{:.1},\
              \"max_us\":{:.1},\"mean_micro_batch\":{:.2}",
             self.qps,
             self.requests,
             self.errors,
             self.cache_hits,
+            self.shed,
             self.seconds,
             self.p50_us,
             self.p95_us,
@@ -255,10 +291,27 @@ struct WorkerOutcome {
     ok: u64,
     errors: u64,
     cache_hits: u64,
+    shed: u64,
     batch_sum: u64,
     batch_n: u64,
     qerrors: PhaseSums,
     version_regressions: u64,
+}
+
+impl WorkerOutcome {
+    fn empty() -> Self {
+        WorkerOutcome {
+            histogram: HistogramSnapshot::empty(),
+            ok: 0,
+            errors: 0,
+            cache_hits: 0,
+            shed: 0,
+            batch_sum: 0,
+            batch_n: 0,
+            qerrors: PhaseSums::default(),
+            version_regressions: 0,
+        }
+    }
 }
 
 fn worker(
@@ -277,16 +330,7 @@ fn worker(
     // structure the server's own metrics use, so its quantile semantics
     // (bucket upper bounds) match what `lc-top` reports server-side.
     let histogram = Histogram::new();
-    let mut out = WorkerOutcome {
-        histogram: HistogramSnapshot::empty(),
-        ok: 0,
-        errors: 0,
-        cache_hits: 0,
-        batch_sum: 0,
-        batch_n: 0,
-        qerrors: PhaseSums::default(),
-        version_regressions: 0,
-    };
+    let mut out = WorkerOutcome::empty();
     let mut last_version = 0u32;
     if config.shift {
         // Negotiate v2 with every capability; the server must agree (it
@@ -374,6 +418,128 @@ fn worker(
     Ok(out)
 }
 
+/// One open-loop injector: owns `conns` mostly-idle connections and
+/// pushes `requests` requests through them at `rate` per second.
+///
+/// All connections are opened (and v2-negotiated, so overload comes back
+/// as decodable [`Message::Busy`] frames) before the first request.
+/// Injection is paced against absolute tick deadlines — `start +
+/// interval × tick` — so a slow server delays responses, never the
+/// arrival rate; that fixed arrival rate is what makes shedding and tail
+/// latency observable instead of being absorbed into client backoff.
+fn open_loop_worker(
+    db: &lc_engine::Database,
+    config: &LoadgenConfig,
+    requests: usize,
+    conns: usize,
+    rate: f64,
+    seed: u64,
+) -> io::Result<WorkerOutcome> {
+    let mut generator =
+        QueryGenerator::new(db, GeneratorConfig { max_joins: config.max_joins, seed });
+    // Unbuffered I/O on purpose: a BufReader/BufWriter pair per
+    // connection would cost ~16KB × 10k connections on the *client*,
+    // muddying any memory comparison against the server under test.
+    // Frames are small and writes are whole-frame, so `&TcpStream` is
+    // two syscalls per message either way.
+    let mut streams = Vec::with_capacity(conns);
+    for _ in 0..conns {
+        let stream = connect_with_retry(&config.addr, config.connect_timeout)?;
+        stream.set_nodelay(true)?;
+        write_message(
+            &mut &stream,
+            &Message::Hello { id: 0, version: PROTOCOL_VERSION, capabilities: CAPABILITIES },
+        )?;
+        match read_message(&mut &stream, PROTOCOL_VERSION)? {
+            Some(Message::HelloAck { .. }) => {}
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("hello negotiation failed: {other:?}"),
+                ))
+            }
+        }
+        streams.push(stream);
+    }
+    let histogram = Histogram::new();
+    let mut out = WorkerOutcome::empty();
+    let burst = config.burst.max(1);
+    let interval =
+        if rate > 0.0 { Duration::from_secs_f64(burst as f64 / rate) } else { Duration::ZERO };
+    let start = Instant::now();
+    let mut sent: usize = 0;
+    let mut cursor: usize = 0;
+    let mut tick: u32 = 0;
+    let mut batch: Vec<usize> = Vec::with_capacity(burst);
+    let mut inflight: HashMap<(usize, u64), Instant> = HashMap::with_capacity(burst);
+    while sent < requests {
+        if !interval.is_zero() {
+            let due = start + interval * tick;
+            if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+        }
+        tick += 1;
+        batch.clear();
+        inflight.clear();
+        for _ in 0..burst.min(requests - sent) {
+            let id = sent as u64;
+            let conn = cursor % streams.len();
+            cursor = cursor.wrapping_add(1);
+            let query = generator.generate();
+            let t0 = Instant::now();
+            write_message(&mut &streams[conn], &Message::EstimateRequest { id, query })?;
+            batch.push(conn);
+            inflight.insert((conn, id), t0);
+            sent += 1;
+        }
+        // Each connection answers exactly its own requests, but the
+        // server resolves micro-batches as they finish, so responses on
+        // one connection may come back in any order — that is what the
+        // frame ids are for. Read one frame per request sent to each
+        // connection and match it against the in-flight set.
+        for &conn in &batch {
+            match read_message(&mut &streams[conn], PROTOCOL_VERSION)? {
+                Some(Message::EstimateResponse {
+                    id: rid,
+                    estimate,
+                    micro_batch,
+                    cache_hit,
+                    ..
+                }) if estimate.is_finite() && estimate >= 1.0 => {
+                    match inflight.remove(&(conn, rid)) {
+                        Some(t0) => {
+                            histogram.record_duration(t0.elapsed());
+                            out.ok += 1;
+                            if cache_hit {
+                                out.cache_hits += 1;
+                            } else {
+                                out.batch_sum += u64::from(micro_batch);
+                                out.batch_n += 1;
+                            }
+                        }
+                        None => out.errors += 1,
+                    }
+                }
+                // Admission control turned the request away. That is the
+                // mechanism working, not a failure: count it, keep the
+                // connection, and let the fixed-rate pacing be the
+                // "retry later".
+                Some(Message::Busy { id: rid, .. }) => match inflight.remove(&(conn, rid)) {
+                    Some(t0) => {
+                        histogram.record_duration(t0.elapsed());
+                        out.shed += 1;
+                    }
+                    None => out.errors += 1,
+                },
+                _ => out.errors += 1,
+            }
+        }
+    }
+    out.histogram = histogram.snapshot();
+    Ok(out)
+}
+
 /// Ask the server for its final counters over a fresh v2 connection.
 fn fetch_stats(config: &LoadgenConfig) -> io::Result<(u32, u32, u64)> {
     let stream = connect_with_retry(&config.addr, config.connect_timeout)?;
@@ -404,22 +570,42 @@ fn fetch_stats(config: &LoadgenConfig) -> io::Result<(u32, u32, u64)> {
 /// running) surface as `Err`; per-request error frames are counted in
 /// [`LoadReport::errors`].
 pub fn run(config: &LoadgenConfig) -> io::Result<LoadReport> {
+    if config.open_loop && config.shift {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "open-loop mode does not support the shift demo (pick one)",
+        ));
+    }
     let connections = config.connections.max(1);
     // The schema is fixed by the generator config, so one tiny local
     // instance (built before the clock starts, shared by every worker)
     // is enough to drive query generation for any server — and, in
     // shift mode, to execute queries for ground truth.
     let db = lc_imdb::generate(&ImdbConfig::tiny());
+    // Closed-loop: one thread per connection, each driven as fast as the
+    // server answers. Open-loop: a thread per connection would defeat
+    // the point at 10k connections, so a handful of injector threads
+    // each own a slice of the idle connection mass and of the target
+    // rate.
+    let threads = if config.open_loop { connections.min(8) } else { connections };
     let start = Instant::now();
-    let mut outcomes: Vec<io::Result<WorkerOutcome>> = Vec::with_capacity(connections);
+    let mut outcomes: Vec<io::Result<WorkerOutcome>> = Vec::with_capacity(threads);
     std::thread::scope(|s| {
-        let handles: Vec<_> = (0..connections)
+        let handles: Vec<_> = (0..threads)
             .map(|w| {
                 let per_worker =
-                    config.requests / connections + usize::from(w < config.requests % connections);
+                    config.requests / threads + usize::from(w < config.requests % threads);
+                let conns = connections / threads + usize::from(w < connections % threads);
                 let db = &db;
                 let seed = config.seed + w as u64;
-                s.spawn(move || worker(db, config, per_worker, seed))
+                s.spawn(move || {
+                    if config.open_loop {
+                        let rate = config.qps as f64 / threads as f64;
+                        open_loop_worker(db, config, per_worker, conns, rate, seed)
+                    } else {
+                        worker(db, config, per_worker, seed)
+                    }
+                })
             })
             .collect();
         for handle in handles {
@@ -429,7 +615,8 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadReport> {
     let seconds = start.elapsed().as_secs_f64();
 
     let mut histogram = HistogramSnapshot::empty();
-    let (mut ok, mut errors, mut cache_hits, mut batch_sum, mut batch_n) = (0, 0, 0, 0, 0);
+    let (mut ok, mut errors, mut cache_hits, mut shed) = (0, 0, 0, 0);
+    let (mut batch_sum, mut batch_n) = (0, 0);
     let mut qerrors = PhaseSums::default();
     let mut version_regressions = 0;
     for outcome in outcomes {
@@ -438,6 +625,7 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadReport> {
         ok += o.ok;
         errors += o.errors;
         cache_hits += o.cache_hits;
+        shed += o.shed;
         batch_sum += o.batch_sum;
         batch_n += o.batch_n;
         for p in 0..3 {
@@ -469,6 +657,7 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadReport> {
         requests: ok,
         errors,
         cache_hits,
+        shed,
         seconds,
         qps: if seconds > 0.0 { ok as f64 / seconds } else { 0.0 },
         p50_us: histogram.quantile(0.50) as f64 / 1_000.0,
@@ -506,6 +695,7 @@ mod tests {
             requests: 100,
             errors: 0,
             cache_hits: 25,
+            shed: 0,
             seconds: 0.5,
             qps: 200.0,
             p50_us: 100.0,
@@ -520,7 +710,9 @@ mod tests {
     #[test]
     fn report_display_includes_machine_trailer() {
         let text = sample_report().to_string();
-        assert!(text.contains("RESULT qps=200.0 requests=100 errors=0 cache_hits=25"));
+        // The first four keys are the stable prefix older scripts grep;
+        // `shed=` rides after them.
+        assert!(text.contains("RESULT qps=200.0 requests=100 errors=0 cache_hits=25 shed=0"));
         assert!(text.contains("p95"));
         assert!(!text.contains("retrains="), "no shift keys without shift mode");
     }
@@ -529,7 +721,7 @@ mod tests {
     fn json_report_has_flat_keys_and_shift_extension() {
         let plain = sample_report().to_json();
         assert!(plain.starts_with('{') && plain.ends_with('}'), "got: {plain}");
-        for key in ["\"qps\":200.0", "\"requests\":100", "\"p99_us\":800.0"] {
+        for key in ["\"qps\":200.0", "\"requests\":100", "\"shed\":0", "\"p99_us\":800.0"] {
             assert!(plain.contains(key), "missing {key} in {plain}");
         }
         assert!(!plain.contains("retrains"), "no shift keys without shift mode");
@@ -565,6 +757,15 @@ mod tests {
             ),
             "got: {text}"
         );
+    }
+
+    #[test]
+    fn open_loop_rejects_shift_mode() {
+        // The shift demo needs closed-loop request/feedback lockstep;
+        // refuse the combination up front instead of half-running it.
+        let config = LoadgenConfig { open_loop: true, shift: true, ..LoadgenConfig::default() };
+        let err = run(&config).expect_err("shift + open-loop must be rejected");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
     }
 
     #[test]

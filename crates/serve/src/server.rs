@@ -1,43 +1,90 @@
-//! The threaded TCP front of the estimation service.
+//! The event-driven, shard-per-core TCP front of the estimation service.
 //!
-//! One accept loop, one thread per connection, one in-flight request per
-//! connection (clients that want concurrency open several connections —
-//! that is what the load generator does). Micro-batching happens *behind*
-//! the connection threads, in the service's batcher, so concurrent
-//! connections coalesce into shared forward passes without any
-//! cross-connection coordination here.
+//! One nonblocking listener is shared by N reactor shards (one per core
+//! by default), each running its own readiness loop on an [`lc_poll`]
+//! poller. The listener is registered in every shard with the
+//! exclusive-wakeup flag, so the kernel wakes one shard per incoming
+//! connection, and an accepted connection is owned *outright* by the
+//! shard that accepted it: socket, partial frames, write backlog, and
+//! in-flight estimates never cross shards, so there is no per-request
+//! locking anywhere on the serving path.
+//!
+//! ## Memory per connection
+//!
+//! The old front spawned a thread per connection — a stack plus buffered
+//! reader/writer per peer, megabytes each. Here an *idle* connection is
+//! one slab slot: a nonblocking `TcpStream` plus two empty `Vec`s.
+//! Bytes are read into a per-shard scratch buffer; only a partial frame
+//! spills into the connection's own buffer, and only until the frame
+//! completes. That is what lets one process hold tens of thousands of
+//! mostly-idle connections.
+//!
+//! ## Event-driven micro-batching
+//!
+//! Each shard owns a manual-flush (`workers: 0`) [`MicroBatcher`] and
+//! flushes it at the end of every readiness pass: estimate requests
+//! decoded from all the connections that woke together coalesce into
+//! shared forward passes on the shard's own (pinned) core, without
+//! handing work to another thread. Concurrency in the arrival process is
+//! what creates batching — the paper's amortization argument — with no
+//! added queueing delay for sparse traffic.
+//!
+//! ## Admission control and load shedding
+//!
+//! Two bounds protect tail latency under overload (see
+//! [`FrontConfig`]): a global cap on open connections, enforced at
+//! accept, and a per-shard budget of estimates in flight between
+//! micro-batch flushes. A request over budget is shed *before*
+//! featurization: clients that negotiated [`CAP_RETRY`] get a
+//! [`Message::Busy`] frame carrying a retry hint, everyone else (v1,
+//! hello-less, or opted out) gets a plain [`Message::Error`] — either
+//! way the connection stays open and the next request is admitted
+//! normally.
 //!
 //! ## Protocol negotiation
 //!
-//! A v2 client opens with [`Message::Hello`]; the server answers
-//! [`Message::HelloAck`] carrying the [`negotiate`]d version (min of the
-//! two) and capability intersection, and from then on decodes the
-//! connection at the negotiated version — so a frame above that version
-//! earns a `KindAboveVersion` error stamped with the version the *client*
-//! agreed to. A v1 client never sends a hello; the connection simply
-//! stays in the pre-hello state, where the server decodes at its own
-//! maximum version and v1 traffic (kinds 1–5) works unchanged. Old
-//! clients against a new server is the compatibility case the versioned
-//! redesign exists for.
+//! Unchanged from the threaded front: a v2 client opens with
+//! [`Message::Hello`] and the connection then decodes at the negotiated
+//! version with the negotiated capabilities; a v1 client sends no hello
+//! and stays in the pre-hello state, where the server decodes at its own
+//! maximum version — v1 traffic (kinds 1–5) works byte-identically.
 
-use std::io::{self, BufReader, BufWriter, Write};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
-use lc_obs::{metrics, MetricKind, SpanTimer};
+use lc_obs::{metrics, MetricKind, ShardMetrics, SpanTimer};
+use lc_query::Query;
 
-use crate::service::EstimationService;
+use crate::batcher::{BatchedEstimate, BatcherConfig, MicroBatcher};
+use crate::config::FrontConfig;
+use crate::service::{CacheProbe, EstimationService, ServeError};
 use crate::wire::{
-    negotiate, read_message, write_message, HistogramMetric, Message, ScalarMetric, CAPABILITIES,
-    CAP_DRIFT, CAP_FEEDBACK, CAP_METRICS, CAP_STATS, PROTOCOL_VERSION,
+    negotiate, HistogramMetric, Message, ScalarMetric, CAPABILITIES, CAP_DRIFT, CAP_FEEDBACK,
+    CAP_METRICS, CAP_RETRY, CAP_STATS, PROTOCOL_VERSION,
 };
 
 /// Cap on outgoing error messages, so an Error reply echoing
 /// client-supplied content can never exceed [`crate::wire::MAX_FRAME_LEN`]
 /// and become undecodable by a conforming client.
 const MAX_ERROR_MESSAGE: usize = 512;
+
+/// Poller token of the shared listener.
+const TOKEN_LISTENER: u64 = 0;
+/// Poller token of the shard's shutdown waker.
+const TOKEN_WAKER: u64 = 1;
+/// Connection in slot `s` polls as token `TOKEN_BASE + s`.
+const TOKEN_BASE: u64 = 2;
+
+// Connection buffers are released the moment they drain: an idle
+// connection owns zero heap, which is what keeps 10k+ mostly-idle
+// connections to ~100 bytes of resident memory each (the slot entry
+// itself). Active connections pay one small (re)allocation per
+// response burst / split frame — noise next to the socket syscalls.
 
 fn error_message(id: u64, mut message: String) -> Message {
     if message.len() > MAX_ERROR_MESSAGE {
@@ -81,11 +128,22 @@ fn metrics_snapshot(service: &EstimationService, id: u64) -> Message {
     }
 }
 
+#[cfg(unix)]
+fn raw_fd<T: std::os::fd::AsRawFd>(io: &T) -> i32 {
+    io.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn raw_fd<T>(_io: &T) -> i32 {
+    -1
+}
+
 /// A running server: its bound address plus shutdown control.
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    wakers: Vec<lc_poll::Waker>,
+    shards: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -94,143 +152,497 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Block the calling thread until the accept loop exits (i.e. until
-    /// [`ServerHandle::shutdown`] is called from elsewhere or the process
-    /// dies). This is what the `serve` binary parks on.
+    /// Number of reactor shards this server is running.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Block the calling thread until the reactor shards exit (i.e.
+    /// until the process dies or another thread owns shutdown). This is
+    /// what the `serve` binary parks on.
     pub fn wait(mut self) {
-        if let Some(handle) = self.accept_thread.take() {
-            handle.join().expect("accept loop panicked");
+        for shard in self.shards.drain(..) {
+            shard.join().expect("reactor shard panicked");
         }
     }
 
-    /// Stop accepting connections and join the accept loop. Existing
-    /// connections are quiesced cooperatively: each connection thread
-    /// notices the stop flag after answering its current request (or
-    /// when its client disconnects) and closes. Threads blocked waiting
-    /// for a client's *next* request linger until that client sends one
-    /// or hangs up — no in-flight work is ever aborted. The service
-    /// itself (and its batcher) stays usable until dropped.
+    /// Stop the server and join every shard. Each shard wakes from its
+    /// readiness wait immediately (no poke connection, no lingering
+    /// accept), answers the requests already decoded, and closes its
+    /// connections — so `shutdown` returns promptly even with idle
+    /// clients still connected. The service itself (and its batcher)
+    /// stays usable until dropped.
     pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        // The accept loop only re-checks `stop` when accept() returns, so
-        // poke it with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.accept_thread.take() {
-            handle.join().expect("accept loop panicked");
+        for waker in &self.wakers {
+            waker.wake();
+        }
+        for shard in self.shards.drain(..) {
+            let _ = shard.join();
         }
     }
 }
 
-/// Bind `addr` and serve `service` until the handle is shut down.
-///
-/// Connection threads are detached; each exits when its peer disconnects
-/// or sends a malformed frame.
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        // A handle dropped without an explicit wait()/shutdown() (e.g.
+        // by a panicking test) must not leave reactor threads behind.
+        self.stop_and_join();
+    }
+}
+
+/// Bind `addr` and serve `service` until the handle is shut down, with
+/// the shard count and admission policy from the service's
+/// [`FrontConfig`].
 pub fn serve(
     service: Arc<EstimationService>,
     addr: impl ToSocketAddrs,
 ) -> io::Result<ServerHandle> {
+    let front = service.front_config();
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let listener = Arc::new(listener);
+    let shard_count = if front.shards == 0 {
+        std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+    } else {
+        front.shards
+    };
     let stop = Arc::new(AtomicBool::new(false));
-    let accept_stop = Arc::clone(&stop);
-    let accept_thread = std::thread::spawn(move || {
-        for stream in listener.incoming() {
-            if accept_stop.load(Ordering::SeqCst) {
-                break;
-            }
-            match stream {
-                Ok(stream) => {
-                    metrics::SERVE_CONNECTIONS.inc();
-                    let service = Arc::clone(&service);
-                    let stop = Arc::clone(&accept_stop);
-                    std::thread::spawn(move || {
-                        // A torn connection is the client's problem, not
-                        // the server's; log-and-forget would go here.
-                        let _ = handle_connection(&service, stream, &stop);
-                    });
-                }
-                Err(_) => continue,
-            }
-        }
-    });
-    Ok(ServerHandle { addr: local, stop, accept_thread: Some(accept_thread) })
+    let open_connections = Arc::new(AtomicUsize::new(0));
+    let mut wakers = Vec::with_capacity(shard_count);
+    let mut shards = Vec::with_capacity(shard_count);
+    for shard_id in 0..shard_count {
+        let poller = lc_poll::Poller::new()?;
+        let waker = poller.waker(TOKEN_WAKER)?;
+        // Exclusive wakeup: of the N shards polling this listener the
+        // kernel wakes one per incoming connection, not all of them.
+        poller.add(raw_fd(&*listener), TOKEN_LISTENER, lc_poll::READ, true)?;
+        wakers.push(waker.clone());
+        let mut shard = Shard {
+            id: shard_id,
+            service: Arc::clone(&service),
+            batcher: MicroBatcher::new(
+                Arc::clone(service.registry()),
+                BatcherConfig { workers: 0, ..service.batcher_config() },
+            ),
+            listener: Arc::clone(&listener),
+            poller,
+            waker,
+            front,
+            stop: Arc::clone(&stop),
+            open_connections: Arc::clone(&open_connections),
+            obs: lc_obs::shard_metrics(shard_id),
+            slots: Vec::new(),
+            free: Vec::new(),
+            pending: Vec::new(),
+            dirty: Vec::new(),
+            read_buf: vec![0u8; 64 * 1024],
+            scratch: Vec::new(),
+        };
+        shards.push(
+            std::thread::Builder::new()
+                .name(format!("lc-shard-{shard_id}"))
+                .spawn(move || shard.run())
+                .expect("spawn reactor shard"),
+        );
+    }
+    Ok(ServerHandle { addr: local, stop, wakers, shards })
 }
 
-fn handle_connection(
-    service: &EstimationService,
+/// One connection owned by a shard. An idle connection keeps both
+/// buffers empty — its footprint is this struct plus the socket.
+struct Conn {
     stream: TcpStream,
-    stop: &AtomicBool,
-) -> io::Result<()> {
-    // Responses are single small frames; Nagle would add artificial
-    // latency to every estimate.
-    stream.set_nodelay(true)?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    // Pre-hello the connection decodes at the server's own maximum
-    // version with every capability available — that is exactly what
-    // keeps hello-less v1 clients working. A Hello narrows both to the
-    // negotiated values for the rest of the connection.
-    let mut version = PROTOCOL_VERSION;
-    let mut caps = CAPABILITIES;
-    loop {
-        let message = match read_message(&mut reader, version) {
-            Ok(Some(message)) => message,
-            Ok(None) => return Ok(()), // clean disconnect
-            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                // Malformed frame: report and drop the connection (the
-                // stream position is unrecoverable). The embedded
-                // WireError already names the negotiated version.
-                metrics::SERVE_WIRE_ERRORS.inc();
-                metrics::SERVE_ERRORS.inc();
-                write_message(&mut writer, &error_message(0, e.to_string()))?;
-                writer.flush()?;
-                return Ok(());
+    /// Negotiated (or pre-hello maximum) protocol version.
+    version: u8,
+    /// Negotiated (or pre-hello full) capability set.
+    caps: u8,
+    /// True once a Hello was answered: only explicitly negotiated
+    /// clients may be sent v2 frames they did not ask for (Busy).
+    negotiated: bool,
+    /// Bytes received that do not yet form a complete frame.
+    inbuf: Vec<u8>,
+    /// Encoded responses not yet accepted by the socket.
+    outbuf: Vec<u8>,
+    /// Prefix of `outbuf` already written.
+    out_pos: usize,
+    /// Close once `outbuf` drains (set after a wire error or a peer
+    /// half-close with responses still queued).
+    close_after_drain: bool,
+    /// Current poll interest includes writability.
+    wants_write: bool,
+    /// Already queued into `Shard::dirty` this pass.
+    dirty: bool,
+}
+
+impl Conn {
+    fn has_backlog(&self) -> bool {
+        self.out_pos < self.outbuf.len()
+    }
+}
+
+/// A slab slot. The generation outlives any one connection, so a batch
+/// result resolved after the slot was reused can never reach the wrong
+/// peer.
+struct Slot {
+    generation: u64,
+    conn: Option<Conn>,
+}
+
+/// An admitted estimate (or feedback) waiting on the shard's batcher.
+struct PendingReq {
+    slot: usize,
+    generation: u64,
+    id: u64,
+    /// Cache key to fill on resolution (None when caching is off).
+    query_key: Option<Vec<u8>>,
+    rx: Receiver<BatchedEstimate>,
+    /// Set when `lc_obs` is enabled: end-to-end estimate latency.
+    started: Option<Instant>,
+    /// `Some((query, actual_card))` marks a feedback frame: resolution
+    /// records the observation and answers with a FeedbackAck.
+    feedback: Option<(Query, u64)>,
+}
+
+/// How one socket interaction left the connection.
+enum IoOutcome {
+    Open,
+    Blocked,
+    Closed,
+}
+
+struct Shard {
+    id: usize,
+    service: Arc<EstimationService>,
+    /// This shard's own deterministic batcher (`workers: 0`), flushed
+    /// inline at the end of every readiness pass.
+    batcher: MicroBatcher,
+    listener: Arc<TcpListener>,
+    poller: lc_poll::Poller,
+    waker: lc_poll::Waker,
+    front: FrontConfig,
+    stop: Arc<AtomicBool>,
+    /// Open connections across all shards (the global accept cap).
+    open_connections: Arc<AtomicUsize>,
+    obs: &'static ShardMetrics,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    pending: Vec<PendingReq>,
+    /// Slots with freshly queued output this pass.
+    dirty: Vec<usize>,
+    /// Shared read scratch — idle connections own no read buffer.
+    read_buf: Vec<u8>,
+    /// Shared encode scratch for response frames.
+    scratch: Vec<u8>,
+}
+
+impl Shard {
+    fn run(&mut self) {
+        // Pinning follows the worker-pool policy (`LC_PIN_WORKERS`, a
+        // no-op when disabled or single-core): shard i sits on core i,
+        // so batched forward passes run where connection state is hot.
+        lc_nn::pin_thread_to_core(self.id);
+        let mut events = Vec::new();
+        loop {
+            if self.poller.wait(&mut events, -1).is_err() {
+                break;
             }
-            Err(e) => return Err(e),
+            if !events.is_empty() {
+                self.obs.wakeups.inc();
+            }
+            for ev in std::mem::take(&mut events) {
+                match ev.token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKER => self.waker.drain(),
+                    token => self.conn_ready((token - TOKEN_BASE) as usize, ev),
+                }
+            }
+            // Event-driven micro-batching: everything decoded in this
+            // pass flushes together on this core.
+            while self.batcher.flush_now() > 0 {}
+            self.resolve_pending();
+            self.flush_dirty();
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+        }
+        self.teardown();
+    }
+
+    /// Quiesce: answer what is already in flight, push out what the
+    /// sockets will take, close everything.
+    fn teardown(&mut self) {
+        while self.batcher.flush_now() > 0 {}
+        self.resolve_pending();
+        self.flush_dirty();
+        for slot in 0..self.slots.len() {
+            self.close(slot);
+        }
+        self.batcher.shutdown();
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let cap = self.front.max_connections;
+                    if cap > 0 && self.open_connections.fetch_add(1, Ordering::Relaxed) >= cap {
+                        // Over the global cap: hand the count back and
+                        // refuse by closing. The kernel accept backlog
+                        // is the only queue an un-admitted peer gets.
+                        self.open_connections.fetch_sub(1, Ordering::Relaxed);
+                        drop(stream);
+                        continue;
+                    }
+                    if cap == 0 {
+                        self.open_connections.fetch_add(1, Ordering::Relaxed);
+                    }
+                    metrics::SERVE_CONNECTIONS.inc();
+                    self.obs.accepted.inc();
+                    // Nodelay: responses are single small frames; Nagle
+                    // would add artificial latency to every estimate.
+                    if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                        self.open_connections.fetch_sub(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    let slot = self.free.pop().unwrap_or_else(|| {
+                        self.slots.push(Slot { generation: 0, conn: None });
+                        self.slots.len() - 1
+                    });
+                    let token = TOKEN_BASE + slot as u64;
+                    if self.poller.add(raw_fd(&stream), token, lc_poll::READ, false).is_err() {
+                        self.free.push(slot);
+                        self.open_connections.fetch_sub(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    self.slots[slot].conn = Some(Conn {
+                        stream,
+                        // Pre-hello: the server's own maximum version
+                        // with every capability available — exactly
+                        // what keeps hello-less v1 clients working.
+                        version: PROTOCOL_VERSION,
+                        caps: CAPABILITIES,
+                        negotiated: false,
+                        inbuf: Vec::new(),
+                        outbuf: Vec::new(),
+                        out_pos: 0,
+                        close_after_drain: false,
+                        wants_write: false,
+                        dirty: false,
+                    });
+                    self.obs.connections.set(self.live_connections() as u64);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn live_connections(&self) -> usize {
+        self.slots.iter().filter(|s| s.conn.is_some()).count()
+    }
+
+    fn conn_ready(&mut self, slot: usize, ev: lc_poll::Event) {
+        if slot >= self.slots.len() || self.slots[slot].conn.is_none() {
+            return; // closed earlier in this same pass
+        }
+        if ev.writable {
+            self.write_some(slot);
+        }
+        if ev.readable {
+            self.read_some(slot);
+        }
+    }
+
+    /// Drain the socket (level-triggered: read to WouldBlock), decode
+    /// every complete frame, dispatch each.
+    fn read_some(&mut self, slot: usize) {
+        // The scratch moves out so `decode_available(&mut self, ..)` can
+        // re-borrow `self` freely; it moves back before returning.
+        let mut buf = std::mem::take(&mut self.read_buf);
+        while let Some(conn) = self.slots[slot].conn.as_mut() {
+            let discard = conn.close_after_drain;
+            let result = conn.stream.read(&mut buf);
+            match result {
+                Ok(0) => {
+                    // Peer hung up. Responses queued this pass still go
+                    // out first (the peer may only have half-closed).
+                    if self.slots[slot].conn.as_ref().is_some_and(Conn::has_backlog) {
+                        if let Some(conn) = self.slots[slot].conn.as_mut() {
+                            conn.close_after_drain = true;
+                        }
+                    } else {
+                        self.close(slot);
+                    }
+                    break;
+                }
+                Ok(n) => {
+                    if discard {
+                        // Post-wire-error: the stream position is
+                        // unrecoverable; eat the bytes until close.
+                        continue;
+                    }
+                    if !self.decode_available(slot, &buf[..n]) {
+                        break; // connection torn down mid-decode
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(slot);
+                    break;
+                }
+            }
+        }
+        self.read_buf = buf;
+    }
+
+    /// Append freshly read bytes to the connection's pending input and
+    /// decode every complete frame at the connection's negotiated
+    /// version. Returns false if the connection was torn down.
+    fn decode_available(&mut self, slot: usize, fresh: &[u8]) -> bool {
+        // Fast path: no partial frame pending — decode straight from the
+        // shared read scratch and spill only the (usually empty) tail.
+        let spill: Vec<u8> = {
+            let conn = match self.slots[slot].conn.as_mut() {
+                Some(conn) => conn,
+                None => return false,
+            };
+            if conn.inbuf.is_empty() {
+                Vec::new()
+            } else {
+                let mut buf = std::mem::take(&mut conn.inbuf);
+                buf.extend_from_slice(fresh);
+                buf
+            }
         };
+        let bytes: &[u8] = if spill.is_empty() { fresh } else { &spill };
+        let mut offset = 0;
+        loop {
+            let version = match self.slots[slot].conn.as_ref() {
+                Some(conn) => conn.version,
+                None => return false,
+            };
+            match Message::decode_prefix(&bytes[offset..], version) {
+                Ok(Some((message, consumed))) => {
+                    offset += consumed;
+                    self.dispatch(slot, message);
+                    match self.slots[slot].conn.as_ref() {
+                        None => return false,
+                        // Wire-error path already queued its Error frame:
+                        // the rest of the input is discarded unread.
+                        Some(conn) if conn.close_after_drain => return true,
+                        Some(_) => {}
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    // Malformed frame: report and close once the error
+                    // frame drains (the stream position is
+                    // unrecoverable). The embedded WireError already
+                    // names the negotiated version.
+                    metrics::SERVE_WIRE_ERRORS.inc();
+                    self.respond(slot, error_message(0, e.to_string()));
+                    if let Some(conn) = self.slots[slot].conn.as_mut() {
+                        conn.close_after_drain = true;
+                    }
+                    return true;
+                }
+            }
+        }
+        // Park the partial tail (if any) on the connection; a fully
+        // decoded input leaves the connection with no input heap at all.
+        if let Some(conn) = self.slots[slot].conn.as_mut() {
+            if offset < bytes.len() {
+                if spill.is_empty() {
+                    conn.inbuf.extend_from_slice(&bytes[offset..]);
+                } else {
+                    let mut buf = spill;
+                    buf.drain(..offset);
+                    conn.inbuf = buf;
+                }
+            }
+        }
+        true
+    }
+
+    /// Handle one decoded frame. Mirrors the dispatch table of the old
+    /// threaded front exactly, plus admission control on estimates and
+    /// feedback.
+    fn dispatch(&mut self, slot: usize, message: Message) {
         // One span per inbound frame: decode already happened, so this
-        // covers dispatch, the response encode, and the flush.
+        // covers dispatch and the response encode.
         let _handle_span = SpanTimer::start(&metrics::SERVE_HANDLE_NS);
         let response = match message {
             Message::Hello { id, version: client_version, capabilities: client_caps } => {
                 let (v, c) = negotiate(client_version, client_caps);
-                version = v;
-                caps = c;
+                if let Some(conn) = self.slots[slot].conn.as_mut() {
+                    conn.version = v;
+                    conn.caps = c;
+                    conn.negotiated = true;
+                }
                 Message::HelloAck { id, version: v, capabilities: c }
             }
             Message::EstimateRequest { id, query } => {
                 metrics::SERVE_REQUESTS.inc();
-                let _span = SpanTimer::start(&metrics::SERVE_ESTIMATE_NS);
-                match service.estimate(&query) {
-                    Ok(est) => Message::EstimateResponse {
-                        id,
-                        estimate: est.cardinality,
-                        model_version: est.model_version,
-                        micro_batch: est.micro_batch,
-                        cache_hit: est.cache_hit,
-                    },
-                    Err(e) => error_message(id, e.to_string()),
+                let started = lc_obs::enabled().then(Instant::now);
+                if self.over_budget() {
+                    self.shed(slot, id, started);
+                    return;
+                }
+                match self.service.probe_cache(&query) {
+                    CacheProbe::Hit(est) => {
+                        if let Some(started) = started {
+                            metrics::SERVE_ESTIMATE_NS.record_duration(started.elapsed());
+                        }
+                        Message::EstimateResponse {
+                            id,
+                            estimate: est.cardinality,
+                            model_version: est.model_version,
+                            micro_batch: est.micro_batch,
+                            cache_hit: est.cache_hit,
+                        }
+                    }
+                    CacheProbe::Miss { query_key } => {
+                        self.admit(slot, id, query_key, started, &query, None);
+                        return;
+                    }
                 }
             }
             Message::Feedback { id, query, actual_card } => {
-                if caps & CAP_FEEDBACK == 0 {
+                if self.conn_caps(slot) & CAP_FEEDBACK == 0 {
                     error_message(id, "feedback capability not negotiated".into())
+                } else if self.over_budget() {
+                    self.shed(slot, id, None);
+                    return;
                 } else {
-                    let _span = SpanTimer::start(&metrics::SERVE_FEEDBACK_NS);
-                    match service.feedback(&query, actual_card) {
-                        Ok(est) => Message::FeedbackAck { id, model_version: est.model_version },
-                        Err(e) => error_message(id, e.to_string()),
+                    match self.service.probe_cache(&query) {
+                        CacheProbe::Hit(est) => {
+                            let _span = SpanTimer::start(&metrics::SERVE_FEEDBACK_NS);
+                            self.service.record_feedback(&query, est.cardinality, actual_card);
+                            Message::FeedbackAck { id, model_version: est.model_version }
+                        }
+                        CacheProbe::Miss { query_key } => {
+                            self.admit(slot, id, query_key, None, &query, Some(actual_card));
+                            return;
+                        }
                     }
                 }
             }
             Message::StatsRequest { id } => {
-                if caps & CAP_STATS == 0 {
+                if self.conn_caps(slot) & CAP_STATS == 0 {
                     error_message(id, "stats capability not negotiated".into())
                 } else {
-                    let drift = service.drift();
+                    let drift = self.service.drift();
                     Message::Stats {
                         id,
-                        model_version: service.registry().active_version(),
+                        model_version: self.service.registry().active_version(),
                         retrains: drift.retrains(),
                         feedback_count: drift.feedback_count(),
                         templates: drift.template_stats(),
@@ -238,36 +650,236 @@ fn handle_connection(
                 }
             }
             Message::DriftStatusRequest { id } => {
-                if caps & CAP_DRIFT == 0 {
+                if self.conn_caps(slot) & CAP_DRIFT == 0 {
                     error_message(id, "drift capability not negotiated".into())
                 } else {
                     Message::DriftStatus {
                         id,
-                        retrain_in_flight: service.retrain_in_flight(),
-                        templates: service.drift().template_drift(),
+                        retrain_in_flight: self.service.retrain_in_flight(),
+                        templates: self.service.drift().template_drift(),
                     }
                 }
             }
             Message::MetricsRequest { id } => {
-                if caps & CAP_METRICS == 0 {
+                if self.conn_caps(slot) & CAP_METRICS == 0 {
                     error_message(id, "metrics capability not negotiated".into())
                 } else {
                     metrics::SERVE_METRICS_REQUESTS.inc();
-                    metrics_snapshot(service, id)
+                    metrics_snapshot(&self.service, id)
                 }
             }
             Message::Ping { id } => Message::Pong { id },
             other => error_message(0, format!("unexpected client frame: {other:?}")),
         };
+        self.respond(slot, response);
+    }
+
+    fn conn_caps(&self, slot: usize) -> u8 {
+        self.slots[slot].conn.as_ref().map_or(0, |c| c.caps)
+    }
+
+    fn over_budget(&self) -> bool {
+        self.front.inflight_budget > 0 && self.pending.len() >= self.front.inflight_budget
+    }
+
+    /// Refuse one request under overload. Clients that explicitly
+    /// negotiated [`CAP_RETRY`] get the typed Busy frame; everyone else
+    /// (v1, hello-less, or opted out) gets a plain error they can
+    /// already decode.
+    fn shed(&mut self, slot: usize, id: u64, started: Option<Instant>) {
+        self.obs.shed.inc();
+        if let Some(started) = started {
+            // Keep the estimate-span count == request count invariant:
+            // a shed request was answered too, just not by the model.
+            metrics::SERVE_ESTIMATE_NS.record_duration(started.elapsed());
+        }
+        let retry =
+            self.slots[slot].conn.as_ref().is_some_and(|c| c.negotiated && c.caps & CAP_RETRY != 0);
+        let response = if retry {
+            Message::Busy { id, retry_after_ms: self.front.retry_after_ms }
+        } else {
+            error_message(id, "server busy".into())
+        };
+        self.respond(slot, response);
+    }
+
+    /// Enqueue an admitted request into the shard's batcher.
+    fn admit(
+        &mut self,
+        slot: usize,
+        id: u64,
+        query_key: Option<Vec<u8>>,
+        started: Option<Instant>,
+        query: &Query,
+        feedback_actual: Option<u64>,
+    ) {
+        let annotated = self.service.annotate(query);
+        let rx = self.batcher.submit(annotated);
+        let generation = self.slots[slot].generation;
+        self.pending.push(PendingReq {
+            slot,
+            generation,
+            id,
+            query_key,
+            rx,
+            started,
+            feedback: feedback_actual.map(|actual| (query.clone(), actual)),
+        });
+        self.obs.inflight.set(self.pending.len() as u64);
+    }
+
+    /// Deliver every batched result to its connection. After the flush
+    /// loop all pending receivers have answers, so this empties the
+    /// queue except when the batcher shut down mid-flight.
+    fn resolve_pending(&mut self) {
+        let mut i = 0;
+        while i < self.pending.len() {
+            match self.pending[i].rx.try_recv() {
+                Ok(batched) => {
+                    let req = self.pending.swap_remove(i);
+                    self.finish(req, Some(batched));
+                }
+                Err(TryRecvError::Disconnected) => {
+                    let req = self.pending.swap_remove(i);
+                    self.finish(req, None);
+                }
+                Err(TryRecvError::Empty) => i += 1,
+            }
+        }
+        self.obs.inflight.set(self.pending.len() as u64);
+    }
+
+    fn finish(&mut self, req: PendingReq, batched: Option<BatchedEstimate>) {
+        if req.slot >= self.slots.len()
+            || self.slots[req.slot].generation != req.generation
+            || self.slots[req.slot].conn.is_none()
+        {
+            return; // peer disconnected while its batch ran
+        }
+        let response = match batched {
+            Some(batched) => {
+                if let Some(key) = req.query_key {
+                    self.service.cache_insert(key, batched.model_version, batched.cardinality);
+                }
+                match req.feedback {
+                    Some((query, actual_card)) => {
+                        let _span = SpanTimer::start(&metrics::SERVE_FEEDBACK_NS);
+                        self.service.record_feedback(&query, batched.cardinality, actual_card);
+                        Message::FeedbackAck { id: req.id, model_version: batched.model_version }
+                    }
+                    None => {
+                        if let Some(started) = req.started {
+                            metrics::SERVE_ESTIMATE_NS.record_duration(started.elapsed());
+                        }
+                        Message::EstimateResponse {
+                            id: req.id,
+                            estimate: batched.cardinality,
+                            model_version: batched.model_version,
+                            micro_batch: batched.micro_batch,
+                            cache_hit: false,
+                        }
+                    }
+                }
+            }
+            None => error_message(req.id, ServeError::Shutdown.to_string()),
+        };
+        self.respond(req.slot, response);
+    }
+
+    /// Encode a response into the connection's write backlog and mark
+    /// the slot for the end-of-pass write sweep.
+    fn respond(&mut self, slot: usize, response: Message) {
         if matches!(response, Message::Error { .. }) {
             metrics::SERVE_ERRORS.inc();
         }
-        write_message(&mut writer, &response)?;
-        writer.flush()?;
-        if stop.load(Ordering::SeqCst) {
-            // Server is quiescing: answer the request in flight, then
-            // close instead of waiting for the client's next frame.
-            return Ok(());
+        self.scratch.clear();
+        response.encode(&mut self.scratch);
+        let conn = match self.slots[slot].conn.as_mut() {
+            Some(conn) => conn,
+            None => return,
+        };
+        conn.outbuf.extend_from_slice(&self.scratch);
+        if !conn.dirty {
+            conn.dirty = true;
+            self.dirty.push(slot);
+        }
+    }
+
+    /// Write sweep: push each dirty connection's backlog into its
+    /// socket; write interest stays armed only where the socket pushed
+    /// back.
+    fn flush_dirty(&mut self) {
+        let dirty = std::mem::take(&mut self.dirty);
+        for slot in dirty {
+            if let Some(conn) = self.slots[slot].conn.as_mut() {
+                conn.dirty = false;
+            }
+            self.write_some(slot);
+        }
+    }
+
+    /// Write as much of the backlog as the socket accepts. On full
+    /// drain, de-arm write interest and honor a pending close; on
+    /// WouldBlock, arm write interest so the poller finishes the job.
+    fn write_some(&mut self, slot: usize) {
+        let outcome = {
+            let conn = match self.slots[slot].conn.as_mut() {
+                Some(conn) => conn,
+                None => return,
+            };
+            loop {
+                if !conn.has_backlog() {
+                    break IoOutcome::Open;
+                }
+                match conn.stream.write(&conn.outbuf[conn.out_pos..]) {
+                    Ok(0) => break IoOutcome::Closed,
+                    Ok(n) => conn.out_pos += n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break IoOutcome::Blocked,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => break IoOutcome::Closed,
+                }
+            }
+        };
+        let token = TOKEN_BASE + slot as u64;
+        match outcome {
+            IoOutcome::Closed => self.close(slot),
+            IoOutcome::Blocked => {
+                let conn = self.slots[slot].conn.as_mut().expect("blocked conn is live");
+                if !conn.wants_write {
+                    conn.wants_write = true;
+                    let _ = self.poller.modify(
+                        raw_fd(&conn.stream),
+                        token,
+                        lc_poll::READ | lc_poll::WRITE,
+                    );
+                }
+            }
+            IoOutcome::Open => {
+                let close = {
+                    let conn = self.slots[slot].conn.as_mut().expect("drained conn is live");
+                    conn.out_pos = 0;
+                    conn.outbuf = Vec::new();
+                    if !conn.close_after_drain && conn.wants_write {
+                        conn.wants_write = false;
+                        let _ = self.poller.modify(raw_fd(&conn.stream), token, lc_poll::READ);
+                    }
+                    conn.close_after_drain
+                };
+                if close {
+                    self.close(slot);
+                }
+            }
+        }
+    }
+
+    fn close(&mut self, slot: usize) {
+        if let Some(conn) = self.slots[slot].conn.take() {
+            let _ = self.poller.delete(raw_fd(&conn.stream));
+            drop(conn);
+            self.slots[slot].generation += 1;
+            self.free.push(slot);
+            self.open_connections.fetch_sub(1, Ordering::Relaxed);
+            self.obs.connections.set(self.live_connections() as u64);
         }
     }
 }
@@ -275,17 +887,22 @@ fn handle_connection(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::CacheConfig;
     use crate::config::ServeConfig;
     use crate::registry::ModelRegistry;
-    use crate::wire::{CAP_FEEDBACK, PROTOCOL_V1};
+    use crate::wire::{read_message, write_message, CAP_FEEDBACK, PROTOCOL_V1};
     use lc_core::{train, TrainConfig};
     use lc_engine::SampleSet;
     use lc_imdb::{generate, ImdbConfig};
     use lc_query::workloads;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
+    use std::io::{BufReader, BufWriter};
+    use std::time::Duration;
 
-    fn tiny_service() -> (Arc<EstimationService>, Vec<lc_query::LabeledQuery>) {
+    fn tiny_service_with(
+        config: ServeConfig,
+    ) -> (Arc<EstimationService>, Vec<lc_query::LabeledQuery>) {
         let db = generate(&ImdbConfig::tiny());
         let mut rng = SmallRng::seed_from_u64(13);
         let samples = SampleSet::draw(&db, 24, &mut rng);
@@ -293,7 +910,11 @@ mod tests {
         let cfg = TrainConfig { epochs: 2, hidden: 16, ..TrainConfig::default() };
         let est = train(&db, 24, &data, cfg).estimator;
         let registry = Arc::new(ModelRegistry::new(est));
-        (Arc::new(EstimationService::new(db, samples, registry, ServeConfig::default())), data)
+        (Arc::new(EstimationService::new(db, samples, registry, config)), data)
+    }
+
+    fn tiny_service() -> (Arc<EstimationService>, Vec<lc_query::LabeledQuery>) {
+        tiny_service_with(ServeConfig::default())
     }
 
     #[test]
@@ -514,6 +1135,228 @@ mod tests {
             other => panic!("expected DriftStatus, got {other:?}"),
         }
 
+        handle.shutdown();
+        service.shutdown();
+    }
+
+    /// Regression for the old accept-loop race: `shutdown()` used to
+    /// poke the blocking accept loop with a throwaway connection and
+    /// left connection threads lingering on idle peers. The reactor
+    /// front must stop promptly with idle connections parked and zero
+    /// inbound traffic.
+    #[test]
+    fn shutdown_returns_promptly_with_idle_connections() {
+        let (service, _) = tiny_service();
+        let handle = serve(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+        let addr = handle.local_addr();
+        // Park idle connections on the server; never send a byte.
+        let idle: Vec<TcpStream> =
+            (0..8).map(|_| TcpStream::connect(addr).expect("connect")).collect();
+        // Give the reactors a moment to accept them all.
+        std::thread::sleep(Duration::from_millis(100));
+        let started = Instant::now();
+        handle.shutdown();
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "shutdown took {elapsed:?} with idle connections parked"
+        );
+        drop(idle);
+        service.shutdown();
+    }
+
+    /// Admission control: a pipelined burst beyond the per-shard
+    /// in-flight budget is shed — Busy frames for CAP_RETRY clients —
+    /// while admitted requests are answered normally, with zero hard
+    /// errors and the connection still healthy afterwards.
+    #[test]
+    fn overload_sheds_with_busy_frames_and_keeps_the_connection() {
+        const BUDGET: usize = 4;
+        const BURST: usize = 12;
+        let (service, data) = tiny_service_with(ServeConfig {
+            front: FrontConfig { shards: 1, inflight_budget: BUDGET, ..FrontConfig::default() },
+            // Cache off so every admitted request must go through the
+            // batcher and the budget is exercised deterministically.
+            cache: CacheConfig { capacity: 0, ..CacheConfig::default() },
+            ..ServeConfig::default()
+        });
+        let handle = serve(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+        let stream = TcpStream::connect(handle.local_addr()).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+
+        write_message(
+            &mut writer,
+            &Message::Hello { id: 0, version: PROTOCOL_VERSION, capabilities: CAPABILITIES },
+        )
+        .unwrap();
+        writer.flush().unwrap();
+        assert!(matches!(
+            read_message(&mut reader, PROTOCOL_VERSION).unwrap(),
+            Some(Message::HelloAck { .. })
+        ));
+
+        // Pipeline the whole burst in one write. The shard usually
+        // decodes it in a single readiness pass (admitting exactly
+        // BUDGET), but TCP may split the burst across passes — so the
+        // assertions are: nothing lost, no hard errors, and at least
+        // one shed with the configured retry hint.
+        for id in 0..BURST as u64 {
+            write_message(
+                &mut writer,
+                &Message::EstimateRequest { id, query: data[id as usize].query.clone() },
+            )
+            .unwrap();
+        }
+        writer.flush().unwrap();
+        let (mut answered, mut shed) = (0usize, 0usize);
+        for _ in 0..BURST {
+            match read_message(&mut reader, PROTOCOL_VERSION).unwrap() {
+                Some(Message::EstimateResponse { estimate, .. }) => {
+                    assert!(estimate >= 1.0);
+                    answered += 1;
+                }
+                Some(Message::Busy { retry_after_ms, .. }) => {
+                    assert_eq!(retry_after_ms, FrontConfig::default().retry_after_ms);
+                    shed += 1;
+                }
+                other => panic!("unexpected reply under overload: {other:?}"),
+            }
+        }
+        assert_eq!(answered + shed, BURST, "every request must be answered or shed");
+        assert!(answered >= BUDGET, "the budget's worth must be admitted");
+        assert!(shed >= 1, "a {BURST}-deep burst over budget {BUDGET} must shed");
+
+        // The connection stays healthy: the next request is admitted.
+        write_message(
+            &mut writer,
+            &Message::EstimateRequest { id: 99, query: data[0].query.clone() },
+        )
+        .unwrap();
+        writer.flush().unwrap();
+        assert!(matches!(
+            read_message(&mut reader, PROTOCOL_VERSION).unwrap(),
+            Some(Message::EstimateResponse { id: 99, .. })
+        ));
+
+        // A v1 client (no hello) shed over budget gets a plain Error it
+        // can decode, never a v2 Busy frame.
+        let stream = TcpStream::connect(handle.local_addr()).expect("connect");
+        let mut v1_reader = BufReader::new(stream.try_clone().unwrap());
+        let mut v1_writer = BufWriter::new(stream);
+        for id in 0..BURST as u64 {
+            write_message(
+                &mut v1_writer,
+                &Message::EstimateRequest { id, query: data[id as usize].query.clone() },
+            )
+            .unwrap();
+        }
+        v1_writer.flush().unwrap();
+        let (mut v1_answered, mut v1_busy_errors) = (0usize, 0usize);
+        for _ in 0..BURST {
+            match read_message(&mut v1_reader, PROTOCOL_V1).unwrap() {
+                Some(Message::EstimateResponse { .. }) => v1_answered += 1,
+                Some(Message::Error { message, .. }) => {
+                    assert!(message.contains("busy"), "got: {message}");
+                    v1_busy_errors += 1;
+                }
+                other => panic!("v1 overload reply: {other:?}"),
+            }
+        }
+        assert_eq!(v1_answered + v1_busy_errors, BURST);
+        assert!(v1_busy_errors >= 1, "v1 burst over budget must shed with Error frames");
+
+        handle.shutdown();
+        service.shutdown();
+    }
+
+    /// Frames split at arbitrary byte offsets must decode identically to
+    /// whole-frame writes — the incremental decoder cannot depend on TCP
+    /// segment boundaries.
+    #[test]
+    fn split_writes_at_every_offset_decode_correctly() {
+        let (service, data) = tiny_service();
+        let handle = serve(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+        let stream = TcpStream::connect(handle.local_addr()).expect("connect");
+        stream.set_nodelay(true).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut raw = stream;
+
+        let mut frame = Vec::new();
+        Message::EstimateRequest { id: 7, query: data[1].query.clone() }.encode(&mut frame);
+        // Dribble the frame one byte at a time: every prefix length is a
+        // split offset the decoder must park on without progress or
+        // error.
+        for &byte in &frame {
+            raw.write_all(&[byte]).unwrap();
+            raw.flush().unwrap();
+        }
+        match read_message(&mut reader, PROTOCOL_VERSION).unwrap() {
+            Some(Message::EstimateResponse { id: 7, estimate, .. }) => assert!(estimate >= 1.0),
+            other => panic!("byte-dribbled frame got {other:?}"),
+        }
+
+        // Two frames fused into one write: both answered, in order.
+        let mut fused = Vec::new();
+        Message::Ping { id: 1 }.encode(&mut fused);
+        Message::Ping { id: 2 }.encode(&mut fused);
+        raw.write_all(&fused).unwrap();
+        raw.flush().unwrap();
+        assert_eq!(
+            read_message(&mut reader, PROTOCOL_VERSION).unwrap(),
+            Some(Message::Pong { id: 1 })
+        );
+        assert_eq!(
+            read_message(&mut reader, PROTOCOL_VERSION).unwrap(),
+            Some(Message::Pong { id: 2 })
+        );
+
+        handle.shutdown();
+        service.shutdown();
+    }
+
+    /// The global connection cap refuses surplus connections at accept
+    /// while the connections under the cap keep being served.
+    #[test]
+    fn connection_cap_refuses_surplus_connections() {
+        let (service, data) = tiny_service_with(ServeConfig {
+            front: FrontConfig { shards: 1, max_connections: 2, ..FrontConfig::default() },
+            ..ServeConfig::default()
+        });
+        let handle = serve(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+        let addr = handle.local_addr();
+
+        let keep1 = TcpStream::connect(addr).expect("connect");
+        let keep2 = TcpStream::connect(addr).expect("connect");
+        // Let the reactor accept both before over-filling.
+        std::thread::sleep(Duration::from_millis(100));
+        // The surplus connection is accepted by the kernel and then
+        // closed by the server: its first read reports EOF.
+        let surplus = TcpStream::connect(addr).expect("connect");
+        surplus.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut surplus_reader = BufReader::new(surplus);
+        let mut byte = [0u8; 1];
+        assert_eq!(
+            surplus_reader.read(&mut byte).expect("surplus read"),
+            0,
+            "over-cap connection must be closed by the server"
+        );
+
+        // The admitted connections still serve.
+        let mut reader = BufReader::new(keep1.try_clone().unwrap());
+        let mut writer = BufWriter::new(keep1);
+        write_message(
+            &mut writer,
+            &Message::EstimateRequest { id: 4, query: data[0].query.clone() },
+        )
+        .unwrap();
+        writer.flush().unwrap();
+        assert!(matches!(
+            read_message(&mut reader, PROTOCOL_VERSION).unwrap(),
+            Some(Message::EstimateResponse { id: 4, .. })
+        ));
+
+        drop(keep2);
         handle.shutdown();
         service.shutdown();
     }

@@ -39,9 +39,9 @@ use lc_engine::{Database, SampleSet};
 use lc_obs::{metrics, RateLimitedLog, SpanTimer};
 use lc_query::{annotate_query, Query};
 
-use crate::batcher::{BatchStats, BatchedEstimate, MicroBatcher};
+use crate::batcher::{BatchStats, BatchedEstimate, BatcherConfig, MicroBatcher};
 use crate::cache::{CacheStats, EstimateCache};
-use crate::config::ServeConfig;
+use crate::config::{FrontConfig, ServeConfig};
 use crate::drift::{DriftDecision, DriftMonitor};
 use crate::registry::ModelRegistry;
 
@@ -85,6 +85,9 @@ pub struct EstimationService {
     cache: EstimateCache,
     batcher: MicroBatcher,
     drift: Arc<DriftMonitor>,
+    /// Sizing/admission policy of the sharded TCP front, carried here so
+    /// `serve(service, addr)` needs no extra argument.
+    front: FrontConfig,
     /// Guard ensuring at most one retrain runs at a time; reset by the
     /// retrainer thread itself when it finishes.
     retrain_in_flight: Arc<AtomicBool>,
@@ -109,6 +112,21 @@ enum PendingState {
         /// the batch result (and thus the producing version) is known.
         query_key: Vec<u8>,
         rx: Receiver<BatchedEstimate>,
+    },
+}
+
+/// Outcome of [`EstimationService::probe_cache`] — the non-blocking
+/// cache probe the sharded TCP front runs before enqueueing into its
+/// per-shard batcher.
+pub(crate) enum CacheProbe {
+    /// Answered from the cache; no inference needed.
+    Hit(Estimate),
+    /// Not cached: `query_key` is the bare canonical encoding to pass to
+    /// [`EstimationService::cache_insert`] once the producing version is
+    /// known (`None` when the cache is disabled).
+    Miss {
+        /// Canonical query bytes without the version suffix.
+        query_key: Option<Vec<u8>>,
     },
 }
 
@@ -158,6 +176,7 @@ impl EstimationService {
             batcher: MicroBatcher::new(Arc::clone(&registry), config.batcher),
             registry,
             drift: Arc::new(DriftMonitor::new(config.drift)),
+            front: config.front,
             retrain_in_flight: Arc::new(AtomicBool::new(false)),
             retrainer: Mutex::new(None),
         }
@@ -215,24 +234,87 @@ impl EstimationService {
     /// Returns the estimate the current model gave, whose
     /// `model_version` the feedback ack reports back to the client.
     pub fn feedback(&self, query: &Query, actual_card: u64) -> Result<Estimate, ServeError> {
-        metrics::SERVE_FEEDBACK.inc();
         let estimate = self.estimate(query)?;
+        self.record_feedback(query, estimate.cardinality, actual_card);
+        Ok(estimate)
+    }
+
+    /// The bookkeeping half of [`EstimationService::feedback`], for
+    /// callers that already hold the current model's estimate for
+    /// `query` (the sharded TCP front scores feedback against its own
+    /// batched estimate instead of estimating twice): record the
+    /// observation in the drift windows, bank the corpus entry, and
+    /// schedule a retrain when a window trips.
+    pub(crate) fn record_feedback(&self, query: &Query, estimated: f64, actual_card: u64) {
+        metrics::SERVE_FEEDBACK.inc();
         let corpus_entry = (actual_card >= 1).then(|| {
             let mut labeled = annotate_query(&self.db, &self.samples, query.clone());
             labeled.cardinality = actual_card;
             labeled
         });
-        let decision = self.drift.record(
-            query.join_template(),
-            estimate.cardinality,
-            actual_card,
-            corpus_entry,
-        );
+        let decision =
+            self.drift.record(query.join_template(), estimated, actual_card, corpus_entry);
         if decision == DriftDecision::Retrain {
             metrics::DRIFT_TRIPS.inc();
             self.schedule_retrain();
         }
-        Ok(estimate)
+    }
+
+    /// The cache half of [`EstimationService::submit`] for callers that
+    /// run their own micro-batcher (the sharded TCP front): probe only,
+    /// never enqueue. Hit/miss counters record exactly as in `submit`.
+    pub(crate) fn probe_cache(&self, query: &Query) -> CacheProbe {
+        if !self.cache.enabled() {
+            return CacheProbe::Miss { query_key: None };
+        }
+        let mut query_key = query.to_canonical_bytes();
+        let version = self.registry.active_version();
+        query_key.extend_from_slice(&version.to_le_bytes());
+        if let Some(cardinality) = self.cache.get(&query_key) {
+            metrics::CACHE_HITS.inc();
+            return CacheProbe::Hit(Estimate {
+                cardinality,
+                model_version: version,
+                cache_hit: true,
+                micro_batch: 0,
+            });
+        }
+        query_key.truncate(query_key.len() - 4);
+        metrics::CACHE_MISSES.inc();
+        CacheProbe::Miss { query_key: Some(query_key) }
+    }
+
+    /// Insert a batch-produced estimate under the producing model
+    /// version — the insert half of [`PendingEstimate::wait`], for the
+    /// sharded front's resolution path.
+    pub(crate) fn cache_insert(
+        &self,
+        mut query_key: Vec<u8>,
+        model_version: u32,
+        cardinality: f64,
+    ) {
+        if self.cache.enabled() {
+            query_key.extend_from_slice(&model_version.to_le_bytes());
+            self.cache.insert(query_key, cardinality);
+        }
+    }
+
+    /// Annotate `query` against this service's database snapshot and
+    /// materialized samples (the featurization input every batcher
+    /// expects).
+    pub(crate) fn annotate(&self, query: &Query) -> lc_query::LabeledQuery {
+        annotate_query(&self.db, &self.samples, query.clone())
+    }
+
+    /// The flush policy of this service's batcher — the sharded front
+    /// clones it (with `workers: 0`) for its per-shard batchers.
+    pub(crate) fn batcher_config(&self) -> BatcherConfig {
+        self.batcher.config()
+    }
+
+    /// The TCP-front sizing/admission policy this service was built with.
+    pub(crate) fn front_config(&self) -> FrontConfig {
+        self.front
     }
 
     /// Spawn the background retrainer unless one is already in flight.

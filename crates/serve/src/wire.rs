@@ -18,7 +18,7 @@
 //! ping         := kind 4
 //! pong         := kind 5
 //!
-//! # protocol version 2 (kinds 6–15)
+//! # protocol version 2 (kinds 6–16)
 //! hello        := kind 6  | u8 version | u8 capabilities
 //! hello_ack    := kind 7  | u8 version | u8 capabilities (both negotiated)
 //! feedback     := kind 8  | u64 actual_card | canonical query encoding
@@ -31,6 +31,7 @@
 //! metrics_req  := kind 14
 //! metrics      := kind 15 | u64 uptime_ns | u16 n | n × scalar_metric
 //!                         | u16 m | m × histogram_metric
+//! busy         := kind 16 | u32 retry_after_ms
 //!
 //! template_stat  := u32 template | u64 count | f64 mean_qerror
 //! template_drift := u32 template | u32 window_len | f64 rolling_qerror
@@ -82,8 +83,8 @@ pub const MAX_FRAME_LEN: usize = 1 << 20;
 
 /// The original protocol: kinds 1–5 (estimate, error, ping/pong).
 pub const PROTOCOL_V1: u8 = 1;
-/// The current protocol: adds hello negotiation, feedback, stats, and
-/// drift status (kinds 6–13).
+/// The current protocol: adds hello negotiation, feedback, stats, drift
+/// status, metrics, and busy/retry load-shedding (kinds 6–16).
 pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Capability bit: the server accepts [`Message::Feedback`] frames.
@@ -95,8 +96,13 @@ pub const CAP_DRIFT: u8 = 1 << 2;
 /// Capability bit: the server answers [`Message::MetricsRequest`] with a
 /// full [`Message::MetricsSnapshot`] of the `lc_obs` catalog.
 pub const CAP_METRICS: u8 = 1 << 3;
+/// Capability bit: under overload the server sheds this connection's
+/// requests with [`Message::Busy`] (retry after a hint) instead of a
+/// terse [`Message::Error`]. Clients that do not negotiate it — all v1
+/// clients — keep receiving plain errors, byte-identically to before.
+pub const CAP_RETRY: u8 = 1 << 4;
 /// Every capability this build implements.
-pub const CAPABILITIES: u8 = CAP_FEEDBACK | CAP_STATS | CAP_DRIFT | CAP_METRICS;
+pub const CAPABILITIES: u8 = CAP_FEEDBACK | CAP_STATS | CAP_DRIFT | CAP_METRICS | CAP_RETRY;
 
 /// Negotiate a hello: the connection runs at the *minimum* of the two
 /// protocol versions and the *intersection* of the capability sets.
@@ -399,6 +405,17 @@ pub enum Message {
         /// Every histogram, in catalog-id order.
         histograms: Vec<HistogramMetric>,
     },
+    /// Server → client: the request was shed by admission control (the
+    /// shard's in-flight budget or the global connection cap was hit).
+    /// Sent only on connections that negotiated [`CAP_RETRY`]; the
+    /// request was **not** processed and should be retried after the
+    /// hinted delay, ideally with jitter. (v2)
+    Busy {
+        /// Token of the request that was shed.
+        id: u64,
+        /// Suggested client back-off before retrying, in milliseconds.
+        retry_after_ms: u32,
+    },
 }
 
 /// The lowest protocol version that defines kind tag `kind`, or `None`
@@ -406,7 +423,7 @@ pub enum Message {
 fn kind_min_version(kind: u8) -> Option<u8> {
     match kind {
         1..=5 => Some(PROTOCOL_V1),
-        6..=15 => Some(PROTOCOL_VERSION),
+        6..=16 => Some(PROTOCOL_VERSION),
         _ => None,
     }
 }
@@ -446,6 +463,7 @@ impl Message {
             Message::DriftStatus { .. } => 13,
             Message::MetricsRequest { .. } => 14,
             Message::MetricsSnapshot { .. } => 15,
+            Message::Busy { .. } => 16,
         }
     }
 
@@ -547,6 +565,10 @@ impl Message {
                         buf.put_u64_le(count);
                     }
                 }
+            }
+            Message::Busy { id, retry_after_ms } => {
+                buf.put_u64_le(*id);
+                buf.put_u32_le(*retry_after_ms);
             }
         }
         let body_len = (buf.len() - start - 4) as u32;
@@ -724,6 +746,10 @@ impl Message {
                     histograms.push(HistogramMetric { id: metric_id, sum, max, buckets });
                 }
                 Message::MetricsSnapshot { id, uptime_ns, scalars, histograms }
+            }
+            16 => {
+                need(buf, 4, "busy payload", version)?;
+                Message::Busy { id, retry_after_ms: buf.get_u32_le() }
             }
             t => unreachable!("kind {t} passed the version gate but has no decoder"),
         };
@@ -905,6 +931,8 @@ mod tests {
                 ],
             },
             Message::MetricsSnapshot { id: 42, uptime_ns: 0, scalars: vec![], histograms: vec![] },
+            Message::Busy { id: 51, retry_after_ms: 50 },
+            Message::Busy { id: u64::MAX, retry_after_ms: 0 },
         ]
     }
 
@@ -941,6 +969,46 @@ mod tests {
                 "cut at {cut}"
             );
         }
+    }
+
+    /// The sharded server decodes incrementally: whatever the socket
+    /// delivers is appended to a connection buffer, complete frames are
+    /// peeled off with [`Message::decode_prefix`], and the partial tail
+    /// is carried into the next read. A split at *any* byte offset —
+    /// including inside the length prefix — must therefore be invisible.
+    /// This drives the full all-kinds stream through that exact
+    /// algorithm for every two-chunk split, and once fed a byte at a
+    /// time (the worst case: every read is a partial frame).
+    #[test]
+    fn incremental_decode_is_split_invariant_at_every_byte_offset() {
+        let messages = sample_messages();
+        let mut stream = Vec::new();
+        for message in &messages {
+            stream.extend_from_slice(&message.to_bytes());
+        }
+        let feed = |chunks: &mut dyn Iterator<Item = &[u8]>| {
+            let mut inbuf: Vec<u8> = Vec::new();
+            let mut decoded = Vec::new();
+            for chunk in chunks {
+                inbuf.extend_from_slice(chunk);
+                let mut offset = 0;
+                while let Some((message, consumed)) =
+                    Message::decode_prefix(&inbuf[offset..], PROTOCOL_VERSION).expect("decode")
+                {
+                    decoded.push(message);
+                    offset += consumed;
+                }
+                inbuf.drain(..offset);
+            }
+            assert!(inbuf.is_empty(), "{} bytes left undecoded", inbuf.len());
+            decoded
+        };
+        for split in 0..=stream.len() {
+            let decoded = feed(&mut [&stream[..split], &stream[split..]].into_iter());
+            assert_eq!(decoded, messages, "two-chunk split at byte {split}");
+        }
+        let decoded = feed(&mut stream.chunks(1));
+        assert_eq!(decoded, messages, "byte-at-a-time feed");
     }
 
     /// Every truncation offset of every message body (old kinds *and*
@@ -1010,6 +1078,7 @@ mod tests {
             Message::StatsRequest { id: 3 },
             Message::DriftStatusRequest { id: 4 },
             Message::MetricsRequest { id: 5 },
+            Message::Busy { id: 6, retry_after_ms: 25 },
         ];
         for message in &v2_only {
             let body = &message.to_bytes()[4..];
@@ -1219,7 +1288,7 @@ mod tests {
     }
 
     /// Generator covering every arm of the v2 protocol: `arm` picks the
-    /// variant (so all 15 are exercised no matter what the RNG draws),
+    /// variant (so all 16 are exercised no matter what the RNG draws),
     /// `rng` fills in the fields.
     fn arb_message(arm: usize, rng: &mut SmallRng) -> Message {
         let id = rng.gen_range(0u64..=u64::MAX);
@@ -1272,6 +1341,7 @@ mod tests {
                 scalars: arb_scalar_metrics(rng),
                 histograms: arb_histogram_metrics(rng),
             },
+            15 => Message::Busy { id, retry_after_ms: rng.gen_range(0u32..=u32::MAX) },
             _ => unreachable!("arm out of range"),
         }
     }
@@ -1283,7 +1353,7 @@ mod tests {
         /// round trip byte-exactly, and every strict prefix of the frame
         /// is "incomplete", never an error or a wrong parse.
         #[test]
-        fn every_arm_roundtrips(arm in 0usize..15, seed in 0u64..u64::MAX) {
+        fn every_arm_roundtrips(arm in 0usize..16, seed in 0u64..u64::MAX) {
             let mut rng = SmallRng::seed_from_u64(seed);
             let message = arb_message(arm, &mut rng);
             let bytes = message.to_bytes();

@@ -1,0 +1,527 @@
+//! Minimal offline stand-in for an epoll readiness-polling crate
+//! (`mio`/`polling`), vendored under the same no-network policy as
+//! `vendor/rand` and `vendor/bytes`.
+//!
+//! Scope is exactly what `lc-serve`'s shard-per-core reactor needs:
+//!
+//! - [`Poller`] — a level-triggered readiness queue over raw file
+//!   descriptors ([`Poller::add`] / [`Poller::modify`] /
+//!   [`Poller::delete`] / [`Poller::wait`]), with opt-in
+//!   `EPOLLEXCLUSIVE` registration so several shards can share one
+//!   listening socket without thundering-herd wakeups.
+//! - [`Waker`] — a cross-thread wakeup handle (an `eventfd`) that makes
+//!   a blocked [`Poller::wait`] return promptly; this is what lets
+//!   `ServerHandle::shutdown` stop reactor threads without the old
+//!   "poke connection" hack.
+//! - [`raise_nofile_limit`] — a `prlimit64` helper for the 10k+
+//!   idle-connection tests, which need more file descriptors than the
+//!   default soft limit on some hosts.
+//!
+//! On Linux/x86-64 everything is raw syscalls via inline asm — no libc
+//! dependency, matching the `sched_setaffinity` idiom in `lc_nn`'s
+//! worker pool. Other targets get a degraded but *correct* fallback:
+//! `wait` reports every registered descriptor as ready after a short
+//! sleep. Callers use nonblocking sockets, so spurious readiness only
+//! costs a `WouldBlock` — semantics hold, efficiency is Linux-only.
+//!
+//! Level-triggered only (no `EPOLLET`): a descriptor keeps reporting
+//! ready until drained, so partial reads/writes can never strand a
+//! connection.
+
+/// Interest in read readiness (includes peer-hangup notification).
+pub const READ: u32 = 1;
+/// Interest in write readiness.
+pub const WRITE: u32 = 2;
+
+/// One readiness notification from [`Poller::wait`].
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// The caller-chosen token the descriptor was registered with.
+    pub token: u64,
+    /// Reading will not block (data, EOF, or a pending error).
+    pub readable: bool,
+    /// Writing will not block (or the peer hung up / errored).
+    pub writable: bool,
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+pub use imp::{raise_nofile_limit, Poller, Waker};
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+pub use fallback::{raise_nofile_limit, Poller, Waker};
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod imp {
+    #![allow(unsafe_code)] // contained raw-syscall wrappers (epoll/eventfd/
+                           // prlimit64/read/write/close); every pointer
+                           // argument is a live, properly sized local buffer.
+
+    use std::io;
+    use std::sync::Arc;
+
+    use super::Event;
+
+    const SYS_READ: i64 = 0;
+    const SYS_WRITE: i64 = 1;
+    const SYS_CLOSE: i64 = 3;
+    const SYS_EPOLL_WAIT: i64 = 232;
+    const SYS_EPOLL_CTL: i64 = 233;
+    const SYS_EVENTFD2: i64 = 290;
+    const SYS_EPOLL_CREATE1: i64 = 291;
+    const SYS_PRLIMIT64: i64 = 302;
+
+    const EPOLL_CLOEXEC: i64 = 0x80000;
+    const EPOLL_CTL_ADD: i64 = 1;
+    const EPOLL_CTL_DEL: i64 = 2;
+    const EPOLL_CTL_MOD: i64 = 3;
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLLEXCLUSIVE: u32 = 1 << 28;
+
+    const EFD_NONBLOCK: i64 = 0x800;
+    const EFD_CLOEXEC: i64 = 0x80000;
+
+    const EINTR: i64 = 4;
+
+    /// x86-64 `epoll_event`: packed, 12 bytes (`__attribute__((packed))`
+    /// in the kernel ABI on this architecture).
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    /// Raw 4-argument syscall. Returns the raw kernel result
+    /// (negative errno on failure).
+    ///
+    /// # Safety
+    /// Pointer-typed arguments must reference live buffers sized as the
+    /// specific syscall requires.
+    unsafe fn syscall4(n: i64, a1: i64, a2: i64, a3: i64, a4: i64) -> i64 {
+        let ret: i64;
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") n => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    /// Convert a raw syscall return into `io::Result<i64>`.
+    fn check(ret: i64) -> io::Result<i64> {
+        if ret < 0 {
+            Err(io::Error::from_raw_os_error(-ret as i32))
+        } else {
+            Ok(ret)
+        }
+    }
+
+    fn epoll_bits(interest: u32) -> u32 {
+        let mut ev = 0u32;
+        if interest & super::READ != 0 {
+            ev |= EPOLLIN | EPOLLRDHUP;
+        }
+        if interest & super::WRITE != 0 {
+            ev |= EPOLLOUT;
+        }
+        ev
+    }
+
+    /// An epoll instance. All registration methods take `&self`;
+    /// `wait` is intended to be called from the owning reactor thread.
+    #[derive(Debug)]
+    pub struct Poller {
+        epfd: i64,
+    }
+
+    impl Poller {
+        /// Create a new epoll instance (`EPOLL_CLOEXEC`).
+        pub fn new() -> io::Result<Poller> {
+            // SAFETY: no pointer arguments.
+            let epfd = check(unsafe { syscall4(SYS_EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0) })?;
+            Ok(Poller { epfd })
+        }
+
+        fn ctl(&self, op: i64, fd: i64, events: u32, token: u64) -> io::Result<()> {
+            let ev = EpollEvent { events, data: token };
+            // SAFETY: `ev` is a live, correctly laid out epoll_event;
+            // the kernel copies it before returning.
+            check(unsafe {
+                syscall4(SYS_EPOLL_CTL, self.epfd, op, fd, &ev as *const EpollEvent as i64)
+            })?;
+            Ok(())
+        }
+
+        /// Register `fd` under `token` with the given interest
+        /// ([`super::READ`] `|` [`super::WRITE`]). With `exclusive`,
+        /// registration uses `EPOLLEXCLUSIVE` — when several pollers
+        /// register the same listening socket, the kernel wakes only
+        /// (at least) one of them per readiness edge.
+        pub fn add(&self, fd: i32, token: u64, interest: u32, exclusive: bool) -> io::Result<()> {
+            let mut events = epoll_bits(interest);
+            if exclusive {
+                // EPOLLEXCLUSIVE only admits EPOLLIN/EPOLLOUT (plus
+                // EPOLLET/EPOLLWAKEUP); combining it with EPOLLRDHUP is
+                // EINVAL. Exclusive registration is for listeners, where
+                // hangup notification is meaningless anyway.
+                events &= EPOLLIN | EPOLLOUT;
+                events |= EPOLLEXCLUSIVE;
+            }
+            self.ctl(EPOLL_CTL_ADD, fd as i64, events, token)
+        }
+
+        /// Change the interest set of an already registered `fd`.
+        pub fn modify(&self, fd: i32, token: u64, interest: u32) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd as i64, epoll_bits(interest), token)
+        }
+
+        /// Deregister `fd`. Closing the descriptor also deregisters it
+        /// implicitly; this is for keeping a still-open fd quiet.
+        pub fn delete(&self, fd: i32) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd as i64, 0, 0)
+        }
+
+        /// Block until readiness or `timeout_ms` (`-1` = no timeout),
+        /// appending up to 256 events to `events` (cleared first).
+        /// Returns the number of events delivered. `EINTR` retries.
+        pub fn wait(&self, events: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
+            events.clear();
+            let mut buf = [EpollEvent { events: 0, data: 0 }; 256];
+            let n = loop {
+                // SAFETY: `buf` is a live array of 256 epoll_events and
+                // the kernel writes at most that many.
+                let ret = unsafe {
+                    syscall4(
+                        SYS_EPOLL_WAIT,
+                        self.epfd,
+                        buf.as_mut_ptr() as i64,
+                        buf.len() as i64,
+                        timeout_ms as i64,
+                    )
+                };
+                if ret == -EINTR {
+                    continue;
+                }
+                break check(ret)? as usize;
+            };
+            for ev in &buf[..n] {
+                let bits = ev.events;
+                events.push(Event {
+                    token: ev.data,
+                    readable: bits & (EPOLLIN | EPOLLHUP | EPOLLRDHUP | EPOLLERR) != 0,
+                    writable: bits & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0,
+                });
+            }
+            Ok(n)
+        }
+
+        /// Create a [`Waker`] registered with this poller under `token`.
+        pub fn waker(&self, token: u64) -> io::Result<Waker> {
+            // SAFETY: no pointer arguments.
+            let fd = check(unsafe { syscall4(SYS_EVENTFD2, 0, EFD_NONBLOCK | EFD_CLOEXEC, 0, 0) })?;
+            self.add(fd as i32, token, super::READ, false)?;
+            Ok(Waker { inner: Arc::new(EventFd { fd }) })
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            // SAFETY: closes only the epoll fd this struct owns.
+            unsafe { syscall4(SYS_CLOSE, self.epfd, 0, 0, 0) };
+        }
+    }
+
+    #[derive(Debug)]
+    struct EventFd {
+        fd: i64,
+    }
+
+    impl Drop for EventFd {
+        fn drop(&mut self) {
+            // SAFETY: closes only the eventfd this struct owns.
+            unsafe { syscall4(SYS_CLOSE, self.fd, 0, 0, 0) };
+        }
+    }
+
+    /// Cross-thread wakeup handle for a [`Poller`]; cloneable and
+    /// sendable. [`Waker::wake`] makes the poller's `wait` report the
+    /// waker's token readable until [`Waker::drain`] is called.
+    #[derive(Clone, Debug)]
+    pub struct Waker {
+        inner: Arc<EventFd>,
+    }
+
+    impl Waker {
+        /// Wake the associated poller (async-signal-safe, never blocks:
+        /// an eventfd counter saturates rather than filling a pipe).
+        pub fn wake(&self) {
+            let one: u64 = 1;
+            // SAFETY: writes 8 bytes from a live u64.
+            unsafe {
+                syscall4(SYS_WRITE, self.inner.fd, &one as *const u64 as i64, 8, 0);
+            }
+        }
+
+        /// Consume pending wakeups so level-triggered polling stops
+        /// reporting the waker readable.
+        pub fn drain(&self) {
+            let mut counter: u64 = 0;
+            // SAFETY: reads 8 bytes into a live u64 (eventfd semantics:
+            // one read drains the whole counter).
+            unsafe {
+                syscall4(SYS_READ, self.inner.fd, &mut counter as *mut u64 as i64, 8, 0);
+            }
+        }
+    }
+
+    #[repr(C)]
+    struct RLimit64 {
+        cur: u64,
+        max: u64,
+    }
+
+    /// Best-effort `RLIMIT_NOFILE` raise to at least `target` file
+    /// descriptors (hard limit too, when privileged). Returns the soft
+    /// limit in effect afterwards — callers scale their connection
+    /// counts to it instead of failing.
+    pub fn raise_nofile_limit(target: u64) -> u64 {
+        const RLIMIT_NOFILE: i64 = 7;
+        let mut old = RLimit64 { cur: 0, max: 0 };
+        // SAFETY: null new-limit pointer is the documented "query only"
+        // form; `old` is a live rlimit64.
+        let ret = unsafe {
+            syscall4(SYS_PRLIMIT64, 0, RLIMIT_NOFILE, 0, &mut old as *mut RLimit64 as i64)
+        };
+        if ret != 0 {
+            return 0;
+        }
+        if old.cur >= target {
+            return old.cur;
+        }
+        // Privileged processes may raise the hard limit; others are
+        // clamped to it. Try the full target first, then the clamp.
+        for new in [
+            RLimit64 { cur: target, max: target.max(old.max) },
+            RLimit64 { cur: target.min(old.max), max: old.max },
+        ] {
+            // SAFETY: `new` is a live rlimit64; null old pointer skips
+            // the read-back.
+            let ret = unsafe {
+                syscall4(SYS_PRLIMIT64, 0, RLIMIT_NOFILE, &new as *const RLimit64 as i64, 0)
+            };
+            if ret == 0 {
+                return new.cur;
+            }
+        }
+        old.cur
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+mod fallback {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+
+    use super::Event;
+    use std::io;
+
+    /// Portable stand-in: tracks registrations and reports everything
+    /// ready after a short sleep. Correct for nonblocking descriptors
+    /// (spurious readiness costs a `WouldBlock`), inefficient by design.
+    #[derive(Debug, Default)]
+    pub struct Poller {
+        registered: Mutex<Vec<(i32, u64, u32)>>,
+        wakers: Mutex<Vec<(u64, Arc<AtomicBool>)>>,
+    }
+
+    impl Poller {
+        /// Create a new (fallback) poller.
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller::default())
+        }
+
+        /// Register `fd` under `token` (`exclusive` is ignored here).
+        pub fn add(&self, fd: i32, token: u64, interest: u32, _exclusive: bool) -> io::Result<()> {
+            self.registered.lock().unwrap().push((fd, token, interest));
+            Ok(())
+        }
+
+        /// Replace the interest set of a registered `fd`.
+        pub fn modify(&self, fd: i32, token: u64, interest: u32) -> io::Result<()> {
+            let mut reg = self.registered.lock().unwrap();
+            reg.retain(|&(f, _, _)| f != fd);
+            reg.push((fd, token, interest));
+            Ok(())
+        }
+
+        /// Deregister `fd`.
+        pub fn delete(&self, fd: i32) -> io::Result<()> {
+            self.registered.lock().unwrap().retain(|&(f, _, _)| f != fd);
+            Ok(())
+        }
+
+        /// Sleep briefly, then report every registration ready.
+        pub fn wait(&self, events: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
+            events.clear();
+            let ms = if timeout_ms < 0 { 5 } else { timeout_ms.min(5) as u64 };
+            std::thread::sleep(Duration::from_millis(ms));
+            for &(_, token, interest) in self.registered.lock().unwrap().iter() {
+                events.push(Event {
+                    token,
+                    readable: interest & super::READ != 0,
+                    writable: interest & super::WRITE != 0,
+                });
+            }
+            for (token, flag) in self.wakers.lock().unwrap().iter() {
+                if flag.load(Ordering::Acquire) {
+                    events.push(Event { token: *token, readable: true, writable: false });
+                }
+            }
+            Ok(events.len())
+        }
+
+        /// Create a [`Waker`] registered with this poller under `token`.
+        pub fn waker(&self, token: u64) -> io::Result<Waker> {
+            let flag = Arc::new(AtomicBool::new(false));
+            self.wakers.lock().unwrap().push((token, Arc::clone(&flag)));
+            Ok(Waker { flag })
+        }
+    }
+
+    /// Cross-thread wakeup handle (fallback: a shared flag the poller
+    /// checks each sleep tick).
+    #[derive(Clone, Debug)]
+    pub struct Waker {
+        flag: Arc<AtomicBool>,
+    }
+
+    impl Waker {
+        /// Wake the associated poller.
+        pub fn wake(&self) {
+            self.flag.store(true, Ordering::Release);
+        }
+
+        /// Consume pending wakeups.
+        pub fn drain(&self) {
+            self.flag.store(false, Ordering::Release);
+        }
+    }
+
+    /// No-op on non-Linux targets; returns 0 ("unknown").
+    pub fn raise_nofile_limit(_target: u64) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::{Duration, Instant};
+
+    use super::*;
+
+    #[test]
+    fn tcp_readiness_roundtrip() {
+        let poller = Poller::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let addr = listener.local_addr().unwrap();
+        poller.add(raw_fd(&listener), 1, READ, false).unwrap();
+
+        let mut events = Vec::new();
+        // Nothing pending: a short wait returns empty.
+        poller.wait(&mut events, 0).unwrap();
+        assert!(events.iter().all(|e| e.token != 1 || cfg!(not(target_os = "linux"))));
+
+        let mut client = TcpStream::connect(addr).unwrap();
+        wait_for_token(&poller, &mut events, 1);
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        poller.add(raw_fd(&server), 2, READ, false).unwrap();
+
+        client.write_all(b"ping").unwrap();
+        wait_for_token(&poller, &mut events, 2);
+        let mut server = server;
+        let mut buf = [0u8; 8];
+        let n = server.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"ping");
+
+        // Interest can be switched to writable and back.
+        poller.modify(raw_fd(&server), 2, READ | WRITE).unwrap();
+        wait_for_writable(&poller, &mut events, 2);
+        poller.delete(raw_fd(&server)).unwrap();
+    }
+
+    #[test]
+    fn waker_wakes_a_blocked_wait_promptly() {
+        let poller = Poller::new().unwrap();
+        let waker = poller.waker(7).unwrap();
+        let remote = waker.clone();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            remote.wake();
+        });
+        let start = Instant::now();
+        let mut events = Vec::new();
+        // A long timeout that the waker must cut short.
+        loop {
+            poller.wait(&mut events, 5_000).unwrap();
+            if events.iter().any(|e| e.token == 7 && e.readable) {
+                break;
+            }
+            assert!(start.elapsed() < Duration::from_secs(4), "waker never fired");
+        }
+        assert!(start.elapsed() < Duration::from_secs(2), "wait did not return promptly");
+        waker.drain();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn nofile_limit_query_is_sane() {
+        // Whatever the privilege level, asking for a tiny target
+        // reports a limit at least that large on Linux.
+        let got = raise_nofile_limit(64);
+        if cfg!(all(target_os = "linux", target_arch = "x86_64")) {
+            assert!(got >= 64, "soft limit {got} below trivial target");
+        }
+    }
+
+    fn raw_fd<T: std::os::fd::AsRawFd>(s: &T) -> i32 {
+        s.as_raw_fd()
+    }
+
+    fn wait_for_token(poller: &Poller, events: &mut Vec<Event>, token: u64) {
+        let start = Instant::now();
+        loop {
+            poller.wait(events, 1_000).unwrap();
+            if events.iter().any(|e| e.token == token && e.readable) {
+                return;
+            }
+            assert!(start.elapsed() < Duration::from_secs(5), "token {token} never readable");
+        }
+    }
+
+    fn wait_for_writable(poller: &Poller, events: &mut Vec<Event>, token: u64) {
+        let start = Instant::now();
+        loop {
+            poller.wait(events, 1_000).unwrap();
+            if events.iter().any(|e| e.token == token && e.writable) {
+                return;
+            }
+            assert!(start.elapsed() < Duration::from_secs(5), "token {token} never writable");
+        }
+    }
+}
