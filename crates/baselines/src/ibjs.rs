@@ -13,8 +13,9 @@
 
 use std::hash::{Hash, Hasher};
 
+use lc_core::{Estimator, UncertainEstimate};
 use lc_engine::{Database, FxHasher, JoinIndexes, SampleSet, TableId};
-use lc_query::{CardinalityEstimator, LabeledQuery};
+use lc_query::LabeledQuery;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -158,9 +159,21 @@ impl<'a> IbjsEstimator<'a> {
     }
 }
 
-impl CardinalityEstimator for IbjsEstimator<'_> {
+impl Estimator for IbjsEstimator<'_> {
     fn name(&self) -> &str {
         "IB Join Samp."
+    }
+
+    /// Deterministic walks have no uncertainty channel: zero spread,
+    /// never saturated.
+    fn estimate_with_uncertainty(&self, qs: &[LabeledQuery]) -> Vec<UncertainEstimate> {
+        qs.iter()
+            .map(|q| UncertainEstimate {
+                estimate: self.estimate(q),
+                log_std: 0.0,
+                saturated: false,
+            })
+            .collect()
     }
 
     fn estimate(&self, q: &LabeledQuery) -> f64 {

@@ -6,8 +6,9 @@
 //! selectivities from MCVs + histograms multiplied under independence, and
 //! PK/FK join selectivity `1 / max(ndv(fk), ndv(pk))` applied per edge.
 
+use lc_core::{Estimator, UncertainEstimate};
 use lc_engine::{ColumnRole, Database, TableId};
-use lc_query::{CardinalityEstimator, LabeledQuery};
+use lc_query::LabeledQuery;
 
 use crate::stats::{DbStatistics, DEFAULT_BUCKETS, DEFAULT_MCVS};
 
@@ -27,51 +28,63 @@ impl<'a> PostgresEstimator<'a> {
     pub fn with_targets(db: &'a Database, mcv_k: usize, buckets: usize) -> Self {
         PostgresEstimator { db, stats: DbStatistics::build(db, mcv_k, buckets) }
     }
-
-    /// Combined selectivity of the query's predicates on table `t` under
-    /// attribute-value independence.
-    fn table_selectivity(&self, q: &LabeledQuery, t: TableId) -> f64 {
-        let ts = self.stats.table(t);
-        q.query
-            .predicates_on(t)
-            .iter()
-            .map(|p| ts.columns[p.column].selectivity(p.op, p.value))
-            .product()
-    }
-
-    /// Distinct count used on the FK side of the Selinger formula.
-    fn fk_ndv(&self, fact: TableId, fact_col: usize) -> f64 {
-        self.db.column_stats(fact, fact_col).ndv.max(1) as f64
-    }
 }
 
-impl CardinalityEstimator for PostgresEstimator<'_> {
+/// Combined selectivity of the query's predicates on table `t` under
+/// attribute-value independence.
+fn table_selectivity(stats: &DbStatistics, q: &LabeledQuery, t: TableId) -> f64 {
+    let ts = stats.table(t);
+    q.query
+        .predicates_on(t)
+        .iter()
+        .map(|p| ts.columns[p.column].selectivity(p.op, p.value))
+        .product()
+}
+
+/// The full planner formula, shared by the borrowing and owned estimators.
+pub(crate) fn estimate_rows(db: &Database, stats: &DbStatistics, q: &LabeledQuery) -> f64 {
+    // Base cardinalities × selectivities, independence everywhere.
+    let mut rows = 1.0f64;
+    for &t in q.query.tables() {
+        let base = stats.table(t).row_count as f64;
+        rows *= base * table_selectivity(stats, q, t);
+    }
+    // One Selinger factor per join edge.
+    for &j in q.query.joins() {
+        let edge = db.schema().join(j);
+        let pk_ndv = db.table(edge.center).num_rows().max(1) as f64;
+        let fk_ndv = db.column_stats(edge.fact, edge.fact_col).ndv.max(1) as f64;
+        // PK side is unique, so ndv(pk) = |center| and the center's
+        // ColumnRole is PrimaryKey by schema construction.
+        debug_assert!(matches!(
+            db.schema().table(edge.center).columns[edge.center_col].role,
+            ColumnRole::PrimaryKey
+        ));
+        rows /= pk_ndv.max(fk_ndv);
+    }
+    // PostgreSQL clamps every relation estimate to at least one row.
+    rows.max(1.0)
+}
+
+impl Estimator for PostgresEstimator<'_> {
     fn name(&self) -> &str {
         "PostgreSQL"
     }
 
+    /// Deterministic formulas have no uncertainty channel: zero spread,
+    /// never saturated.
+    fn estimate_with_uncertainty(&self, qs: &[LabeledQuery]) -> Vec<UncertainEstimate> {
+        qs.iter()
+            .map(|q| UncertainEstimate {
+                estimate: self.estimate(q),
+                log_std: 0.0,
+                saturated: false,
+            })
+            .collect()
+    }
+
     fn estimate(&self, q: &LabeledQuery) -> f64 {
-        // Base cardinalities × selectivities, independence everywhere.
-        let mut rows = 1.0f64;
-        for &t in q.query.tables() {
-            let base = self.stats.table(t).row_count as f64;
-            rows *= base * self.table_selectivity(q, t);
-        }
-        // One Selinger factor per join edge.
-        for &j in q.query.joins() {
-            let edge = self.db.schema().join(j);
-            let pk_ndv = self.db.table(edge.center).num_rows().max(1) as f64;
-            let fk_ndv = self.fk_ndv(edge.fact, edge.fact_col);
-            // PK side is unique, so ndv(pk) = |center| and the center's
-            // ColumnRole is PrimaryKey by schema construction.
-            debug_assert!(matches!(
-                self.db.schema().table(edge.center).columns[edge.center_col].role,
-                ColumnRole::PrimaryKey
-            ));
-            rows /= pk_ndv.max(fk_ndv);
-        }
-        // PostgreSQL clamps every relation estimate to at least one row.
-        rows.max(1.0)
+        estimate_rows(self.db, &self.stats, q)
     }
 }
 

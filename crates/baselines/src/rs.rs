@@ -12,8 +12,9 @@
 //! unfiltered size from [`FullJoinSizes`] — precisely the independence
 //! assumption the paper shows to *underestimate* correlated joins.
 
+use lc_core::{Estimator, UncertainEstimate};
 use lc_engine::{Database, SampleSet, TableId};
-use lc_query::{CardinalityEstimator, LabeledQuery};
+use lc_query::LabeledQuery;
 
 use crate::joinsizes::FullJoinSizes;
 
@@ -67,9 +68,21 @@ impl<'a> RandomSamplingEstimator<'a> {
     }
 }
 
-impl CardinalityEstimator for RandomSamplingEstimator<'_> {
+impl Estimator for RandomSamplingEstimator<'_> {
     fn name(&self) -> &str {
         "Random Samp."
+    }
+
+    /// Deterministic formulas have no uncertainty channel: zero spread,
+    /// never saturated.
+    fn estimate_with_uncertainty(&self, qs: &[LabeledQuery]) -> Vec<UncertainEstimate> {
+        qs.iter()
+            .map(|q| UncertainEstimate {
+                estimate: self.estimate(q),
+                log_std: 0.0,
+                saturated: false,
+            })
+            .collect()
     }
 
     fn estimate(&self, q: &LabeledQuery) -> f64 {

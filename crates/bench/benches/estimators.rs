@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use lc_baselines::{FullJoinSizes, IbjsEstimator, PostgresEstimator, RandomSamplingEstimator};
 use lc_bench::BenchFixture;
-use lc_query::CardinalityEstimator;
+use lc_core::Estimator;
 
 fn bench_estimators(c: &mut Criterion) {
     let f = BenchFixture::small();
@@ -17,7 +17,7 @@ fn bench_estimators(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("estimators");
     for (name, est) in
-        [("postgres", &pg as &dyn CardinalityEstimator), ("random_sampling", &rs), ("ibjs", &ibjs)]
+        [("postgres", &pg as &dyn Estimator), ("random_sampling", &rs), ("ibjs", &ibjs)]
     {
         group.bench_function(format!("{name}/per_query"), |b| {
             let mut i = 0;

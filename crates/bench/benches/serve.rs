@@ -21,8 +21,8 @@ use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lc_bench::BenchFixture;
-use lc_core::{train, FeatureMode, TrainConfig};
-use lc_query::{annotate_query, CardinalityEstimator, Query};
+use lc_core::{train, Estimator, FeatureMode, TrainConfig};
+use lc_query::{annotate_query, Query};
 use lc_serve::wire::{read_message, write_message, Message, CAPABILITIES, PROTOCOL_VERSION};
 use lc_serve::{serve, BatcherConfig, CacheConfig, EstimationService, ModelRegistry, ServeConfig};
 

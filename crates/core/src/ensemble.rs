@@ -12,7 +12,7 @@
 //! could threshold on before falling back to a traditional estimator.
 
 use lc_engine::Database;
-use lc_query::{CardinalityEstimator, LabeledQuery};
+use lc_query::LabeledQuery;
 
 use crate::train::{train, MscnEstimator, TrainConfig, TrainedModel};
 
@@ -114,23 +114,10 @@ impl DeepEnsemble {
     }
 }
 
-impl CardinalityEstimator for DeepEnsemble {
-    fn name(&self) -> &str {
-        "MSCN ensemble"
-    }
-
-    fn estimate(&self, q: &LabeledQuery) -> f64 {
-        self.estimate_with_uncertainty(std::slice::from_ref(q))[0].estimate
-    }
-
-    fn estimate_all(&self, qs: &[LabeledQuery]) -> Vec<f64> {
-        self.estimate_with_uncertainty(qs).into_iter().map(|u| u.estimate).collect()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::estimator::Estimator;
     use lc_engine::SampleSet;
     use lc_imdb::{generate, ImdbConfig};
     use lc_query::{workloads, Query};

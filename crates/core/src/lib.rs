@@ -22,8 +22,9 @@
 //! * [`batch`] — ragged mini-batches with masked segment-mean pooling
 //!   (mathematically identical to the paper's zero-padding + masking, but
 //!   without wasted FLOPs);
-//! * [`estimator`] — the unified [`Estimator`] trait: point estimates
-//!   plus uncertainty-qualified batches behind one object-safe seam;
+//! * [`estimator`] — the unified, object-safe [`Estimator`] trait: named
+//!   point/batch estimates, uncertainty-qualified batches, and
+//!   tier-attributed routing ([`RoutedEstimate`]) behind one seam;
 //! * [`model`] — the MSCN network with hand-derived backprop;
 //! * [`train`] — the §3.5 training loop (90/10 split, per-epoch validation
 //!   mean q-error — the curve of Fig. 6);
@@ -40,7 +41,7 @@ pub mod train;
 
 pub use batch::RaggedBatch;
 pub use ensemble::{DeepEnsemble, UncertainEstimate};
-pub use estimator::Estimator;
+pub use estimator::{Estimator, RoutedEstimate};
 pub use featurize::{FeatureMode, Featurizer, LabelNorm};
 pub use model::{ForwardCache, MscnGrads, MscnModel, MscnScratch};
 pub use train::{train, train_incremental, MscnEstimator, TrainConfig, TrainReport, TrainedModel};

@@ -1,7 +1,7 @@
 //! Training and inference (§3.5): 90/10 split, mini-batch Adam on the mean
 //! q-error, per-epoch validation error (the convergence curve of Fig. 6),
-//! and a [`lc_query::CardinalityEstimator`] implementation for the trained
-//! model.
+//! and a [`crate::Estimator`] implementation for the trained model (see
+//! `crate::estimator`).
 //!
 //! # The data-parallel, allocation-free training step
 //!
@@ -35,7 +35,7 @@ use std::time::Instant;
 use lc_engine::Database;
 use lc_nn::{Adam, DisjointSliceMut, LossKind, WorkerPool};
 use lc_obs::{metrics, SpanTimer};
-use lc_query::{CardinalityEstimator, LabeledQuery};
+use lc_query::LabeledQuery;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -283,28 +283,6 @@ impl MscnEstimator {
                 }
             });
         }
-    }
-}
-
-impl CardinalityEstimator for MscnEstimator {
-    fn name(&self) -> &str {
-        self.featurizer.mode().name()
-    }
-
-    fn estimate(&self, q: &LabeledQuery) -> f64 {
-        self.estimate_cards(std::slice::from_ref(q))[0]
-    }
-
-    /// Vectorized override of the per-query default: the whole slice is
-    /// featurized and pushed through arena-backed [`RaggedBatch`] forward
-    /// passes (one per fixed-size block, fanned out across worker threads
-    /// for large batches). Because every matrix row is reduced in the
-    /// same order regardless of batch composition or thread count, the
-    /// results are bitwise identical to the sequential path —
-    /// `lc_serve`'s micro-batcher relies on this to coalesce concurrent
-    /// requests without changing any answer.
-    fn estimate_all(&self, qs: &[LabeledQuery]) -> Vec<f64> {
-        self.estimate_cards(qs)
     }
 }
 
@@ -623,11 +601,12 @@ pub fn train(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::estimator::Estimator;
     use lc_engine::SampleSet;
     use lc_imdb::{generate, ImdbConfig};
     use lc_query::workloads;
 
-    fn mean_qerror(est: &dyn CardinalityEstimator, qs: &[LabeledQuery]) -> f64 {
+    fn mean_qerror(est: &dyn Estimator, qs: &[LabeledQuery]) -> f64 {
         let preds = est.estimate_all(qs);
         preds
             .iter()
@@ -856,7 +835,7 @@ mod tests {
         let data = workloads::synthetic(&db, &samples, 600, 2, 41).queries;
         let cfg = TrainConfig { epochs: 2, hidden: 16, ..TrainConfig::default() };
         let est = train(&db, 24, &data, cfg).estimator;
-        let batched = (&est as &dyn CardinalityEstimator).estimate_all(&data);
+        let batched = (&est as &dyn Estimator).estimate_all(&data);
         let sequential: Vec<f64> = data.iter().map(|q| est.estimate(q)).collect();
         // Bitwise equality, not approximate: the batched forward pass must
         // reduce every row in the same order as the single-query pass, so

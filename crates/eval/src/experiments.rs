@@ -8,9 +8,10 @@
 //! the *shape* (who wins, by how much, where estimators break) is the
 //! reproduction target; each function states the shape criterion it checks.
 
+use lc_core::Estimator;
 use lc_core::{train, FeatureMode, TrainConfig};
 use lc_nn::LossKind;
-use lc_query::{CardinalityEstimator, LabeledQuery};
+use lc_query::LabeledQuery;
 
 use crate::harness::Harness;
 use crate::metrics::{evaluate, evaluate_signed, percentile, QErrorStats};
@@ -92,11 +93,7 @@ fn split_by_joins(queries: &[LabeledQuery], max: usize) -> Vec<(usize, Vec<&Labe
         .collect()
 }
 
-fn signed_by_joins(
-    est: &dyn CardinalityEstimator,
-    queries: &[LabeledQuery],
-    max: usize,
-) -> SignedBuckets {
+fn signed_by_joins(est: &dyn Estimator, queries: &[LabeledQuery], max: usize) -> SignedBuckets {
     split_by_joins(queries, max)
         .into_iter()
         .map(|(j, qs)| {
@@ -137,7 +134,7 @@ pub fn fig3(h: &mut Harness) -> String {
     let pg = h.postgres();
     let rs = h.random_sampling();
     let ibjs = h.ibjs();
-    let estimators: Vec<(&dyn CardinalityEstimator, &str)> =
+    let estimators: Vec<(&dyn Estimator, &str)> =
         vec![(&pg, "PostgreSQL"), (&rs, "Random Samp."), (&ibjs, "IB Join Samp."), (&mscn, "MSCN")];
     let rows: Vec<(String, SignedBuckets)> = estimators
         .iter()
@@ -164,7 +161,7 @@ pub fn table2(h: &mut Harness) -> String {
     let ibjs = h.ibjs();
     let mut t = Table::new(&QERROR_HEADER);
     for (e, name) in [
-        (&pg as &dyn CardinalityEstimator, "PostgreSQL"),
+        (&pg as &dyn Estimator, "PostgreSQL"),
         (&rs, "Random Samp."),
         (&ibjs, "IB Join Samp."),
         (&mscn, "MSCN (ours)"),
@@ -203,8 +200,7 @@ pub fn table3(h: &mut Harness) -> String {
     let pg = h.postgres();
     let rs = h.random_sampling();
     let mut t = Table::new(&QERROR_HEADER);
-    for (e, name) in
-        [(&pg as &dyn CardinalityEstimator, "PostgreSQL"), (&rs, "Random Samp."), (&mscn, "MSCN")]
+    for (e, name) in [(&pg as &dyn Estimator, "PostgreSQL"), (&rs, "Random Samp."), (&mscn, "MSCN")]
     {
         t.qerror_row(name, &QErrorStats::from_qerrors(&evaluate(e, &base_queries)));
     }
@@ -342,7 +338,7 @@ pub fn table4(h: &mut Harness) -> String {
     let ibjs = h.ibjs();
     let mut t = Table::new(&QERROR_HEADER);
     for (e, name) in [
-        (&pg as &dyn CardinalityEstimator, "PostgreSQL"),
+        (&pg as &dyn Estimator, "PostgreSQL"),
         (&rs, "Random Samp."),
         (&ibjs, "IB Join Samp."),
         (&mscn, "MSCN"),

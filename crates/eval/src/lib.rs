@@ -26,4 +26,4 @@ pub mod metrics;
 pub mod report;
 
 pub use harness::{ExperimentConfig, Harness};
-pub use metrics::{qerror, signed_error, QErrorStats};
+pub use metrics::{qerror, signed_error, QErrorStats, TierBreakdown, TierStats};

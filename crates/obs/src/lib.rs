@@ -414,6 +414,9 @@ define_catalog! {
         SERVE_METRICS_REQUESTS => "serve.metrics_requests",
         CACHE_HITS => "cache.hits",
         CACHE_MISSES => "cache.misses",
+        TIER_PRIMARY_HITS => "tier.primary.hits",
+        TIER_GBM_HITS => "tier.gbm.hits",
+        TIER_FALLBACK_HITS => "tier.fallback.hits",
         DRIFT_TRIPS => "drift.trips",
         RETRAIN_SUCCESS => "retrain.success",
         RETRAIN_PANICS => "retrain.panics",
@@ -474,6 +477,11 @@ define_catalog! {
         BATCH_QUEUE_WAIT_NS => "batcher.queue_wait_ns",
         BATCH_FORWARD_NS => "batcher.forward_ns",
         BATCH_SIZE => "batcher.batch_size",
+        TIER_GBM_NS => "tier.gbm.estimate_ns",
+        TIER_FALLBACK_NS => "tier.fallback.estimate_ns",
+        TIER_PRIMARY_QERROR_X100 => "tier.primary.qerror_x100",
+        TIER_GBM_QERROR_X100 => "tier.gbm.qerror_x100",
+        TIER_FALLBACK_QERROR_X100 => "tier.fallback.qerror_x100",
         RETRAIN_NS => "retrain.duration_ns",
         TRAIN_EPOCH_NS => "train.epoch_ns",
         TRAIN_SHARD_NS => "train.shard_ns",

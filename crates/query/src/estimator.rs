@@ -1,8 +1,15 @@
-//! The estimator interface shared by MSCN and every baseline.
+//! The deprecated pre-tiering estimator seam.
+//!
+//! [`CardinalityEstimator`] was the original per-query trait shared by
+//! MSCN and the baselines. The workspace now has exactly one estimation
+//! entry point — the object-safe `lc_core::Estimator`, whose per-query
+//! `estimate` is a default method over the batched uncertainty channel —
+//! so this trait remains only as a shim for out-of-tree code that has
+//! not migrated yet. Nothing in this repository implements it.
 
 use crate::label::LabeledQuery;
 
-/// A cardinality estimator.
+/// A cardinality estimator (deprecated seam).
 ///
 /// Estimators receive the full [`LabeledQuery`] because runtime sampling
 /// information (qualifying counts and bitmaps, §3.4) is part of the input
@@ -11,6 +18,11 @@ use crate::label::LabeledQuery;
 /// is for training queries. Implementations **must not** read
 /// [`LabeledQuery::cardinality`]; that field is the ground truth used only
 /// by the evaluation harness.
+#[deprecated(
+    since = "0.1.0",
+    note = "implement `lc_core::Estimator` instead; its per-query `estimate` \
+            is a default method, so there is one estimation entry point"
+)]
 pub trait CardinalityEstimator {
     /// Short display name used in report tables (e.g. `"PostgreSQL"`).
     fn name(&self) -> &str;
@@ -26,11 +38,13 @@ pub trait CardinalityEstimator {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::query::Query;
 
-    /// Trivial estimator used to exercise the default batch path.
+    /// Trivial estimator used to exercise the default batch path of the
+    /// deprecated shim (out-of-tree implementors still rely on it).
     struct Constant(f64);
 
     impl CardinalityEstimator for Constant {

@@ -55,9 +55,8 @@ impl LabeledQuery {
 /// has no ground truth (computing it would defeat the estimator's
 /// purpose); it only probes the materialized samples, which is exactly what
 /// the paper's runtime featurization needs (§3.4). The returned
-/// [`LabeledQuery::cardinality`] is 0, a value the
-/// [`crate::CardinalityEstimator`] contract already forbids
-/// implementations from reading.
+/// [`LabeledQuery::cardinality`] is 0, a value the `lc_core::Estimator`
+/// contract already forbids implementations from reading.
 pub fn annotate_query(db: &Database, samples: &SampleSet, query: Query) -> LabeledQuery {
     let mut sample_counts = Vec::with_capacity(query.tables().len());
     let mut bitmaps = Vec::with_capacity(query.tables().len());

@@ -18,8 +18,9 @@
 //!   (§3.4) — the training signal;
 //! * [`workloads`]: the paper's three evaluation workloads — `synthetic`,
 //!   `scale`, and a shape-matched `JOB-light` (Table 1);
-//! * [`CardinalityEstimator`]: the trait implemented by MSCN and all
-//!   baselines, so the evaluation harness can treat them uniformly.
+//! * [`CardinalityEstimator`]: the deprecated pre-tiering estimator seam,
+//!   kept only as a migration shim — MSCN and all baselines now implement
+//!   the object-safe `lc_core::Estimator` instead.
 
 mod codec;
 mod estimator;
@@ -29,6 +30,7 @@ mod query;
 pub mod workloads;
 
 pub use codec::QueryDecodeError;
+#[allow(deprecated)]
 pub use estimator::CardinalityEstimator;
 pub use generator::{GeneratorConfig, QueryGenerator};
 pub use label::{annotate_query, label_queries, LabeledQuery};

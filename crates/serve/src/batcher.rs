@@ -8,7 +8,9 @@
 //! the missing piece: requests enqueue into a shared queue, and a worker
 //! drains up to [`BatcherConfig::max_batch`] of them into one
 //! [`RaggedBatch`](lc_core::RaggedBatch) forward pass via
-//! `CardinalityEstimator::estimate_all`.
+//! `lc_core::Estimator::estimate_routed` (so a tiered pipeline's
+//! per-query routing rides the same flush, and each answer comes back
+//! attributed to the tier that produced it).
 //!
 //! The flush policy is size/time-bounded: a batch closes when it reaches
 //! `max_batch` queries, when the oldest enqueued request has waited
@@ -38,7 +40,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use lc_obs::{metrics, SpanTimer};
-use lc_query::{CardinalityEstimator, LabeledQuery};
+use lc_query::LabeledQuery;
+
+use crate::tier::{TIER_FALLBACK, TIER_GBM};
 
 use crate::registry::ModelRegistry;
 
@@ -80,6 +84,11 @@ pub struct BatchedEstimate {
     pub model_version: u32,
     /// Number of requests coalesced into the same forward pass.
     pub micro_batch: u32,
+    /// Pipeline tier that produced the estimate (0 for monolithic
+    /// estimators; see `crate::tier` for the routed ids).
+    pub tier: u8,
+    /// The primary model's log-std trust signal for this query.
+    pub log_std: f64,
 }
 
 /// Aggregate counters exposed by [`MicroBatcher::stats`].
@@ -255,16 +264,25 @@ fn run_batch(shared: &Shared, registry: &ModelRegistry, batch: Vec<Pending>) -> 
     let (queries, txs): (Vec<LabeledQuery>, Vec<Sender<BatchedEstimate>>) =
         batch.into_iter().map(|p| (p.query, p.tx)).unzip();
     let forward_span = SpanTimer::start(&metrics::BATCH_FORWARD_NS);
-    let estimates = snapshot.estimator.estimate_all(&queries);
+    let estimates = snapshot.estimator.estimate_routed(&queries);
     drop(forward_span);
     shared.batches.fetch_add(1, Ordering::Relaxed);
     shared.max_batch_seen.fetch_max(n as u64, Ordering::Relaxed);
-    for (tx, cardinality) in txs.into_iter().zip(estimates) {
+    for (tx, routed) in txs.into_iter().zip(estimates) {
+        // Tier hit counters live here, not in the pipeline, so every
+        // answered request is counted exactly once at inference time.
+        match routed.tier {
+            TIER_GBM => metrics::TIER_GBM_HITS.inc(),
+            TIER_FALLBACK => metrics::TIER_FALLBACK_HITS.inc(),
+            _ => metrics::TIER_PRIMARY_HITS.inc(),
+        }
         // A receiver that gave up (client disconnected) is not an error.
         let _ = tx.send(BatchedEstimate {
-            cardinality,
+            cardinality: routed.estimate,
             model_version: snapshot.version,
             micro_batch: n as u32,
+            tier: routed.tier,
+            log_std: routed.log_std,
         });
     }
     n
@@ -308,7 +326,7 @@ fn worker_loop(shared: &Shared, registry: &ModelRegistry, config: BatcherConfig)
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lc_core::{train, FeatureMode, MscnEstimator, TrainConfig};
+    use lc_core::{train, Estimator, FeatureMode, MscnEstimator, TrainConfig};
     use lc_engine::{Database, SampleSet};
     use lc_imdb::{generate, ImdbConfig};
     use lc_query::workloads;

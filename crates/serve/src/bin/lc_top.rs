@@ -281,6 +281,36 @@ fn render(
         }
     }
     writeln!(out)?;
+    // Tiered-pipeline routing: which tier answered, and the q-error each
+    // tier's answers earned from feedback. Zero everywhere on a
+    // non-tiered server, so only render once any tier counter moved.
+    let tiers: [u64; 3] = [
+        sample.scalar("tier.primary.hits"),
+        sample.scalar("tier.gbm.hits"),
+        sample.scalar("tier.fallback.hits"),
+    ];
+    let answered: u64 = tiers.iter().sum();
+    if answered > 0 {
+        let qerr = |name: &str| {
+            let h = sample.histogram(name);
+            if h.is_empty() {
+                "-".to_string()
+            } else {
+                format!("{:.1}", h.quantile(0.95) as f64 / 100.0)
+            }
+        };
+        writeln!(
+            out,
+            "tiers    primary {} ({:.1}%)   gbm {}   fallback {}   q-err p95 {} / {} / {}",
+            tiers[0],
+            percent(tiers[0], answered),
+            tiers[1],
+            tiers[2],
+            qerr("tier.primary.qerror_x100"),
+            qerr("tier.gbm.qerror_x100"),
+            qerr("tier.fallback.qerror_x100"),
+        )?;
+    }
     writeln!(
         out,
         "feedback {}   drift trips {} ({} template{} tripped)   retrains {} ok / {} panicked   \
@@ -407,6 +437,12 @@ mod tests {
             "registry.publishes",
             "registry.active_version",
             "pool.workers",
+            "tier.primary.hits",
+            "tier.gbm.hits",
+            "tier.fallback.hits",
+            "tier.primary.qerror_x100",
+            "tier.gbm.qerror_x100",
+            "tier.fallback.qerror_x100",
         ] {
             id_of(name);
         }

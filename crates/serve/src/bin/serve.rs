@@ -39,6 +39,16 @@
 //! * `--drift-min-corpus N` feedback corpus size before retraining
 //!   (default 96)
 //! * `--retrain-epochs N`  epochs per incremental retrain  (default 12)
+//! * `--tiered`            serve through the uncertainty-routed
+//!   [`TieredEstimator`](lc_serve::TieredEstimator) pipeline: deep-ensemble
+//!   MSCN primary, gradient-boosted-stumps middle tier, index-based
+//!   join-sampling fallback. Clients that negotiate the tier capability
+//!   get per-answer tier attribution on the wire.
+//! * `--tier-max-log-std X` primary trust threshold        (default 0.75)
+//! * `--tier-ensemble N`   ensemble members for the primary (default 3;
+//!   1 = single model, saturation-only trust; ignored with `--model`)
+//! * `--tier-gbm-rounds N` GBM boosting rounds, 0 disables the middle
+//!   tier                                   (default 200)
 //!
 //! Runtime tuning (`LC_KERNEL`, `LC_TRAIN_THREADS`, `LC_INFER_THREADS`,
 //! `LC_PIN_WORKERS`) is read once at startup via
@@ -48,14 +58,15 @@ use std::process::exit;
 use std::sync::Arc;
 use std::time::Duration;
 
-use lc_core::{train, FeatureMode, MscnEstimator, TrainConfig};
-use lc_engine::SampleSet;
+use lc_baselines::{FullJoinSizes, GbmConfig, GbmEstimator, OwnedIbjsEstimator};
+use lc_core::{train, DeepEnsemble, Estimator, FeatureMode, MscnEstimator, TrainConfig};
+use lc_engine::{JoinIndexes, SampleSet};
 use lc_imdb::ImdbConfig;
 use lc_query::workloads;
 use lc_serve::flags::get;
 use lc_serve::{
     serve, BatcherConfig, CacheConfig, DriftConfig, EstimationService, FrontConfig, ModelRegistry,
-    ServeConfig,
+    ServeConfig, TierConfig, TieredEstimator,
 };
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -83,7 +94,12 @@ const FLAGS: &[&str] = &[
     "drift-threshold",
     "drift-min-corpus",
     "retrain-epochs",
+    "tier-max-log-std",
+    "tier-ensemble",
+    "tier-gbm-rounds",
 ];
+
+const SWITCHES: &[&str] = &["tiered"];
 
 fn main() {
     if let Err(message) = run() {
@@ -99,7 +115,7 @@ fn run() -> Result<(), String> {
     // Anchor the metrics clock now so MetricsSnapshot.uptime_ns measures
     // from process start, not from the first recorded span.
     lc_obs::init();
-    let flags = lc_serve::flags::parse(FLAGS)?;
+    let flags = lc_serve::flags::parse_with_switches(FLAGS, SWITCHES)?;
     let addr = flags.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:7878".into());
     let queries: usize = get(&flags, "queries", 400)?;
     let epochs: usize = get(&flags, "epochs", 3)?;
@@ -119,6 +135,13 @@ fn run() -> Result<(), String> {
     let drift_threshold: f64 = get(&flags, "drift-threshold", drift_defaults.qerror_threshold)?;
     let drift_min_corpus: usize = get(&flags, "drift-min-corpus", drift_defaults.min_corpus)?;
     let retrain_epochs: usize = get(&flags, "retrain-epochs", drift_defaults.retrain.epochs)?;
+    let tiered = get(&flags, "tiered", false)?;
+    let tier_defaults = TierConfig::default();
+    let tier = TierConfig {
+        max_log_std: get(&flags, "tier-max-log-std", tier_defaults.max_log_std)?,
+        ensemble: get(&flags, "tier-ensemble", tier_defaults.ensemble)?,
+        gbm_rounds: get(&flags, "tier-gbm-rounds", tier_defaults.gbm_rounds)?,
+    };
     if workers == 0 {
         // workers: 0 is the library's manual-flush mode; with no one
         // calling flush_now a server would hang every request.
@@ -133,7 +156,16 @@ fn run() -> Result<(), String> {
     let mut rng = SmallRng::seed_from_u64(1);
     let samples = SampleSet::draw(&db, SAMPLE_SIZE, &mut rng);
 
-    let estimator = match flags.get("model") {
+    // The synthetic bootstrap corpus trains the primary (unless --model
+    // supplied the weights) and, when tiered, the GBM middle tier.
+    let need_corpus = !flags.contains_key("model") || (tiered && tier.gbm_rounds > 0);
+    let data = if need_corpus {
+        workloads::synthetic(&db, &samples, queries, 2, 7).queries
+    } else {
+        Vec::new()
+    };
+
+    let (estimator, extra_members) = match flags.get("model") {
         Some(path) => {
             eprintln!("serve: loading model from {path} ...");
             let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -148,23 +180,79 @@ fn run() -> Result<(), String> {
                      annotates queries with sample size {SAMPLE_SIZE}"
                 ));
             }
-            est
+            // A loaded model has no ensemble siblings: the tiered
+            // primary runs single-model (saturation-only trust).
+            (est, Vec::new())
         }
         None => {
-            eprintln!("serve: training bootstrap model ({queries} queries, {epochs} epochs) ...");
-            let data = workloads::synthetic(&db, &samples, queries, 2, 7).queries;
             let cfg = TrainConfig {
                 epochs,
                 hidden,
                 mode: FeatureMode::Bitmaps,
                 ..TrainConfig::default()
             };
-            train(&db, SAMPLE_SIZE, &data, cfg).estimator
+            if tiered && tier.ensemble > 1 {
+                eprintln!(
+                    "serve: training bootstrap ensemble ({} members, {queries} queries, \
+                     {epochs} epochs) ...",
+                    tier.ensemble
+                );
+                let (ensemble, _) =
+                    DeepEnsemble::train(&db, SAMPLE_SIZE, &data, cfg, tier.ensemble);
+                let mut members = ensemble.members().to_vec();
+                let base = members.remove(0);
+                (base, members)
+            } else {
+                eprintln!(
+                    "serve: training bootstrap model ({queries} queries, {epochs} epochs) ..."
+                );
+                (train(&db, SAMPLE_SIZE, &data, cfg).estimator, Vec::new())
+            }
         }
     };
     let params = estimator.model().num_params();
 
-    let registry = Arc::new(ModelRegistry::new(estimator));
+    let registry = if tiered {
+        let gbm = (tier.gbm_rounds > 0).then(|| {
+            eprintln!("serve: training GBM middle tier ({} rounds) ...", tier.gbm_rounds);
+            Arc::new(GbmEstimator::train(
+                &db,
+                &data,
+                GbmConfig { rounds: tier.gbm_rounds, ..GbmConfig::default() },
+            ))
+        });
+        eprintln!("serve: building sampling fallback tier (join indexes + subset sizes) ...");
+        let fallback = Arc::new(OwnedIbjsEstimator::new(
+            Arc::new(db.clone()),
+            Arc::new(samples.clone()),
+            Arc::new(JoinIndexes::build(&db)),
+            Arc::new(FullJoinSizes::build(&db)),
+        ));
+        let max_log_std = tier.max_log_std;
+        Arc::new(ModelRegistry::with_pipeline(
+            estimator,
+            Box::new(move |base| {
+                let primary: Arc<dyn Estimator + Send + Sync> = if extra_members.is_empty() {
+                    Arc::new(base.clone())
+                } else {
+                    // A retrain refreshes member 0 (the registry base);
+                    // the bootstrap-trained members keep providing the
+                    // disagreement signal.
+                    let mut members = vec![base.clone()];
+                    members.extend(extra_members.iter().cloned());
+                    Arc::new(DeepEnsemble::new(members))
+                };
+                let mut pipeline = TieredEstimator::new(primary, max_log_std)
+                    .with_fallback(Arc::clone(&fallback) as _);
+                if let Some(gbm) = &gbm {
+                    pipeline = pipeline.with_gbm(Arc::clone(gbm) as _);
+                }
+                Arc::new(pipeline)
+            }),
+        ))
+    } else {
+        Arc::new(ModelRegistry::new(estimator))
+    };
     let config = ServeConfig {
         cache: CacheConfig { capacity: cache_capacity, ..CacheConfig::default() },
         batcher: BatcherConfig {
@@ -182,6 +270,7 @@ fn run() -> Result<(), String> {
             ..drift_defaults
         },
         front: FrontConfig { shards, max_connections: max_conns, inflight_budget, retry_after_ms },
+        tier,
     };
     let service = Arc::new(EstimationService::new(db, samples, Arc::clone(&registry), config));
     let handle = serve(Arc::clone(&service), addr.as_str())
@@ -191,9 +280,14 @@ fn run() -> Result<(), String> {
     // resolved to — the first thing to check when serving latency looks
     // off on new hardware.
     println!(
-        "lc-serve listening on {} (model v{}, {} params, {} kernels, {} shard{}, cache {}, max \
+        "lc-serve listening on {} ({} v{}, {} params, {} kernels, {} shard{}, cache {}, max \
          batch {}, inflight budget {}, drift threshold {} over {}-obs windows)",
         handle.local_addr(),
+        if tiered {
+            format!("tiered model (max log-std {})", tier.max_log_std)
+        } else {
+            "model".to_string()
+        },
         registry.active_version(),
         params,
         lc_nn::kernel_name(),

@@ -61,11 +61,25 @@ impl CacheStats {
     }
 }
 
+/// What a cache hit yields: the estimate plus the routing attribution it
+/// was produced with, so repeated probes of the same subquery keep their
+/// tier/uncertainty provenance (wire `EstimateDetail` frames and per-tier
+/// feedback metrics stay truthful on hits).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CachedEstimate {
+    /// Estimated cardinality (≥ 1).
+    pub cardinality: f64,
+    /// Tier that produced the estimate (see `crate::tier`).
+    pub tier: u8,
+    /// Ensemble log-std the estimate carried at inference time.
+    pub log_std: f64,
+}
+
 const NIL: usize = usize::MAX;
 
 struct Node {
     key: Vec<u8>,
-    value: f64,
+    value: CachedEstimate,
     prev: usize,
     next: usize,
 }
@@ -115,14 +129,14 @@ impl Shard {
         self.head = idx;
     }
 
-    fn get(&mut self, key: &[u8]) -> Option<f64> {
+    fn get(&mut self, key: &[u8]) -> Option<CachedEstimate> {
         let idx = *self.map.get(key)?;
         self.unlink(idx);
         self.push_front(idx);
         Some(self.nodes[idx].value)
     }
 
-    fn insert(&mut self, key: Vec<u8>, value: f64) {
+    fn insert(&mut self, key: Vec<u8>, value: CachedEstimate) {
         if let Some(&idx) = self.map.get(&key) {
             self.nodes[idx].value = value;
             self.unlink(idx);
@@ -161,7 +175,7 @@ impl Shard {
 }
 
 /// A sharded, thread-safe LRU cache from canonical query bytes to
-/// estimated cardinalities.
+/// estimated cardinalities (with their tier attribution).
 pub struct EstimateCache {
     shards: Vec<Mutex<Shard>>,
     hits: AtomicU64,
@@ -198,7 +212,7 @@ impl EstimateCache {
     }
 
     /// Look up `key`, promoting it to most-recently-used on a hit.
-    pub fn get(&self, key: &[u8]) -> Option<f64> {
+    pub fn get(&self, key: &[u8]) -> Option<CachedEstimate> {
         if self.shards.is_empty() {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
@@ -218,7 +232,7 @@ impl EstimateCache {
 
     /// Insert (or refresh) an entry, evicting the shard's LRU entry if
     /// the shard is at capacity. A no-op when the cache is disabled.
-    pub fn insert(&self, key: Vec<u8>, value: f64) {
+    pub fn insert(&self, key: Vec<u8>, value: CachedEstimate) {
         if self.shards.is_empty() {
             return;
         }
@@ -260,16 +274,20 @@ mod tests {
         i.to_le_bytes().to_vec()
     }
 
+    fn val(cardinality: f64) -> CachedEstimate {
+        CachedEstimate { cardinality, tier: 0, log_std: 0.0 }
+    }
+
     #[test]
     fn hit_miss_and_promotion() {
         let cache = EstimateCache::new(CacheConfig { capacity: 2, shards: 1 });
-        cache.insert(key(1), 10.0);
-        cache.insert(key(2), 20.0);
-        assert_eq!(cache.get(&key(1)), Some(10.0)); // promotes 1
-        cache.insert(key(3), 30.0); // evicts 2, the LRU entry
+        cache.insert(key(1), val(10.0));
+        cache.insert(key(2), val(20.0));
+        assert_eq!(cache.get(&key(1)), Some(val(10.0))); // promotes 1
+        cache.insert(key(3), val(30.0)); // evicts 2, the LRU entry
         assert_eq!(cache.get(&key(2)), None);
-        assert_eq!(cache.get(&key(1)), Some(10.0));
-        assert_eq!(cache.get(&key(3)), Some(30.0));
+        assert_eq!(cache.get(&key(1)), Some(val(10.0)));
+        assert_eq!(cache.get(&key(3)), Some(val(30.0)));
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (3, 1, 2));
         assert!(stats.hit_rate() > 0.74 && stats.hit_rate() < 0.76);
@@ -278,11 +296,15 @@ mod tests {
     #[test]
     fn reinsert_updates_value_and_recency() {
         let cache = EstimateCache::new(CacheConfig { capacity: 2, shards: 1 });
-        cache.insert(key(1), 1.0);
-        cache.insert(key(2), 2.0);
-        cache.insert(key(1), 100.0); // refresh: 1 becomes MRU
-        cache.insert(key(3), 3.0); // evicts 2
-        assert_eq!(cache.get(&key(1)), Some(100.0));
+        cache.insert(key(1), val(1.0));
+        cache.insert(key(2), val(2.0));
+        // Refresh: 1 becomes MRU and its attribution is replaced too.
+        cache.insert(key(1), CachedEstimate { cardinality: 100.0, tier: 2, log_std: 1.5 });
+        cache.insert(key(3), val(3.0)); // evicts 2
+        assert_eq!(
+            cache.get(&key(1)),
+            Some(CachedEstimate { cardinality: 100.0, tier: 2, log_std: 1.5 })
+        );
         assert_eq!(cache.get(&key(2)), None);
         assert_eq!(cache.len(), 2);
     }
@@ -292,7 +314,7 @@ mod tests {
         let cache = EstimateCache::new(CacheConfig { capacity: 4, shards: 1 });
         for round in 0..50u32 {
             for i in 0..8 {
-                cache.insert(key(round * 8 + i), f64::from(i));
+                cache.insert(key(round * 8 + i), val(f64::from(i)));
             }
         }
         assert_eq!(cache.len(), 4);
@@ -305,7 +327,7 @@ mod tests {
     #[test]
     fn zero_capacity_disables_the_cache() {
         let cache = EstimateCache::new(CacheConfig { capacity: 0, shards: 8 });
-        cache.insert(key(1), 1.0);
+        cache.insert(key(1), val(1.0));
         assert_eq!(cache.get(&key(1)), None);
         assert!(cache.is_empty());
         assert_eq!(cache.stats().misses, 1);
@@ -315,7 +337,7 @@ mod tests {
     fn clear_empties_every_shard() {
         let cache = EstimateCache::new(CacheConfig { capacity: 64, shards: 4 });
         for i in 0..64 {
-            cache.insert(key(i), f64::from(i));
+            cache.insert(key(i), val(f64::from(i)));
         }
         assert!(!cache.is_empty());
         cache.clear();
@@ -329,7 +351,7 @@ mod tests {
         for (capacity, shards) in [(8, 4), (10, 8), (1, 8), (3, 16)] {
             let cache = EstimateCache::new(CacheConfig { capacity, shards });
             for i in 0..1000 {
-                cache.insert(key(i), f64::from(i));
+                cache.insert(key(i), val(f64::from(i)));
             }
             assert!(
                 cache.len() <= capacity,
@@ -349,9 +371,9 @@ mod tests {
                 s.spawn(move || {
                     for i in 0..500u32 {
                         let k = key(t * 1000 + (i % 100));
-                        cache.insert(k.clone(), f64::from(i));
+                        cache.insert(k.clone(), val(f64::from(i)));
                         if let Some(v) = cache.get(&k) {
-                            assert!(v >= 0.0);
+                            assert!(v.cardinality >= 0.0);
                         }
                     }
                 });

@@ -23,11 +23,22 @@
 //!   client opens with a hello carrying its protocol version and a
 //!   capability byte; the server acks with the negotiated (min version,
 //!   capability intersection) pair. v1 clients skip the hello and keep
-//!   working unchanged. v2 adds feedback, stats, and drift-status
-//!   messages. Decoding is strict, panic-free, and version-gated.
+//!   working unchanged. v2 adds feedback, stats, drift-status, and —
+//!   behind the negotiated `CAP_TIER` bit — tier-attributed estimate
+//!   detail frames. Decoding is strict, panic-free, and version-gated.
 //! * [`registry`] — versioned model snapshots with **atomic hot-swap**:
 //!   publishing a new model never pauses in-flight requests; each
-//!   micro-batch runs against the `Arc` snapshot it grabbed at flush time.
+//!   micro-batch runs against the `Arc` snapshot it grabbed at flush
+//!   time. A snapshot serves through an object-safe
+//!   `Arc<dyn Estimator>` pipeline built by a registered closure, so
+//!   retrains re-derive composite pipelines automatically.
+//! * [`tier`] — the [`TieredEstimator`] pipeline: the primary learned
+//!   model answers when its own uncertainty qualifies the answer
+//!   (`log_std` within [`config::TierConfig::max_log_std`], not
+//!   saturated); high-spread queries fall back to gradient-boosted
+//!   stumps, out-of-range queries to a sampling/classical fallback.
+//!   Per-tier hit counts, latency, and observed q-error land in the
+//!   `tier.*` metrics.
 //! * [`drift`] — per-join-template rolling q-error windows fed by
 //!   feedback frames, plus the accrued retraining corpus. When a window
 //!   trips, the service schedules `lc_core::train_incremental` in the
@@ -93,14 +104,16 @@ pub mod loadgen;
 pub mod registry;
 pub mod server;
 pub mod service;
+pub mod tier;
 pub mod wire;
 
 pub use batcher::{BatchStats, BatchedEstimate, BatcherConfig, MicroBatcher};
-pub use cache::{CacheConfig, CacheStats, EstimateCache};
-pub use config::{DriftConfig, FrontConfig, ServeConfig};
+pub use cache::{CacheConfig, CacheStats, CachedEstimate, EstimateCache};
+pub use config::{DriftConfig, FrontConfig, ServeConfig, TierConfig};
 pub use drift::{DriftDecision, DriftMonitor};
 pub use loadgen::{LoadReport, LoadgenConfig, ShiftReport};
-pub use registry::{ModelRegistry, ModelSnapshot, RegistryError};
+pub use registry::{ModelRegistry, ModelSnapshot, PipelineBuilder, RegistryError};
 pub use server::{serve, ServerHandle};
 pub use service::{Estimate, EstimationService, PendingEstimate, ServeError};
+pub use tier::{TieredEstimator, TIER_FALLBACK, TIER_GBM, TIER_PRIMARY};
 pub use wire::{HistogramMetric, Message, ScalarMetric, TemplateDrift, TemplateStat, WireError};

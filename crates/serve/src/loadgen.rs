@@ -151,6 +151,10 @@ pub struct LoadReport {
     /// Mean micro-batch size over non-cache-hit responses (1.0 = no
     /// coalescing happened).
     pub mean_micro_batch: f64,
+    /// Responses answered per tier (primary / GBM / fallback), counted
+    /// from `EstimateDetail` frames. All zeros unless the server runs a
+    /// tiered pipeline and the connection negotiated `CAP_TIER`.
+    pub tier_hits: [u64; 3],
     /// Shift-mode results, if [`LoadgenConfig::shift`] was on.
     pub shift: Option<ShiftReport>,
 }
@@ -191,6 +195,13 @@ impl std::fmt::Display for LoadReport {
             self.p50_us, self.p95_us, self.p99_us, self.max_us
         )?;
         writeln!(f, "mean micro-batch of inference responses: {:.2}", self.mean_micro_batch)?;
+        if self.tier_hits.iter().sum::<u64>() > 0 {
+            writeln!(
+                f,
+                "tiers    primary {}   gbm {}   fallback {}",
+                self.tier_hits[0], self.tier_hits[1], self.tier_hits[2]
+            )?;
+        }
         if let Some(shift) = &self.shift {
             writeln!(
                 f,
@@ -222,6 +233,13 @@ impl std::fmt::Display for LoadReport {
                 shift.qerrors.pre,
                 shift.qerrors.spike,
                 shift.qerrors.fin,
+            )?;
+        }
+        if self.tier_hits.iter().sum::<u64>() > 0 {
+            write!(
+                f,
+                " tier_primary={} tier_gbm={} tier_fallback={}",
+                self.tier_hits[0], self.tier_hits[1], self.tier_hits[2]
             )?;
         }
         Ok(())
@@ -262,6 +280,12 @@ impl LoadReport {
                 shift.qerrors.fin,
             ));
         }
+        if self.tier_hits.iter().sum::<u64>() > 0 {
+            out.push_str(&format!(
+                ",\"tier_primary\":{},\"tier_gbm\":{},\"tier_fallback\":{}",
+                self.tier_hits[0], self.tier_hits[1], self.tier_hits[2]
+            ));
+        }
         out.push('}');
         out
     }
@@ -296,6 +320,7 @@ struct WorkerOutcome {
     batch_n: u64,
     qerrors: PhaseSums,
     version_regressions: u64,
+    tier_hits: [u64; 3],
 }
 
 impl WorkerOutcome {
@@ -310,6 +335,7 @@ impl WorkerOutcome {
             batch_n: 0,
             qerrors: PhaseSums::default(),
             version_regressions: 0,
+            tier_hits: [0; 3],
         }
     }
 }
@@ -368,25 +394,46 @@ fn worker(
         let start = Instant::now();
         write_message(&mut writer, &Message::EstimateRequest { id, query: query.clone() })?;
         writer.flush()?;
-        let estimate = match read_message(&mut reader, PROTOCOL_VERSION)? {
-            Some(Message::EstimateResponse {
-                id: rid, estimate, micro_batch, cache_hit, ..
-            }) if rid == id && estimate.is_finite() && estimate >= 1.0 => {
-                histogram.record_duration(start.elapsed());
-                out.ok += 1;
-                if cache_hit {
-                    out.cache_hits += 1;
-                } else {
-                    out.batch_sum += u64::from(micro_batch);
-                    out.batch_n += 1;
+        // A tiered server answers `CAP_TIER` connections with detail
+        // frames carrying the tier attribution; everyone else gets the
+        // classic response. Both are successful estimates.
+        let (estimate, micro_batch, cache_hit, tier) =
+            match read_message(&mut reader, PROTOCOL_VERSION)? {
+                Some(Message::EstimateResponse {
+                    id: rid,
+                    estimate,
+                    micro_batch,
+                    cache_hit,
+                    ..
+                }) if rid == id && estimate.is_finite() && estimate >= 1.0 => {
+                    (estimate, micro_batch, cache_hit, None)
                 }
-                estimate
-            }
-            _ => {
-                out.errors += 1;
-                continue;
-            }
-        };
+                Some(Message::EstimateDetail {
+                    id: rid,
+                    estimate,
+                    micro_batch,
+                    cache_hit,
+                    tier,
+                    ..
+                }) if rid == id && estimate.is_finite() && estimate >= 1.0 => {
+                    (estimate, micro_batch, cache_hit, Some(tier))
+                }
+                _ => {
+                    out.errors += 1;
+                    continue;
+                }
+            };
+        histogram.record_duration(start.elapsed());
+        out.ok += 1;
+        if let Some(tier) = tier {
+            out.tier_hits[(tier as usize).min(2)] += 1;
+        }
+        if cache_hit {
+            out.cache_hits += 1;
+        } else {
+            out.batch_sum += u64::from(micro_batch);
+            out.batch_n += 1;
+        }
         if config.shift {
             // Execute locally for ground truth (the tiny snapshot is
             // deterministic, so this is the server's data bit for bit),
@@ -521,6 +568,29 @@ fn open_loop_worker(
                         None => out.errors += 1,
                     }
                 }
+                Some(Message::EstimateDetail {
+                    id: rid,
+                    estimate,
+                    micro_batch,
+                    cache_hit,
+                    tier,
+                    ..
+                }) if estimate.is_finite() && estimate >= 1.0 => {
+                    match inflight.remove(&(conn, rid)) {
+                        Some(t0) => {
+                            histogram.record_duration(t0.elapsed());
+                            out.ok += 1;
+                            out.tier_hits[(tier as usize).min(2)] += 1;
+                            if cache_hit {
+                                out.cache_hits += 1;
+                            } else {
+                                out.batch_sum += u64::from(micro_batch);
+                                out.batch_n += 1;
+                            }
+                        }
+                        None => out.errors += 1,
+                    }
+                }
                 // Admission control turned the request away. That is the
                 // mechanism working, not a failure: count it, keep the
                 // connection, and let the fixed-rate pacing be the
@@ -619,6 +689,7 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadReport> {
     let (mut batch_sum, mut batch_n) = (0, 0);
     let mut qerrors = PhaseSums::default();
     let mut version_regressions = 0;
+    let mut tier_hits = [0u64; 3];
     for outcome in outcomes {
         let o = outcome?;
         histogram.merge(&o.histogram);
@@ -633,6 +704,9 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadReport> {
             qerrors.n[p] += o.qerrors.n[p];
         }
         version_regressions += o.version_regressions;
+        for (t, hits) in tier_hits.iter_mut().enumerate() {
+            *hits += o.tier_hits[t];
+        }
     }
     let shift = if config.shift {
         let (model_version, retrains, feedback_count) = fetch_stats(config)?;
@@ -665,6 +739,7 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadReport> {
         p99_us: histogram.quantile(0.99) as f64 / 1_000.0,
         max_us: histogram.max as f64 / 1_000.0,
         mean_micro_batch: if batch_n > 0 { batch_sum as f64 / batch_n as f64 } else { 0.0 },
+        tier_hits,
         shift,
     })
 }
@@ -703,6 +778,7 @@ mod tests {
             p99_us: 800.0,
             max_us: 1000.0,
             mean_micro_batch: 3.5,
+            tier_hits: [0; 3],
             shift: None,
         }
     }
@@ -756,6 +832,23 @@ mod tests {
                  qerr_pre=2.50 qerr_spike=80.00 qerr_final=4.00"
             ),
             "got: {text}"
+        );
+    }
+
+    #[test]
+    fn tier_hits_extend_trailer_and_json_only_when_present() {
+        let plain = sample_report();
+        assert!(!plain.to_string().contains("tier_primary="), "no tier keys without tier frames");
+        assert!(!plain.to_json().contains("tier_primary"), "no tier keys without tier frames");
+        let mut report = sample_report();
+        report.tier_hits = [90, 7, 3];
+        let text = report.to_string();
+        assert!(text.contains("tiers    primary 90   gbm 7   fallback 3"), "got: {text}");
+        assert!(text.contains(" tier_primary=90 tier_gbm=7 tier_fallback=3"), "got: {text}");
+        let json = report.to_json();
+        assert!(
+            json.contains("\"tier_primary\":90,\"tier_gbm\":7,\"tier_fallback\":3"),
+            "got: {json}"
         );
     }
 

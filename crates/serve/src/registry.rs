@@ -2,28 +2,64 @@
 //!
 //! A serving deployment retrains MSCN continuously (§5 "Updates") and must
 //! roll the new snapshot in — or a bad one back — without draining
-//! traffic. The registry keeps every registered
-//! [`MscnEstimator`](lc_core::MscnEstimator) behind an
+//! traffic. The registry keeps every registered model behind an
 //! `Arc<ModelSnapshot>`; [`ModelRegistry::current`] hands the active
 //! snapshot to a caller in O(1), and [`ModelRegistry::activate`] swaps the
 //! active pointer atomically. In-flight micro-batches keep the `Arc` they
 //! grabbed at flush time, so a hot-swap never pauses or corrupts them —
 //! old snapshots die when their last batch drops the reference.
+//!
+//! A snapshot serves through an object-safe
+//! `Arc<dyn Estimator + Send + Sync>` **pipeline**, not a concrete
+//! estimator type: the default pipeline is the trained
+//! [`MscnEstimator`](lc_core::MscnEstimator) itself, but
+//! [`ModelRegistry::with_pipeline`] accepts a builder closure that wraps
+//! each trained base model in an arbitrary composite (e.g. `lc_serve`'s
+//! uncertainty-routed [`TieredEstimator`](crate::TieredEstimator)). The
+//! builder runs again on every [`ModelRegistry::publish`], so a
+//! background retrain re-derives the whole pipeline around the new base
+//! weights — the retrainer itself keeps warm-starting from
+//! [`ModelSnapshot::base`], the raw MSCN weights, untouched by the
+//! wrapping.
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, RwLock};
 
 use lc_core::serialize::DecodeError;
-use lc_core::MscnEstimator;
+use lc_core::{Estimator, MscnEstimator};
 use lc_obs::metrics;
 
+/// Builds the serving pipeline around a trained base model. Re-invoked
+/// on every publish/register so retrained weights get the same wrapping.
+pub type PipelineBuilder =
+    Box<dyn Fn(&MscnEstimator) -> Arc<dyn Estimator + Send + Sync> + Send + Sync>;
+
 /// An immutable, versioned trained-model snapshot.
-#[derive(Debug)]
 pub struct ModelSnapshot {
     /// Monotonically increasing registry version (first model is 1).
     pub version: u32,
-    /// The trained estimator.
-    pub estimator: MscnEstimator,
+    /// The trained base model — what retraining warm-starts from and
+    /// what serialization ships.
+    base: MscnEstimator,
+    /// The serving pipeline built around [`ModelSnapshot::base`] — what
+    /// the micro-batcher actually runs.
+    pub estimator: Arc<dyn Estimator + Send + Sync>,
+}
+
+impl ModelSnapshot {
+    /// The raw trained MSCN model this snapshot's pipeline wraps.
+    pub fn base(&self) -> &MscnEstimator {
+        &self.base
+    }
+}
+
+impl std::fmt::Debug for ModelSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelSnapshot")
+            .field("version", &self.version)
+            .field("estimator", &self.estimator.name())
+            .finish()
+    }
 }
 
 /// Error returned by registry operations that name a version.
@@ -59,24 +95,52 @@ struct Inner {
 /// size.
 pub struct ModelRegistry {
     inner: RwLock<Inner>,
+    /// Rebuilds the serving pipeline around each registered base model.
+    builder: PipelineBuilder,
 }
 
 impl ModelRegistry {
-    /// Create a registry whose version 1 is `initial`, active.
+    /// Create a registry whose version 1 is `initial`, active, serving
+    /// the base model directly (the identity pipeline).
     pub fn new(initial: MscnEstimator) -> Self {
-        let snapshot = Arc::new(ModelSnapshot { version: 1, estimator: initial });
-        let mut versions = BTreeMap::new();
-        versions.insert(1, Arc::clone(&snapshot));
-        ModelRegistry { inner: RwLock::new(Inner { versions, active: snapshot, next_version: 2 }) }
+        Self::with_pipeline(initial, Box::new(|base| Arc::new(base.clone())))
     }
 
-    /// Register a snapshot without activating it; returns its version.
-    pub fn register(&self, estimator: MscnEstimator) -> u32 {
-        let mut inner = self.write();
-        let version = inner.next_version;
-        inner.next_version += 1;
-        inner.versions.insert(version, Arc::new(ModelSnapshot { version, estimator }));
-        version
+    /// Create a registry whose snapshots serve through the pipeline
+    /// `builder` derives from each trained base model. The builder runs
+    /// now for `initial` and again on every publish/register, so
+    /// retrained weights keep the same wrapping.
+    pub fn with_pipeline(initial: MscnEstimator, builder: PipelineBuilder) -> Self {
+        let estimator = builder(&initial);
+        let snapshot = Arc::new(ModelSnapshot { version: 1, base: initial, estimator });
+        let mut versions = BTreeMap::new();
+        versions.insert(1, Arc::clone(&snapshot));
+        ModelRegistry {
+            inner: RwLock::new(Inner { versions, active: snapshot, next_version: 2 }),
+            builder,
+        }
+    }
+
+    fn snapshot(&self, version: u32, base: MscnEstimator) -> Arc<ModelSnapshot> {
+        let estimator = (self.builder)(&base);
+        Arc::new(ModelSnapshot { version, base, estimator })
+    }
+
+    /// Register a trained base model without activating it; returns its
+    /// version. The pipeline builder wraps it exactly as it wrapped the
+    /// initial model.
+    pub fn register(&self, base: MscnEstimator) -> u32 {
+        let snapshot = {
+            let mut inner = self.write();
+            let version = inner.next_version;
+            inner.next_version += 1;
+            version
+        };
+        // Build the pipeline outside the lock (it may train/clone), then
+        // take the lock again only to insert.
+        let built = self.snapshot(snapshot, base);
+        self.write().versions.insert(snapshot, built);
+        snapshot
     }
 
     /// Decode and register a serialized snapshot (the deployment path: a
@@ -99,11 +163,15 @@ impl ModelRegistry {
     }
 
     /// Register and immediately activate — the one-call hot-swap.
-    pub fn publish(&self, estimator: MscnEstimator) -> u32 {
+    pub fn publish(&self, base: MscnEstimator) -> u32 {
+        let version = {
+            let mut inner = self.write();
+            let version = inner.next_version;
+            inner.next_version += 1;
+            version
+        };
+        let snapshot = self.snapshot(version, base);
         let mut inner = self.write();
-        let version = inner.next_version;
-        inner.next_version += 1;
-        let snapshot = Arc::new(ModelSnapshot { version, estimator });
         inner.versions.insert(version, Arc::clone(&snapshot));
         inner.active = snapshot;
         metrics::REGISTRY_PUBLISHES.inc();
@@ -214,7 +282,6 @@ mod tests {
         reg.activate(v2).unwrap();
         let before = reg.current();
         // Same weights → same estimates.
-        use lc_query::CardinalityEstimator;
         let direct: Vec<f64> = data[..10].iter().map(|q| before.estimator.estimate(q)).collect();
         let reg_est: Vec<f64> =
             data[..10].iter().map(|q| reg.current().estimator.estimate(q)).collect();
@@ -225,9 +292,54 @@ mod tests {
         assert_eq!(reg.versions(), versions_before);
     }
 
+    /// The pipeline builder wraps every registered base model — the
+    /// initial one and everything published later — and the raw base
+    /// weights stay reachable for retraining.
+    #[test]
+    fn pipeline_builder_wraps_every_publish() {
+        struct Halver(Arc<dyn Estimator + Send + Sync>);
+        impl Estimator for Halver {
+            fn name(&self) -> &str {
+                "halver"
+            }
+            fn estimate_with_uncertainty(
+                &self,
+                queries: &[LabeledQuery],
+            ) -> Vec<lc_core::UncertainEstimate> {
+                let mut out = self.0.estimate_with_uncertainty(queries);
+                for u in &mut out {
+                    u.estimate = (u.estimate / 2.0).max(1.0);
+                }
+                out
+            }
+        }
+        let (a, b, data) = fixture();
+        let direct_a: Vec<f64> = a.estimate_all(&data[..6]);
+        let direct_b: Vec<f64> = b.estimate_all(&data[..6]);
+        let reg = ModelRegistry::with_pipeline(
+            a,
+            Box::new(|base| Arc::new(Halver(Arc::new(base.clone())))),
+        );
+        let snap = reg.current();
+        assert_eq!(snap.estimator.name(), "halver");
+        for (wrapped, direct) in snap.estimator.estimate_all(&data[..6]).iter().zip(&direct_a) {
+            assert_eq!(*wrapped, (direct / 2.0).max(1.0));
+        }
+        // The base model is served unwrapped through `base()`.
+        assert_eq!(snap.base().estimate_all(&data[..6]), direct_a);
+        // publish() rebuilds the pipeline around the new base weights.
+        reg.publish(b);
+        let snap2 = reg.current();
+        assert_eq!(snap2.version, 2);
+        assert_eq!(snap2.estimator.name(), "halver");
+        for (wrapped, direct) in snap2.estimator.estimate_all(&data[..6]).iter().zip(&direct_b) {
+            assert_eq!(*wrapped, (direct / 2.0).max(1.0));
+        }
+        assert_eq!(snap2.base().estimate_all(&data[..6]), direct_b);
+    }
+
     #[test]
     fn hot_swap_under_concurrent_readers_never_tears() {
-        use lc_query::CardinalityEstimator;
         let (a, b, data) = fixture();
         // Expected estimates per version, computed up front.
         let expect_v1: Vec<f64> = data[..8].iter().map(|q| a.estimate(q)).collect();

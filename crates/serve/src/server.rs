@@ -61,11 +61,12 @@ use lc_obs::{metrics, MetricKind, ShardMetrics, SpanTimer};
 use lc_query::Query;
 
 use crate::batcher::{BatchedEstimate, BatcherConfig, MicroBatcher};
+use crate::cache::CachedEstimate;
 use crate::config::FrontConfig;
 use crate::service::{CacheProbe, EstimationService, ServeError};
 use crate::wire::{
     negotiate, HistogramMetric, Message, ScalarMetric, CAPABILITIES, CAP_DRIFT, CAP_FEEDBACK,
-    CAP_METRICS, CAP_RETRY, CAP_STATS, PROTOCOL_VERSION,
+    CAP_METRICS, CAP_RETRY, CAP_STATS, CAP_TIER, PROTOCOL_VERSION,
 };
 
 /// Cap on outgoing error messages, so an Error reply echoing
@@ -601,13 +602,16 @@ impl Shard {
                         if let Some(started) = started {
                             metrics::SERVE_ESTIMATE_NS.record_duration(started.elapsed());
                         }
-                        Message::EstimateResponse {
+                        self.estimate_reply(
+                            slot,
                             id,
-                            estimate: est.cardinality,
-                            model_version: est.model_version,
-                            micro_batch: est.micro_batch,
-                            cache_hit: est.cache_hit,
-                        }
+                            est.cardinality,
+                            est.model_version,
+                            est.micro_batch,
+                            true,
+                            est.tier,
+                            est.log_std,
+                        )
                     }
                     CacheProbe::Miss { query_key } => {
                         self.admit(slot, id, query_key, started, &query, None);
@@ -625,7 +629,12 @@ impl Shard {
                     match self.service.probe_cache(&query) {
                         CacheProbe::Hit(est) => {
                             let _span = SpanTimer::start(&metrics::SERVE_FEEDBACK_NS);
-                            self.service.record_feedback(&query, est.cardinality, actual_card);
+                            self.service.record_feedback(
+                                &query,
+                                est.cardinality,
+                                est.tier,
+                                actual_card,
+                            );
                             Message::FeedbackAck { id, model_version: est.model_version }
                         }
                         CacheProbe::Miss { query_key } => {
@@ -676,6 +685,40 @@ impl Shard {
 
     fn conn_caps(&self, slot: usize) -> u8 {
         self.slots[slot].conn.as_ref().map_or(0, |c| c.caps)
+    }
+
+    /// The estimate reply for `slot`: a connection that *negotiated*
+    /// [`CAP_TIER`] gets the v2 [`Message::EstimateDetail`] frame with
+    /// tier attribution; everyone else (v1, hello-less, or opted out)
+    /// gets the classic [`Message::EstimateResponse`], byte-identical to
+    /// what pre-tiering servers sent.
+    #[allow(clippy::too_many_arguments)]
+    fn estimate_reply(
+        &self,
+        slot: usize,
+        id: u64,
+        estimate: f64,
+        model_version: u32,
+        micro_batch: u32,
+        cache_hit: bool,
+        tier: u8,
+        log_std: f64,
+    ) -> Message {
+        let detail =
+            self.slots[slot].conn.as_ref().is_some_and(|c| c.negotiated && c.caps & CAP_TIER != 0);
+        if detail {
+            Message::EstimateDetail {
+                id,
+                estimate,
+                model_version,
+                micro_batch,
+                cache_hit,
+                tier,
+                log_std,
+            }
+        } else {
+            Message::EstimateResponse { id, estimate, model_version, micro_batch, cache_hit }
+        }
     }
 
     fn over_budget(&self) -> bool {
@@ -759,25 +802,41 @@ impl Shard {
         let response = match batched {
             Some(batched) => {
                 if let Some(key) = req.query_key {
-                    self.service.cache_insert(key, batched.model_version, batched.cardinality);
+                    self.service.cache_insert(
+                        key,
+                        batched.model_version,
+                        CachedEstimate {
+                            cardinality: batched.cardinality,
+                            tier: batched.tier,
+                            log_std: batched.log_std,
+                        },
+                    );
                 }
                 match req.feedback {
                     Some((query, actual_card)) => {
                         let _span = SpanTimer::start(&metrics::SERVE_FEEDBACK_NS);
-                        self.service.record_feedback(&query, batched.cardinality, actual_card);
+                        self.service.record_feedback(
+                            &query,
+                            batched.cardinality,
+                            batched.tier,
+                            actual_card,
+                        );
                         Message::FeedbackAck { id: req.id, model_version: batched.model_version }
                     }
                     None => {
                         if let Some(started) = req.started {
                             metrics::SERVE_ESTIMATE_NS.record_duration(started.elapsed());
                         }
-                        Message::EstimateResponse {
-                            id: req.id,
-                            estimate: batched.cardinality,
-                            model_version: batched.model_version,
-                            micro_batch: batched.micro_batch,
-                            cache_hit: false,
-                        }
+                        self.estimate_reply(
+                            req.slot,
+                            req.id,
+                            batched.cardinality,
+                            batched.model_version,
+                            batched.micro_batch,
+                            false,
+                            batched.tier,
+                            batched.log_std,
+                        )
                     }
                 }
             }
@@ -915,6 +974,136 @@ mod tests {
 
     fn tiny_service() -> (Arc<EstimationService>, Vec<lc_query::LabeledQuery>) {
         tiny_service_with(ServeConfig::default())
+    }
+
+    /// A service whose registry serves a full three-tier pipeline:
+    /// MSCN primary, GBM middle tier, Postgres-style fallback.
+    fn tiered_service(max_log_std: f64) -> (Arc<EstimationService>, Vec<lc_query::LabeledQuery>) {
+        use crate::tier::TieredEstimator;
+        use lc_baselines::{GbmConfig, GbmEstimator, OwnedPostgresEstimator};
+
+        let db = generate(&ImdbConfig::tiny());
+        let mut rng = SmallRng::seed_from_u64(13);
+        let samples = SampleSet::draw(&db, 24, &mut rng);
+        let data = workloads::synthetic(&db, &samples, 120, 2, 91).queries;
+        let cfg = TrainConfig { epochs: 2, hidden: 16, ..TrainConfig::default() };
+        let est = train(&db, 24, &data, cfg).estimator;
+        let gbm = Arc::new(GbmEstimator::train(&db, &data, GbmConfig::default()));
+        let fallback = Arc::new(OwnedPostgresEstimator::new(Arc::new(db.clone())));
+        let registry = Arc::new(ModelRegistry::with_pipeline(
+            est,
+            Box::new(move |base| {
+                Arc::new(
+                    TieredEstimator::new(Arc::new(base.clone()), max_log_std)
+                        .with_gbm(Arc::clone(&gbm) as _)
+                        .with_fallback(Arc::clone(&fallback) as _),
+                )
+            }),
+        ));
+        let service = EstimationService::new(db, samples, registry, ServeConfig::default());
+        (Arc::new(service), data)
+    }
+
+    /// A client that negotiates CAP_TIER gets the v2 EstimateDetail
+    /// frame — with a valid tier id and the cache-hit flag tracking
+    /// repeats — instead of the classic EstimateResponse.
+    #[test]
+    fn cap_tier_clients_receive_estimate_detail_frames() {
+        let (service, data) = tiered_service(0.75);
+        let handle = serve(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+        let stream = TcpStream::connect(handle.local_addr()).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+
+        write_message(
+            &mut writer,
+            &Message::Hello { id: 0, version: PROTOCOL_VERSION, capabilities: CAPABILITIES },
+        )
+        .unwrap();
+        writer.flush().unwrap();
+        match read_message(&mut reader, PROTOCOL_VERSION).unwrap() {
+            Some(Message::HelloAck { capabilities, .. }) => {
+                assert_ne!(capabilities & CAP_TIER, 0, "server must offer CAP_TIER");
+            }
+            other => panic!("expected HelloAck, got {other:?}"),
+        }
+
+        // Same query twice: a fresh inference, then a cache hit — both
+        // must arrive as detail frames carrying the same attribution.
+        let mut first_tier = 0u8;
+        for expect_hit in [false, true] {
+            write_message(
+                &mut writer,
+                &Message::EstimateRequest { id: 7, query: data[0].query.clone() },
+            )
+            .unwrap();
+            writer.flush().unwrap();
+            match read_message(&mut reader, PROTOCOL_VERSION).unwrap() {
+                Some(Message::EstimateDetail {
+                    id, estimate, cache_hit, tier, log_std, ..
+                }) => {
+                    assert_eq!(id, 7);
+                    assert!(estimate >= 1.0);
+                    assert_eq!(cache_hit, expect_hit);
+                    assert!(tier <= 2, "unknown tier id {tier}");
+                    assert!(log_std.is_finite());
+                    if expect_hit {
+                        assert_eq!(tier, first_tier, "cache hit changed the attribution");
+                    } else {
+                        first_tier = tier;
+                    }
+                }
+                other => panic!("CAP_TIER client got {other:?}"),
+            }
+        }
+
+        // Feedback on a tiered connection still acks normally.
+        write_message(
+            &mut writer,
+            &Message::Feedback { id: 8, query: data[1].query.clone(), actual_card: 10 },
+        )
+        .unwrap();
+        writer.flush().unwrap();
+        assert!(matches!(
+            read_message(&mut reader, PROTOCOL_VERSION).unwrap(),
+            Some(Message::FeedbackAck { id: 8, .. })
+        ));
+
+        handle.shutdown();
+        service.shutdown();
+    }
+
+    /// A v1 client (no hello, decodes strictly at v1) served by a fully
+    /// tiered server must still receive plain EstimateResponse frames it
+    /// can decode — tiering may never leak onto un-negotiated
+    /// connections.
+    #[test]
+    fn v1_client_against_tiered_server_stays_compatible() {
+        // A strict threshold so routing genuinely engages.
+        let (service, data) = tiered_service(0.05);
+        let handle = serve(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+        let stream = TcpStream::connect(handle.local_addr()).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+
+        for (i, l) in data.iter().take(6).enumerate() {
+            write_message(
+                &mut writer,
+                &Message::EstimateRequest { id: i as u64, query: l.query.clone() },
+            )
+            .unwrap();
+            writer.flush().unwrap();
+            match read_message(&mut reader, PROTOCOL_V1).unwrap() {
+                Some(Message::EstimateResponse { id, estimate, .. }) => {
+                    assert_eq!(id, i as u64);
+                    assert!(estimate >= 1.0);
+                }
+                other => panic!("v1 client against tiered server got {other:?}"),
+            }
+        }
+
+        handle.shutdown();
+        service.shutdown();
     }
 
     #[test]
@@ -1211,8 +1400,10 @@ mod tests {
         writer.flush().unwrap();
         let (mut answered, mut shed) = (0usize, 0usize);
         for _ in 0..BURST {
+            // This connection negotiated CAP_TIER, so admitted requests
+            // come back as detail frames.
             match read_message(&mut reader, PROTOCOL_VERSION).unwrap() {
-                Some(Message::EstimateResponse { estimate, .. }) => {
+                Some(Message::EstimateDetail { estimate, .. }) => {
                     assert!(estimate >= 1.0);
                     answered += 1;
                 }
@@ -1236,7 +1427,7 @@ mod tests {
         writer.flush().unwrap();
         assert!(matches!(
             read_message(&mut reader, PROTOCOL_VERSION).unwrap(),
-            Some(Message::EstimateResponse { id: 99, .. })
+            Some(Message::EstimateDetail { id: 99, .. })
         ));
 
         // A v1 client (no hello) shed over budget gets a plain Error it

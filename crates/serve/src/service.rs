@@ -40,10 +40,11 @@ use lc_obs::{metrics, RateLimitedLog, SpanTimer};
 use lc_query::{annotate_query, Query};
 
 use crate::batcher::{BatchStats, BatchedEstimate, BatcherConfig, MicroBatcher};
-use crate::cache::{CacheStats, EstimateCache};
+use crate::cache::{CacheStats, CachedEstimate, EstimateCache};
 use crate::config::{FrontConfig, ServeConfig};
 use crate::drift::{DriftDecision, DriftMonitor};
 use crate::registry::ModelRegistry;
+use crate::tier::{TIER_FALLBACK, TIER_GBM};
 
 /// Error returned by [`EstimationService::estimate`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -74,6 +75,12 @@ pub struct Estimate {
     pub cache_hit: bool,
     /// Requests coalesced into the same forward pass (0 for cache hits).
     pub micro_batch: u32,
+    /// Pipeline tier that produced (or originally produced, for cache
+    /// hits) the estimate — 0 for monolithic estimators, see
+    /// `crate::tier` for the routed ids.
+    pub tier: u8,
+    /// The primary model's log-std trust signal for this query.
+    pub log_std: f64,
 }
 
 /// A long-lived, thread-safe estimation service. Share it across
@@ -145,13 +152,22 @@ impl PendingEstimate<'_> {
                 let batched = rx.recv().map_err(|_| ServeError::Shutdown)?;
                 if self.service.cache.enabled() {
                     query_key.extend_from_slice(&batched.model_version.to_le_bytes());
-                    self.service.cache.insert(query_key, batched.cardinality);
+                    self.service.cache.insert(
+                        query_key,
+                        CachedEstimate {
+                            cardinality: batched.cardinality,
+                            tier: batched.tier,
+                            log_std: batched.log_std,
+                        },
+                    );
                 }
                 Ok(Estimate {
                     cardinality: batched.cardinality,
                     model_version: batched.model_version,
                     cache_hit: false,
                     micro_batch: batched.micro_batch,
+                    tier: batched.tier,
+                    log_std: batched.log_std,
                 })
             }
         }
@@ -197,15 +213,17 @@ impl EstimationService {
             query_key = query.to_canonical_bytes();
             let version = self.registry.active_version();
             query_key.extend_from_slice(&version.to_le_bytes());
-            if let Some(cardinality) = self.cache.get(&query_key) {
+            if let Some(cached) = self.cache.get(&query_key) {
                 metrics::CACHE_HITS.inc();
                 return PendingEstimate {
                     service: self,
                     state: PendingState::Ready(Estimate {
-                        cardinality,
+                        cardinality: cached.cardinality,
                         model_version: version,
                         cache_hit: true,
                         micro_batch: 0,
+                        tier: cached.tier,
+                        log_std: cached.log_std,
                     }),
                 };
             }
@@ -235,7 +253,7 @@ impl EstimationService {
     /// `model_version` the feedback ack reports back to the client.
     pub fn feedback(&self, query: &Query, actual_card: u64) -> Result<Estimate, ServeError> {
         let estimate = self.estimate(query)?;
-        self.record_feedback(query, estimate.cardinality, actual_card);
+        self.record_feedback(query, estimate.cardinality, estimate.tier, actual_card);
         Ok(estimate)
     }
 
@@ -244,9 +262,27 @@ impl EstimationService {
     /// `query` (the sharded TCP front scores feedback against its own
     /// batched estimate instead of estimating twice): record the
     /// observation in the drift windows, bank the corpus entry, and
-    /// schedule a retrain when a window trips.
-    pub(crate) fn record_feedback(&self, query: &Query, estimated: f64, actual_card: u64) {
+    /// schedule a retrain when a window trips. `tier` attributes the
+    /// observed q-error to the pipeline tier that produced the estimate,
+    /// feeding the per-tier accuracy histograms.
+    pub(crate) fn record_feedback(
+        &self,
+        query: &Query,
+        estimated: f64,
+        tier: u8,
+        actual_card: u64,
+    ) {
         metrics::SERVE_FEEDBACK.inc();
+        if actual_card >= 1 && estimated >= 1.0 {
+            let actual = actual_card as f64;
+            let qerror = (estimated / actual).max(actual / estimated);
+            let hist = match tier {
+                TIER_GBM => &metrics::TIER_GBM_QERROR_X100,
+                TIER_FALLBACK => &metrics::TIER_FALLBACK_QERROR_X100,
+                _ => &metrics::TIER_PRIMARY_QERROR_X100,
+            };
+            hist.record((qerror * 100.0).min(u64::MAX as f64) as u64);
+        }
         let corpus_entry = (actual_card >= 1).then(|| {
             let mut labeled = annotate_query(&self.db, &self.samples, query.clone());
             labeled.cardinality = actual_card;
@@ -270,13 +306,15 @@ impl EstimationService {
         let mut query_key = query.to_canonical_bytes();
         let version = self.registry.active_version();
         query_key.extend_from_slice(&version.to_le_bytes());
-        if let Some(cardinality) = self.cache.get(&query_key) {
+        if let Some(cached) = self.cache.get(&query_key) {
             metrics::CACHE_HITS.inc();
             return CacheProbe::Hit(Estimate {
-                cardinality,
+                cardinality: cached.cardinality,
                 model_version: version,
                 cache_hit: true,
                 micro_batch: 0,
+                tier: cached.tier,
+                log_std: cached.log_std,
             });
         }
         query_key.truncate(query_key.len() - 4);
@@ -291,11 +329,11 @@ impl EstimationService {
         &self,
         mut query_key: Vec<u8>,
         model_version: u32,
-        cardinality: f64,
+        value: CachedEstimate,
     ) {
         if self.cache.enabled() {
             query_key.extend_from_slice(&model_version.to_le_bytes());
-            self.cache.insert(query_key, cardinality);
+            self.cache.insert(query_key, value);
         }
     }
 
@@ -345,7 +383,7 @@ impl EstimationService {
                     if !corpus.is_empty() {
                         let prev = registry.current();
                         let config = drift.config().retrain;
-                        let retrained = train_incremental(&prev.estimator, &corpus, config);
+                        let retrained = train_incremental(prev.base(), &corpus, config);
                         registry.publish(retrained);
                         drift.on_publish();
                     }
@@ -428,9 +466,9 @@ mod tests {
     use crate::batcher::BatcherConfig;
     use crate::cache::CacheConfig;
     use crate::config::DriftConfig;
-    use lc_core::{train, FeatureMode, MscnEstimator, TrainConfig};
+    use lc_core::{train, Estimator, FeatureMode, MscnEstimator, TrainConfig};
     use lc_imdb::{generate, ImdbConfig};
-    use lc_query::{workloads, CardinalityEstimator, LabeledQuery};
+    use lc_query::{workloads, LabeledQuery};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
     use std::time::{Duration, Instant};

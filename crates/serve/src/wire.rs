@@ -32,6 +32,9 @@
 //! metrics      := kind 15 | u64 uptime_ns | u16 n | n × scalar_metric
 //!                         | u16 m | m × histogram_metric
 //! busy         := kind 16 | u32 retry_after_ms
+//! est_detail   := kind 17 | f64 estimate | u32 model_version
+//!                         | u32 micro_batch | u8 flags   (bit 0: cache hit)
+//!                         | u8 tier | f64 log_std
 //!
 //! template_stat  := u32 template | u64 count | f64 mean_qerror
 //! template_drift := u32 template | u32 window_len | f64 rolling_qerror
@@ -101,8 +104,15 @@ pub const CAP_METRICS: u8 = 1 << 3;
 /// terse [`Message::Error`]. Clients that do not negotiate it — all v1
 /// clients — keep receiving plain errors, byte-identically to before.
 pub const CAP_RETRY: u8 = 1 << 4;
+/// Capability bit: the server answers estimate requests with
+/// [`Message::EstimateDetail`] (tier attribution + trust signal) instead
+/// of the v1 [`Message::EstimateResponse`]. Connections that do not
+/// negotiate it — all v1 clients and older v2 clients — keep receiving
+/// plain responses, byte-identically to before.
+pub const CAP_TIER: u8 = 1 << 5;
 /// Every capability this build implements.
-pub const CAPABILITIES: u8 = CAP_FEEDBACK | CAP_STATS | CAP_DRIFT | CAP_METRICS | CAP_RETRY;
+pub const CAPABILITIES: u8 =
+    CAP_FEEDBACK | CAP_STATS | CAP_DRIFT | CAP_METRICS | CAP_RETRY | CAP_TIER;
 
 /// Negotiate a hello: the connection runs at the *minimum* of the two
 /// protocol versions and the *intersection* of the capability sets.
@@ -416,6 +426,29 @@ pub enum Message {
         /// Suggested client back-off before retrying, in milliseconds.
         retry_after_ms: u32,
     },
+    /// Server → client: the estimate plus routing metadata — which tier
+    /// of the serving pipeline answered and the primary model's trust
+    /// signal. Sent instead of [`Message::EstimateResponse`] on
+    /// connections that negotiated [`CAP_TIER`]. (v2)
+    EstimateDetail {
+        /// Token of the request this answers.
+        id: u64,
+        /// Estimated cardinality in rows (≥ 1).
+        estimate: f64,
+        /// Version of the model snapshot that produced the estimate.
+        model_version: u32,
+        /// Size of the coalesced micro-batch this request rode in (0 for
+        /// cache hits, which skip inference).
+        micro_batch: u32,
+        /// True if the estimate came from the cache.
+        cache_hit: bool,
+        /// The pipeline tier that answered (0 = primary MSCN/ensemble,
+        /// 1 = GBM stumps, 2 = sampling fallback).
+        tier: u8,
+        /// The primary model's log-standard-deviation trust signal for
+        /// this query (0 when the primary has no uncertainty channel).
+        log_std: f64,
+    },
 }
 
 /// The lowest protocol version that defines kind tag `kind`, or `None`
@@ -423,7 +456,7 @@ pub enum Message {
 fn kind_min_version(kind: u8) -> Option<u8> {
     match kind {
         1..=5 => Some(PROTOCOL_V1),
-        6..=16 => Some(PROTOCOL_VERSION),
+        6..=17 => Some(PROTOCOL_VERSION),
         _ => None,
     }
 }
@@ -464,6 +497,7 @@ impl Message {
             Message::MetricsRequest { .. } => 14,
             Message::MetricsSnapshot { .. } => 15,
             Message::Busy { .. } => 16,
+            Message::EstimateDetail { .. } => 17,
         }
     }
 
@@ -569,6 +603,23 @@ impl Message {
             Message::Busy { id, retry_after_ms } => {
                 buf.put_u64_le(*id);
                 buf.put_u32_le(*retry_after_ms);
+            }
+            Message::EstimateDetail {
+                id,
+                estimate,
+                model_version,
+                micro_batch,
+                cache_hit,
+                tier,
+                log_std,
+            } => {
+                buf.put_u64_le(*id);
+                buf.put_f64_le(*estimate);
+                buf.put_u32_le(*model_version);
+                buf.put_u32_le(*micro_batch);
+                buf.put_u8(if *cache_hit { FLAG_CACHE_HIT } else { 0 });
+                buf.put_u8(*tier);
+                buf.put_f64_le(*log_std);
             }
         }
         let body_len = (buf.len() - start - 4) as u32;
@@ -750,6 +801,30 @@ impl Message {
             16 => {
                 need(buf, 4, "busy payload", version)?;
                 Message::Busy { id, retry_after_ms: buf.get_u32_le() }
+            }
+            17 => {
+                need(buf, 8 + 4 + 4 + 1 + 1 + 8, "detail payload", version)?;
+                let estimate = buf.get_f64_le();
+                let model_version = buf.get_u32_le();
+                let micro_batch = buf.get_u32_le();
+                let flags = buf.get_u8();
+                if flags & !FLAG_CACHE_HIT != 0 {
+                    return Err(WireError::Malformed {
+                        version,
+                        detail: format!("unknown detail flags {flags:#04x}"),
+                    });
+                }
+                let tier = buf.get_u8();
+                let log_std = buf.get_f64_le();
+                Message::EstimateDetail {
+                    id,
+                    estimate,
+                    model_version,
+                    micro_batch,
+                    cache_hit: flags & FLAG_CACHE_HIT != 0,
+                    tier,
+                    log_std,
+                }
             }
             t => unreachable!("kind {t} passed the version gate but has no decoder"),
         };
@@ -933,6 +1008,24 @@ mod tests {
             Message::MetricsSnapshot { id: 42, uptime_ns: 0, scalars: vec![], histograms: vec![] },
             Message::Busy { id: 51, retry_after_ms: 50 },
             Message::Busy { id: u64::MAX, retry_after_ms: 0 },
+            Message::EstimateDetail {
+                id: 52,
+                estimate: 4096.0,
+                model_version: 3,
+                micro_batch: 8,
+                cache_hit: false,
+                tier: 1,
+                log_std: 1.75,
+            },
+            Message::EstimateDetail {
+                id: u64::MAX,
+                estimate: 1.0,
+                model_version: u32::MAX,
+                micro_batch: 0,
+                cache_hit: true,
+                tier: u8::MAX,
+                log_std: -0.0,
+            },
         ]
     }
 
@@ -1064,6 +1157,24 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("flags"));
+
+        let detail = Message::EstimateDetail {
+            id: 1,
+            estimate: 2.0,
+            model_version: 1,
+            micro_batch: 1,
+            cache_hit: false,
+            tier: 0,
+            log_std: 0.0,
+        };
+        let mut bad_detail = detail.to_bytes()[4..].to_vec();
+        // flags byte sits between micro_batch and tier: kind + id +
+        // estimate + model_version + micro_batch = 1 + 8 + 8 + 4 + 4.
+        bad_detail[25] = 0xF0;
+        assert!(Message::decode_body(&bad_detail, PROTOCOL_VERSION)
+            .unwrap_err()
+            .to_string()
+            .contains("flags"));
     }
 
     /// A v1 connection rejects v2 kinds with a dedicated error (not
@@ -1079,6 +1190,15 @@ mod tests {
             Message::DriftStatusRequest { id: 4 },
             Message::MetricsRequest { id: 5 },
             Message::Busy { id: 6, retry_after_ms: 25 },
+            Message::EstimateDetail {
+                id: 7,
+                estimate: 32.0,
+                model_version: 1,
+                micro_batch: 4,
+                cache_hit: false,
+                tier: 2,
+                log_std: 0.5,
+            },
         ];
         for message in &v2_only {
             let body = &message.to_bytes()[4..];
@@ -1342,6 +1462,15 @@ mod tests {
                 histograms: arb_histogram_metrics(rng),
             },
             15 => Message::Busy { id, retry_after_ms: rng.gen_range(0u32..=u32::MAX) },
+            16 => Message::EstimateDetail {
+                id,
+                estimate: rng.gen_range(0u64..1 << 52) as f64,
+                model_version: rng.gen_range(0u32..=u32::MAX),
+                micro_batch: rng.gen_range(0u32..65),
+                cache_hit: rng.gen_bool(0.5),
+                tier: rng.gen_range(0u8..=u8::MAX),
+                log_std: rng.gen_range(-16i32..=16) as f64 / 4.0,
+            },
             _ => unreachable!("arm out of range"),
         }
     }
@@ -1353,7 +1482,7 @@ mod tests {
         /// round trip byte-exactly, and every strict prefix of the frame
         /// is "incomplete", never an error or a wrong parse.
         #[test]
-        fn every_arm_roundtrips(arm in 0usize..16, seed in 0u64..u64::MAX) {
+        fn every_arm_roundtrips(arm in 0usize..17, seed in 0u64..u64::MAX) {
             let mut rng = SmallRng::seed_from_u64(seed);
             let message = arb_message(arm, &mut rng);
             let bytes = message.to_bytes();

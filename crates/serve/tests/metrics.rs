@@ -82,11 +82,14 @@ fn snapshot_counters_are_consistent_over_a_live_server() {
             )
             .unwrap();
             writer.flush().unwrap();
+            // This connection negotiated CAP_TIER, so estimates come
+            // back as tier-attributed detail frames.
             match read_message(&mut reader, version).unwrap() {
-                Some(Message::EstimateResponse { id: rid, estimate, cache_hit, .. }) => {
+                Some(Message::EstimateDetail { id: rid, estimate, cache_hit, tier, .. }) => {
                     assert_eq!(rid, id);
                     assert!(estimate >= 1.0);
                     assert_eq!(cache_hit, pass == 1, "query {i} pass {pass}");
+                    assert_eq!(tier, 0, "a non-tiered pipeline answers from the primary");
                 }
                 other => panic!("unexpected reply: {other:?}"),
             }
@@ -145,6 +148,12 @@ fn snapshot_counters_are_consistent_over_a_live_server() {
     assert_eq!(scalar(&scalars, "serve.metrics_requests"), 1);
     assert_eq!(scalar(&scalars, "registry.active_version"), 1);
     assert_eq!(scalar(&scalars, "drift.trips"), 0);
+    // Tier hit counters are recorded per inference (cache hits replay
+    // the stored attribution without re-counting); a non-tiered
+    // pipeline answers everything from the primary.
+    assert_eq!(scalar(&scalars, "tier.primary.hits"), misses);
+    assert_eq!(scalar(&scalars, "tier.gbm.hits"), 0);
+    assert_eq!(scalar(&scalars, "tier.fallback.hits"), 0);
 
     // Histogram consistency: every estimate was spanned (span clocks
     // are gated on `LC_OBS`, so skip when this run disabled them — the

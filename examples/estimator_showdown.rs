@@ -39,7 +39,7 @@ fn main() {
     let pg = PostgresEstimator::new(&db);
     let rs = RandomSamplingEstimator::new(&db, &samples, &join_sizes);
     let ibjs = IbjsEstimator::new(&db, &samples, &indexes, &join_sizes);
-    let estimators: Vec<(&str, &dyn CardinalityEstimator)> = vec![
+    let estimators: Vec<(&str, &dyn Estimator)> = vec![
         ("PostgreSQL", &pg),
         ("Random Samp.", &rs),
         ("IB Join Samp.", &ibjs),

@@ -42,7 +42,7 @@ fn main() {
         if bucket.is_empty() {
             continue;
         }
-        let p95 = |est: &dyn CardinalityEstimator| {
+        let p95 = |est: &dyn Estimator| {
             let mut qerrs: Vec<f64> = est
                 .estimate_all(&bucket)
                 .into_iter()

@@ -62,10 +62,10 @@ pub mod prelude {
     };
     pub use lc_imdb::ImdbConfig;
     pub use lc_nn::{KernelChoice, LossKind, RuntimeConfig};
-    pub use lc_query::{annotate_query, workloads, CardinalityEstimator, LabeledQuery, Query};
+    pub use lc_query::{annotate_query, workloads, LabeledQuery, Query};
     pub use lc_serve::{
         BatcherConfig, CacheConfig, DriftConfig, DriftMonitor, Estimate, EstimationService,
-        ModelRegistry, ServeConfig,
+        ModelRegistry, ServeConfig, TierConfig, TieredEstimator,
     };
     pub use rand::rngs::SmallRng;
     pub use rand::SeedableRng;

@@ -34,7 +34,7 @@ fn pipeline() -> &'static Pipeline {
     })
 }
 
-fn qerrors(est: &dyn CardinalityEstimator, qs: &[LabeledQuery]) -> Vec<f64> {
+fn qerrors(est: &dyn Estimator, qs: &[LabeledQuery]) -> Vec<f64> {
     let mut v: Vec<f64> = est
         .estimate_all(qs)
         .into_iter()
@@ -153,7 +153,7 @@ fn estimator_trait_objects_compose() {
     let pg = PostgresEstimator::new(&p.db);
     let rs = RandomSamplingEstimator::new(&p.db, &p.samples, &join_sizes);
     let ibjs = IbjsEstimator::new(&p.db, &p.samples, &indexes, &join_sizes);
-    let ests: Vec<&dyn CardinalityEstimator> = vec![&pg, &rs, &ibjs, &p.trained.estimator];
+    let ests: Vec<&dyn Estimator> = vec![&pg, &rs, &ibjs, &p.trained.estimator];
     for est in ests {
         let out = est.estimate_all(&p.evaluation[..10]);
         assert_eq!(out.len(), 10);

@@ -92,7 +92,7 @@ proptest! {
             lc_query::GeneratorConfig { max_joins: 2, seed },
         );
         let q = LabeledQuery::compute(&db, &samples, generator.generate());
-        for est in [&pg as &dyn CardinalityEstimator, &rs, &ibjs] {
+        for est in [&pg as &dyn Estimator, &rs, &ibjs] {
             let a = est.estimate(&q);
             let b = est.estimate(&q);
             prop_assert_eq!(a, b, "{} not deterministic", est.name());

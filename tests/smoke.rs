@@ -76,7 +76,7 @@ fn tiny_pipeline_produces_finite_estimates() {
     let pg = PostgresEstimator::new(&db);
     let rs = RandomSamplingEstimator::new(&db, &samples, &join_sizes);
     let ibjs = IbjsEstimator::new(&db, &samples, &indexes, &join_sizes);
-    for est in [&pg as &dyn CardinalityEstimator, &rs, &ibjs] {
+    for est in [&pg as &dyn Estimator, &rs, &ibjs] {
         let e = est.estimate(&data[0]);
         assert!(e.is_finite() && e >= 1.0, "{}: bad estimate {e}", est.name());
     }
