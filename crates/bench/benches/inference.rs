@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lc_bench::BenchFixture;
-use lc_core::{train, FeatureMode, TrainConfig};
+use lc_core::{train, FeatureMode, QuantizedMscn, TrainConfig};
 
 fn bench_inference(c: &mut Criterion) {
     let f = BenchFixture::small();
@@ -12,7 +12,16 @@ fn bench_inference(c: &mut Criterion) {
         TrainConfig { epochs: 3, hidden: 64, mode: FeatureMode::Bitmaps, ..TrainConfig::default() };
     let trained = train(&f.db, f.samples.sample_size, f.queries(), cfg);
     let est = trained.estimator;
+    // The int8 twin of the same weights — published once, like the
+    // serving registry does, then measured on the identical workload so
+    // the f32-vs-int8 rows are directly comparable.
+    let qest = QuantizedMscn::quantize(&est);
     let queries = f.queries();
+    eprintln!(
+        "model bytes: f32 {} -> int8 {}",
+        est.model().num_params() * 4,
+        qest.resident_bytes()
+    );
 
     let mut group = c.benchmark_group("mscn");
     group.bench_function("featurize/per_query", |b| {
@@ -31,8 +40,18 @@ fn bench_inference(c: &mut Criterion) {
             est.estimate_cards(std::slice::from_ref(&q))
         })
     });
+    group.bench_function("single_query_quant", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = queries[i % queries.len()].clone();
+            i += 1;
+            qest.estimate_cards(std::slice::from_ref(&q))
+        })
+    });
     group.bench_function("inference/batch_256", |b| b.iter(|| est.estimate_cards(queries)));
+    group.bench_function("inference/batch_256_quant", |b| b.iter(|| qest.estimate_cards(queries)));
     group.bench_function("serialize/to_bytes", |b| b.iter(|| est.to_bytes()));
+    group.bench_function("quantize/publish", |b| b.iter(|| QuantizedMscn::quantize(&est)));
     group.finish();
 }
 

@@ -14,7 +14,8 @@
 //! timing, so a correctness regression aborts the bench run.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use lc_nn::{kernel_name, Matrix, SparseRows};
+use lc_nn::qmatrix::{qmatmul_dequant_bias, qsparse_matmul_dequant_bias, quantize_csr};
+use lc_nn::{kernel_name, Matrix, QActs, QMatrix, SparseRows};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -22,6 +23,15 @@ use rand::{Rng, SeedableRng};
 fn random_matrix(rows: usize, cols: usize, zero_frac: f64, rng: &mut SmallRng) -> Matrix {
     let data = (0..rows * cols)
         .map(|_| if rng.gen_bool(zero_frac) { 0.0 } else { rng.gen_range(-1.0f32..1.0) })
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Non-negative variant — the int8 kernels consume post-ReLU
+/// activations, which are `>= 0` by construction.
+fn random_nonneg_matrix(rows: usize, cols: usize, zero_frac: f64, rng: &mut SmallRng) -> Matrix {
+    let data = (0..rows * cols)
+        .map(|_| if rng.gen_bool(zero_frac) { 0.0 } else { rng.gen_range(0.0f32..1.0) })
         .collect();
     Matrix::from_vec(rows, cols, data)
 }
@@ -43,6 +53,26 @@ fn naive_matmul(a: &Matrix, b: &Matrix, out: &mut Matrix) {
 fn assert_close(tiled: &Matrix, naive: &Matrix, what: &str) {
     let diff = tiled.max_abs_diff(naive);
     assert!(diff < 1e-2, "{what}: tiled kernel diverged from naive by {diff}");
+}
+
+/// Textbook int8 reference: plain `i32` dot products over the quantized
+/// operands plus the kernels' shared dequant expression. With
+/// activations in `[0, 127]` the maddubs pair chain cannot saturate, so
+/// the dispatched kernels must match this bitwise, not approximately.
+fn naive_qmatmul(x: &QActs, w: &QMatrix, bias: &[f32], out: &mut Matrix) {
+    out.resize(x.rows(), w.output_dim());
+    for i in 0..x.rows() {
+        let a = x.row(i);
+        let s = x.scales()[i];
+        for (j, &b) in bias.iter().enumerate() {
+            let ch = w.channel(j);
+            let mut acc = 0i32;
+            for (&q, &wq) in a.iter().zip(ch) {
+                acc += q as i32 * wq as i32;
+            }
+            out.set(i, j, acc as f32 * (s * w.scales()[j]) + b);
+        }
+    }
 }
 
 fn bench_kernels(c: &mut Criterion) {
@@ -194,6 +224,92 @@ fn bench_kernels(c: &mut Criterion) {
             grad_w.get(0, 0)
         })
     });
+
+    // Int8 inference products at the same forward shapes, so the
+    // f32-vs-int8 kernel speedup is read off adjacent rows. Weights are
+    // quantized once (publish time), activations carry per-row dynamic
+    // scales (inference time); each variant is checked *bitwise* against
+    // the plain-i32 reference before timing — see `naive_qmatmul`.
+    for (name, rows, k, cols, zeros) in [
+        ("qmatmul/hidden_512x64x64", 512usize, 64usize, 64usize, 0.5),
+        ("qmatmul/concat_256x192x64", 256, 192, 64, 0.0),
+    ] {
+        let acts = random_nonneg_matrix(rows, k, zeros, &mut rng);
+        let wf = random_matrix(k, cols, 0.0, &mut rng);
+        let bias: Vec<f32> = (0..cols).map(|_| rng.gen_range(-0.5f32..0.5)).collect();
+        let qw = QMatrix::quantize(&wf);
+        let mut qa = QActs::new();
+        qa.quantize_from(&acts);
+        let mut reference = Matrix::zeros(0, 0);
+        naive_qmatmul(&qa, &qw, &bias, &mut reference);
+        let mut qout = Matrix::zeros(0, 0);
+        qmatmul_dequant_bias(&qa, &qw, &bias, &mut qout);
+        assert_eq!(
+            qout.data(),
+            reference.data(),
+            "{name}: dispatched int8 kernel must match the i32 reference bitwise"
+        );
+        group.bench_function(name, |bencher| {
+            bencher.iter(|| {
+                qmatmul_dequant_bias(black_box(&qa), black_box(&qw), &bias, &mut qout);
+                qout.get(0, 0)
+            })
+        });
+        group.bench_function(format!("{}_with_requant", name), |bencher| {
+            bencher.iter(|| {
+                qa.quantize_from(black_box(&acts));
+                qmatmul_dequant_bias(black_box(&qa), black_box(&qw), &bias, &mut qout);
+                qout.get(0, 0)
+            })
+        });
+    }
+
+    // CSR int8 input layer (one-hot + bitmap rows, ~15 nonzeros of 70),
+    // checked bitwise against densify-then-quantize: stored zeros cannot
+    // move a non-negative row's max, so the sparse path must agree with
+    // the dense reference exactly.
+    {
+        let x_nn = random_nonneg_matrix(512, 70, 0.85, &mut rng);
+        let w_in = random_matrix(70, 64, 0.0, &mut rng);
+        let bias: Vec<f32> = (0..64).map(|_| rng.gen_range(-0.5f32..0.5)).collect();
+        let mut qw = QMatrix::quantize(&w_in);
+        // The serving path builds the pair-interleaved companion at publish
+        // time; measure the same fast path here.
+        qw.build_pair_major();
+        let x_nn_sp = SparseRows::from_dense(&x_nn);
+        let (mut q, mut row_scales) = (Vec::new(), Vec::new());
+        quantize_csr(&x_nn_sp, &mut q, &mut row_scales);
+        let mut qa = QActs::new();
+        qa.quantize_from(&x_nn);
+        let mut reference = Matrix::zeros(0, 0);
+        naive_qmatmul(&qa, &qw, &bias, &mut reference);
+        let mut qout = Matrix::zeros(0, 0);
+        qsparse_matmul_dequant_bias(&x_nn_sp, &q, &row_scales, &qw, &bias, &mut qout);
+        assert_eq!(
+            qout.data(),
+            reference.data(),
+            "qmatmul/sparse: CSR int8 forward must match the dense i32 reference bitwise"
+        );
+        group.bench_function("qmatmul/sparse_input_512x70x64_nnz15", |bencher| {
+            bencher.iter(|| {
+                qsparse_matmul_dequant_bias(
+                    black_box(&x_nn_sp),
+                    black_box(&q),
+                    &row_scales,
+                    black_box(&qw),
+                    &bias,
+                    &mut qout,
+                );
+                qout.get(0, 0)
+            })
+        });
+        group.bench_function("qmatmul/dense_input_512x70x64", |bencher| {
+            bencher.iter(|| {
+                qmatmul_dequant_bias(black_box(&qa), black_box(&qw), &bias, &mut qout);
+                qout.get(0, 0)
+            })
+        });
+    }
     group.finish();
 }
 

@@ -115,6 +115,44 @@ impl RaggedBatch {
     pub fn is_empty(&self) -> bool {
         self.table_segs.is_empty()
     }
+
+    /// An empty batch with no buffer capacity — the starting point for
+    /// [`crate::Featurizer::featurize_into_sparse_batch`] reuse.
+    pub fn empty() -> Self {
+        RaggedBatch {
+            tables: Matrix::zeros(0, 0),
+            tables_sp: SparseRows::new(0),
+            table_segs: Vec::new(),
+            joins: Matrix::zeros(0, 0),
+            joins_sp: SparseRows::new(0),
+            join_segs: Vec::new(),
+            preds: Matrix::zeros(0, 0),
+            preds_sp: SparseRows::new(0),
+            pred_segs: Vec::new(),
+            targets: Vec::new(),
+        }
+    }
+}
+
+/// Pool of warm serving batches, shared by the f32 and quantized
+/// estimate paths: each inference block takes one, rebuilds it in place
+/// (capacity carries over), and returns it. Pooled rather than
+/// thread-local because inference fans out onto short-lived scoped
+/// threads; capped so a concurrency burst cannot pin memory.
+static BATCH_POOL: std::sync::Mutex<Vec<RaggedBatch>> = std::sync::Mutex::new(Vec::new());
+
+/// Upper bound on pooled serving batches.
+const BATCH_POOL_CAP: usize = 16;
+
+pub(crate) fn batch_pool_take() -> RaggedBatch {
+    BATCH_POOL.lock().expect("batch pool poisoned").pop().unwrap_or_else(RaggedBatch::empty)
+}
+
+pub(crate) fn batch_pool_put(batch: RaggedBatch) {
+    let mut pool = BATCH_POOL.lock().expect("batch pool poisoned");
+    if pool.len() < BATCH_POOL_CAP {
+        pool.push(batch);
+    }
 }
 
 /// Corpus-level CSR views of a featurized training set: all set-element

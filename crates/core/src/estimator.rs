@@ -85,6 +85,19 @@ pub trait Estimator {
             .map(|u| RoutedEstimate { estimate: u.estimate, tier: 0, log_std: u.log_std })
             .collect()
     }
+
+    /// Resident parameter bytes of the served model — what the registry
+    /// and dashboard report as the memory footprint. `0` means the
+    /// implementation does not track it.
+    fn model_bytes(&self) -> usize {
+        0
+    }
+
+    /// Whether the served parameters are quantized (int8) rather than
+    /// full-precision f32.
+    fn is_quantized(&self) -> bool {
+        false
+    }
 }
 
 impl Estimator for MscnEstimator {
@@ -126,6 +139,10 @@ impl Estimator for MscnEstimator {
     fn estimate_all(&self, queries: &[LabeledQuery]) -> Vec<f64> {
         self.estimate_cards(queries)
     }
+
+    fn model_bytes(&self) -> usize {
+        self.model().num_params() * 4
+    }
 }
 
 impl Estimator for DeepEnsemble {
@@ -135,6 +152,10 @@ impl Estimator for DeepEnsemble {
 
     fn estimate_with_uncertainty(&self, queries: &[LabeledQuery]) -> Vec<UncertainEstimate> {
         DeepEnsemble::estimate_with_uncertainty(self, queries)
+    }
+
+    fn model_bytes(&self) -> usize {
+        self.members().iter().map(|m| m.model().num_params() * 4).sum()
     }
 }
 

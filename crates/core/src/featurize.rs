@@ -374,6 +374,57 @@ impl Featurizer {
         }
     }
 
+    /// Featurize a block of queries into a **reused, sparse-only**
+    /// batch: the CSR stacks, segment maps, and targets are rebuilt in
+    /// place (buffer capacity carries over from the previous call) and
+    /// the dense stacked matrices are left *empty* — the serving
+    /// forwards ([`crate::MscnModel::forward_scratch`] and its
+    /// quantized twin) read only the CSR side, and skipping the dense
+    /// mirror removes the last per-request allocations and zero-fills
+    /// from the estimate path. Not a substitute for
+    /// [`Featurizer::featurize_into_batch`] anywhere dense rows are
+    /// consumed (training, gradients).
+    pub fn featurize_into_sparse_batch(&self, queries: &[LabeledQuery], out: &mut RaggedBatch) {
+        let (td, jd, pd) = (self.table_dim(), self.join_dim(), self.pred_dim());
+        out.tables.resize_for_overwrite(0, td);
+        out.joins.resize_for_overwrite(0, jd);
+        out.preds.resize_for_overwrite(0, pd);
+        out.tables_sp.clear(td);
+        out.joins_sp.clear(jd);
+        out.preds_sp.clear(pd);
+        out.table_segs.clear();
+        out.join_segs.clear();
+        out.pred_segs.clear();
+        out.targets.clear();
+        // One reusable nonzero buffer serves every row of every module.
+        let mut buf: Vec<(u32, f32)> = Vec::with_capacity(td.max(jd).max(pd));
+        let (mut tr, mut jr, mut pr) = (0u32, 0u32, 0u32);
+        for q in queries {
+            out.targets.push(self.label_norm.normalize(q.cardinality.max(1)));
+            out.table_segs.push((tr, q.query.tables().len() as u32));
+            for i in 0..q.query.tables().len() {
+                buf.clear();
+                self.emit_table_row(q, i, &mut |idx, val| buf.push((idx, val)));
+                out.tables_sp.push_row_trusted(&buf);
+                tr += 1;
+            }
+            out.join_segs.push((jr, q.query.joins().len() as u32));
+            for i in 0..q.query.joins().len() {
+                buf.clear();
+                self.emit_join_row(q, i, &mut |idx, val| buf.push((idx, val)));
+                out.joins_sp.push_row_trusted(&buf);
+                jr += 1;
+            }
+            out.pred_segs.push((pr, q.query.predicates().len() as u32));
+            for pi in 0..q.query.predicates().len() {
+                buf.clear();
+                self.emit_pred_row(q, pi, &mut |idx, val| buf.push((idx, val)));
+                out.preds_sp.push_row_trusted(&buf);
+                pr += 1;
+            }
+        }
+    }
+
     /// Raw pieces for (de)serialization.
     pub(crate) fn to_parts(&self) -> FeaturizerParts {
         FeaturizerParts {
@@ -538,6 +589,23 @@ mod tests {
             assert_eq!(streamed.join_segs, via_assemble.join_segs, "{mode:?}: join segs");
             assert_eq!(streamed.pred_segs, via_assemble.pred_segs, "{mode:?}: pred segs");
             assert_eq!(streamed.targets, via_assemble.targets, "{mode:?}: targets");
+
+            // The sparse-only serving builder: identical CSR stacks,
+            // segments, and targets — with the dense mirrors left
+            // empty — and stale buffers from a previous (different)
+            // block fully overwritten.
+            let mut reused = crate::batch::RaggedBatch::empty();
+            f.featurize_into_sparse_batch(&labeled[..5], &mut reused);
+            f.featurize_into_sparse_batch(&labeled, &mut reused);
+            assert_eq!(reused.tables_sp, via_assemble.tables_sp, "{mode:?}: reused CSR tables");
+            assert_eq!(reused.joins_sp, via_assemble.joins_sp, "{mode:?}: reused CSR joins");
+            assert_eq!(reused.preds_sp, via_assemble.preds_sp, "{mode:?}: reused CSR preds");
+            assert_eq!(reused.table_segs, via_assemble.table_segs, "{mode:?}: reused table segs");
+            assert_eq!(reused.join_segs, via_assemble.join_segs, "{mode:?}: reused join segs");
+            assert_eq!(reused.pred_segs, via_assemble.pred_segs, "{mode:?}: reused pred segs");
+            assert_eq!(reused.targets, via_assemble.targets, "{mode:?}: reused targets");
+            assert_eq!(reused.tables.rows(), 0, "{mode:?}: dense side stays empty");
+            assert_eq!(reused.len(), labeled.len(), "{mode:?}: reused batch length");
         }
     }
 

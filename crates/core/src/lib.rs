@@ -26,8 +26,12 @@
 //!   point/batch estimates, uncertainty-qualified batches, and
 //!   tier-attributed routing ([`RoutedEstimate`]) behind one seam;
 //! * [`model`] — the MSCN network with hand-derived backprop;
+//! * [`quant`] — the int8 post-training-quantized mirror of the network
+//!   ([`QuantizedMscn`]): quantize-once at publish, cache-resident
+//!   serving, same [`Estimator`] seam;
 //! * [`train`] — the §3.5 training loop (90/10 split, per-epoch validation
-//!   mean q-error — the curve of Fig. 6);
+//!   mean q-error — the curve of Fig. 6) plus teacher→student
+//!   [`distill`]ation for compact serving models;
 //! * [`serialize`] — versioned binary model persistence (the §4.7
 //!   "serialized to disk" size measurements).
 
@@ -36,6 +40,7 @@ pub mod ensemble;
 pub mod estimator;
 pub mod featurize;
 pub mod model;
+pub mod quant;
 pub mod serialize;
 pub mod train;
 
@@ -44,4 +49,7 @@ pub use ensemble::{DeepEnsemble, UncertainEstimate};
 pub use estimator::{Estimator, RoutedEstimate};
 pub use featurize::{FeatureMode, Featurizer, LabelNorm};
 pub use model::{ForwardCache, MscnGrads, MscnModel, MscnScratch};
-pub use train::{train, train_incremental, MscnEstimator, TrainConfig, TrainReport, TrainedModel};
+pub use quant::{QuantScratch, QuantizedMscn, QuantizedMscnModel};
+pub use train::{
+    distill, train, train_incremental, MscnEstimator, TrainConfig, TrainReport, TrainedModel,
+};

@@ -47,6 +47,92 @@ fn mode_from_tag(tag: u8) -> Result<FeatureMode, DecodeError> {
     }
 }
 
+/// Bounds check shared by every decoder in the crate.
+pub(crate) fn need(data: &[u8], n: usize) -> Result<(), DecodeError> {
+    if data.remaining() < n {
+        return Err(DecodeError("truncated buffer".into()));
+    }
+    Ok(())
+}
+
+/// Append the featurizer section (mode, dims, one-hot layouts, value
+/// ranges, label normalization) to `buf` — shared by the f32 and int8
+/// model formats, which must keep byte-identical featurizer encodings.
+pub(crate) fn write_featurizer(buf: &mut Vec<u8>, featurizer: &Featurizer) {
+    let p = featurizer.to_parts();
+    buf.put_u8(mode_tag(p.mode));
+    buf.put_u32_le(p.num_tables as u32);
+    buf.put_u32_le(p.num_joins as u32);
+    buf.put_u32_le(p.num_columns as u32);
+    buf.put_u32_le(p.sample_size as u32);
+    buf.put_u32_le(p.column_index.len() as u32);
+    for cols in &p.column_index {
+        buf.put_u32_le(cols.len() as u32);
+        for &g in cols {
+            buf.put_u32_le(if g == usize::MAX { u32::MAX } else { g as u32 });
+        }
+    }
+    buf.put_u32_le(p.value_range.len() as u32);
+    for &(lo, hi) in &p.value_range {
+        buf.put_i64_le(lo);
+        buf.put_i64_le(hi);
+    }
+    buf.put_f64_le(p.min_log);
+    buf.put_f64_le(p.max_log);
+}
+
+/// Parse the featurizer section written by [`write_featurizer`],
+/// consuming it from the front of `data`. Every count is bounds-checked
+/// against the remaining input before reservation, so corrupt counts
+/// error instead of allocating.
+pub(crate) fn read_featurizer(data: &mut &[u8]) -> Result<Featurizer, DecodeError> {
+    need(data, 1 + 5 * 4)?;
+    let mode = mode_from_tag(data.get_u8())?;
+    let num_tables = data.get_u32_le() as usize;
+    let num_joins = data.get_u32_le() as usize;
+    let num_columns = data.get_u32_le() as usize;
+    let sample_size = data.get_u32_le() as usize;
+    let n_tables = data.get_u32_le() as usize;
+    // Each table entry is at least one length word; checking up front
+    // bounds the Vec reservation by the actual input size, so a corrupt
+    // count cannot trigger an absurd allocation.
+    need(data, 4 * n_tables)?;
+    let mut column_index = Vec::with_capacity(n_tables);
+    for _ in 0..n_tables {
+        need(data, 4)?;
+        let n = data.get_u32_le() as usize;
+        need(data, 4 * n)?;
+        let cols = (0..n)
+            .map(|_| {
+                let v = data.get_u32_le();
+                if v == u32::MAX {
+                    usize::MAX
+                } else {
+                    v as usize
+                }
+            })
+            .collect();
+        column_index.push(cols);
+    }
+    need(data, 4)?;
+    let n_ranges = data.get_u32_le() as usize;
+    need(data, 16 * n_ranges + 16)?;
+    let value_range = (0..n_ranges).map(|_| (data.get_i64_le(), data.get_i64_le())).collect();
+    let min_log = data.get_f64_le();
+    let max_log = data.get_f64_le();
+    Ok(Featurizer::from_parts(FeaturizerParts {
+        mode,
+        num_tables,
+        num_joins,
+        num_columns,
+        sample_size,
+        column_index,
+        value_range,
+        min_log,
+        max_log,
+    }))
+}
+
 impl MscnEstimator {
     /// Serialize the trained estimator (network + featurization state) to
     /// a self-contained byte buffer.
@@ -54,27 +140,7 @@ impl MscnEstimator {
         let mut buf = Vec::with_capacity(self.model().num_params() * 4 + 1024);
         buf.put_u32_le(MAGIC);
         buf.put_u32_le(VERSION);
-        // Featurizer.
-        let p = self.featurizer().to_parts();
-        buf.put_u8(mode_tag(p.mode));
-        buf.put_u32_le(p.num_tables as u32);
-        buf.put_u32_le(p.num_joins as u32);
-        buf.put_u32_le(p.num_columns as u32);
-        buf.put_u32_le(p.sample_size as u32);
-        buf.put_u32_le(p.column_index.len() as u32);
-        for cols in &p.column_index {
-            buf.put_u32_le(cols.len() as u32);
-            for &g in cols {
-                buf.put_u32_le(if g == usize::MAX { u32::MAX } else { g as u32 });
-            }
-        }
-        buf.put_u32_le(p.value_range.len() as u32);
-        for &(lo, hi) in &p.value_range {
-            buf.put_i64_le(lo);
-            buf.put_i64_le(hi);
-        }
-        buf.put_f64_le(p.min_log);
-        buf.put_f64_le(p.max_log);
+        write_featurizer(&mut buf, self.featurizer());
         // Network.
         buf.put_u32_le(self.model().hidden() as u32);
         for mlp in self.model().mlps() {
@@ -100,12 +166,6 @@ impl MscnEstimator {
     /// it bytes received from the network (the `lc_serve` model registry
     /// loads snapshots through this path).
     pub fn from_bytes(mut data: &[u8]) -> Result<Self, DecodeError> {
-        fn need(data: &[u8], n: usize) -> Result<(), DecodeError> {
-            if data.remaining() < n {
-                return Err(DecodeError("truncated buffer".into()));
-            }
-            Ok(())
-        }
         need(data, 8)?;
         if data.get_u32_le() != MAGIC {
             return Err(DecodeError("bad magic".into()));
@@ -114,52 +174,9 @@ impl MscnEstimator {
         if version != VERSION {
             return Err(DecodeError(format!("unsupported version {version}")));
         }
-        need(data, 1 + 5 * 4)?;
-        let mode = mode_from_tag(data.get_u8())?;
-        let num_tables = data.get_u32_le() as usize;
-        let num_joins = data.get_u32_le() as usize;
-        let num_columns = data.get_u32_le() as usize;
-        let sample_size = data.get_u32_le() as usize;
-        let n_tables = data.get_u32_le() as usize;
-        // Each table entry is at least one length word; checking up front
-        // bounds the Vec reservation by the actual input size, so a corrupt
-        // count cannot trigger an absurd allocation.
-        need(data, 4 * n_tables)?;
-        let mut column_index = Vec::with_capacity(n_tables);
-        for _ in 0..n_tables {
-            need(data, 4)?;
-            let n = data.get_u32_le() as usize;
-            need(data, 4 * n)?;
-            let cols = (0..n)
-                .map(|_| {
-                    let v = data.get_u32_le();
-                    if v == u32::MAX {
-                        usize::MAX
-                    } else {
-                        v as usize
-                    }
-                })
-                .collect();
-            column_index.push(cols);
-        }
-        need(data, 4)?;
-        let n_ranges = data.get_u32_le() as usize;
-        need(data, 16 * n_ranges + 16 + 4)?;
-        let value_range = (0..n_ranges).map(|_| (data.get_i64_le(), data.get_i64_le())).collect();
-        let min_log = data.get_f64_le();
-        let max_log = data.get_f64_le();
-        let featurizer = Featurizer::from_parts(FeaturizerParts {
-            mode,
-            num_tables,
-            num_joins,
-            num_columns,
-            sample_size,
-            column_index,
-            value_range,
-            min_log,
-            max_log,
-        });
+        let featurizer = read_featurizer(&mut data)?;
 
+        need(data, 4)?;
         let hidden = data.get_u32_le() as usize;
         // The architecture is fully determined by the featurizer dims and
         // `hidden`, so the exact byte length of the network section is

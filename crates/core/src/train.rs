@@ -40,7 +40,7 @@ use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use crate::batch::{CorpusSparse, RaggedBatch};
+use crate::batch::{batch_pool_put, batch_pool_take, CorpusSparse, RaggedBatch};
 use crate::featurize::{FeatureMode, FeaturizedQuery, Featurizer};
 use crate::model::{MscnGrads, MscnModel, MscnScratch};
 
@@ -65,8 +65,10 @@ const PARALLEL_STEP_MIN: usize = 64;
 
 /// Queries per inference block. Blocks are the unit of inference
 /// parallelism and of scratch reuse; the partition is fixed, so block
-/// results concatenate to the same bytes at any thread count.
-const INFER_BLOCK: usize = 256;
+/// results concatenate to the same bytes at any thread count. Shared
+/// with the quantized inference path (`crate::quant`), which must block
+/// identically so f32-vs-int8 comparisons are apples to apples.
+pub(crate) const INFER_BLOCK: usize = 256;
 
 /// Minimum queries before batch inference fans out to worker threads.
 const PARALLEL_INFER_MIN: usize = 2 * INFER_BLOCK;
@@ -117,7 +119,7 @@ fn resolve_threads(configured: usize, from_runtime: usize) -> usize {
 /// threshold. Like training parallelism, the choice never changes a
 /// single output byte. Resolved once per process (inference calls are
 /// hot; the config global is not re-consulted per batch).
-fn infer_threads(n: usize) -> usize {
+pub(crate) fn infer_threads(n: usize) -> usize {
     static RESOLVED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
     if n < PARALLEL_INFER_MIN {
         1
@@ -259,8 +261,10 @@ impl MscnEstimator {
     fn predict_normalized_into(&self, queries: &[LabeledQuery], out: &mut [f32]) {
         debug_assert_eq!(queries.len(), out.len());
         let run_block = |qs: &[LabeledQuery], o: &mut [f32]| {
-            let batch = self.featurizer.featurize_into_batch(qs);
+            let mut batch = batch_pool_take();
+            self.featurizer.featurize_into_sparse_batch(qs, &mut batch);
             self.model.predict_into(&batch, o);
+            batch_pool_put(batch);
         };
         let threads = infer_threads(queries.len());
         if threads <= 1 {
@@ -520,6 +524,61 @@ pub fn train_incremental(
     MscnEstimator { model, featurizer }
 }
 
+/// Distill a trained teacher into a (typically narrower) student:
+/// knowledge distillation for compact, cache-resident serving models.
+///
+/// The student trains on the **teacher's own estimates** as labels —
+/// soft targets that are smoother than the raw cardinalities, which is
+/// what lets a much smaller network track the teacher closely (Deep
+/// Sketches makes the same observation for compressed cardinality
+/// models). The teacher's featurizer is reused frozen — same one-hot
+/// layouts, value ranges, and label normalization — so the student is a
+/// drop-in replacement on the serving path, and quantizing it
+/// ([`crate::quant::QuantizedMscn::quantize`]) compounds the shrink.
+///
+/// `config.hidden` sets the student width; `epochs`, `batch_size`,
+/// `learning_rate`, `loss`, `seed`, and `threads` are honored as in
+/// [`train_incremental`]. `mode` and `validation_fraction` are ignored
+/// (encoding is frozen, and all of `queries` is training data — hold out
+/// a validation set before calling if you need one).
+///
+/// # Panics
+/// If `queries` is empty.
+pub fn distill(
+    teacher: &MscnEstimator,
+    queries: &[LabeledQuery],
+    config: TrainConfig,
+) -> MscnEstimator {
+    assert!(!queries.is_empty(), "distillation needs transfer queries");
+    let featurizer = teacher.featurizer.clone();
+    // Soft labels: whatever the teacher believes, not ground truth.
+    let soft: Vec<LabeledQuery> = teacher
+        .estimate_cards(queries)
+        .into_iter()
+        .zip(queries)
+        .map(|(est, q)| {
+            let mut relabeled = q.clone();
+            relabeled.cardinality = est.round().max(1.0) as u64;
+            relabeled
+        })
+        .collect();
+    let scale = featurizer.label_norm().scale();
+    let feats: Vec<FeaturizedQuery> = soft.iter().map(|q| featurizer.featurize(q)).collect();
+    let (td, jd, pd) = (featurizer.table_dim(), featurizer.join_dim(), featurizer.pred_dim());
+    let corpus = CorpusSparse::build(&feats, td, jd, pd);
+
+    // Fresh student at the requested width (same init scheme as `train`).
+    let mut model = MscnModel::new(td, jd, pd, config.hidden, config.seed ^ 0x5eed);
+    let mut trainer = Trainer::new(&mut model, &config, scale);
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut order: Vec<usize> = (0..feats.len()).collect();
+    for _ in 0..config.epochs {
+        order.shuffle(&mut rng);
+        trainer.run_epoch(&mut model, &feats, &corpus, &order);
+    }
+    MscnEstimator { model, featurizer }
+}
+
 /// Train MSCN on labeled queries (§3.5): split, featurize, optimize.
 ///
 /// `sample_size` must match the sample set used to annotate `data`.
@@ -635,6 +694,55 @@ mod tests {
         assert!(last < 20.0, "final val mean q-error too high: {last}");
         assert!(trained.report.train_seconds > 0.0);
         assert_eq!(trained.report.num_train + trained.report.num_val, 600);
+    }
+
+    #[test]
+    fn distillation_produces_a_smaller_faithful_student() {
+        let db = generate(&ImdbConfig::tiny());
+        let mut rng = SmallRng::seed_from_u64(41);
+        let samples = SampleSet::draw(&db, 24, &mut rng);
+        let data = workloads::synthetic(&db, &samples, 500, 2, 43).queries;
+        let tcfg = TrainConfig { epochs: 8, hidden: 32, batch_size: 64, ..TrainConfig::default() };
+        let teacher = train(&db, 24, &data, tcfg).estimator;
+
+        let scfg = TrainConfig { epochs: 10, hidden: 8, ..tcfg };
+        let student = distill(&teacher, &data, scfg);
+        // Architecture shrinks; the encoding is frozen from the teacher.
+        assert_eq!(student.model().hidden(), 8);
+        assert!(student.model().num_params() * 2 < teacher.model().num_params());
+        assert_eq!(
+            student.featurizer().label_norm().scale(),
+            teacher.featurizer().label_norm().scale()
+        );
+
+        // The student must track the teacher's predictions (that is the
+        // training signal), within a loose band: a 4x-narrower net is
+        // lossy by design.
+        let t_cards = teacher.estimate_cards(&data[..128]);
+        let s_cards = student.estimate_cards(&data[..128]);
+        let mut ratios: Vec<f64> =
+            t_cards.iter().zip(&s_cards).map(|(&a, &b)| (a / b).max(b / a)).collect();
+        ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(ratios[64] < 3.0, "student drifted from teacher: median {}", ratios[64]);
+
+        // And remain a usable estimator in its own right.
+        let q = mean_qerror(&student, &data[..128]);
+        let tq = mean_qerror(&teacher, &data[..128]);
+        assert!(q < tq * 3.0 + 10.0, "student q-error {q} vs teacher {tq}");
+    }
+
+    #[test]
+    fn distillation_is_deterministic() {
+        let db = generate(&ImdbConfig::tiny());
+        let mut rng = SmallRng::seed_from_u64(45);
+        let samples = SampleSet::draw(&db, 16, &mut rng);
+        let data = workloads::synthetic(&db, &samples, 200, 2, 46).queries;
+        let tcfg = TrainConfig { epochs: 3, hidden: 16, batch_size: 64, ..TrainConfig::default() };
+        let teacher = train(&db, 16, &data, tcfg).estimator;
+        let scfg = TrainConfig { epochs: 3, hidden: 8, ..tcfg };
+        let a = distill(&teacher, &data, scfg);
+        let b = distill(&teacher, &data, scfg);
+        assert_eq!(a.estimate_cards(&data[..16]), b.estimate_cards(&data[..16]));
     }
 
     #[test]

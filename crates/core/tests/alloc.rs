@@ -295,4 +295,27 @@ fn steady_state_compute_paths_do_not_allocate() {
         0,
         "pooled steady-state batch inference must spawn zero threads"
     );
+
+    // Phase five: the int8 quantized forward. Quantization itself
+    // allocates (once, at publish time); the steady-state quantized
+    // inference pass — CSR re-quantization, integer matmuls, f32
+    // pooling, concat re-quantization — must not.
+    let qmodel = lc_core::QuantizedMscnModel::quantize(&model);
+    let mut qscratch = lc_core::QuantScratch::new();
+    for _ in 0..3 {
+        for b in [&batch, &batch_b] {
+            qmodel.forward_scratch(b, &mut qscratch);
+        }
+    }
+    let before = allocation_count();
+    for _ in 0..10 {
+        for b in [&batch, &batch_b] {
+            qmodel.forward_scratch(b, &mut qscratch);
+        }
+    }
+    assert_eq!(
+        allocation_count() - before,
+        0,
+        "the steady-state quantized forward pass must perform zero heap allocations"
+    );
 }

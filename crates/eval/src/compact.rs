@@ -1,0 +1,208 @@
+//! The model-compaction frontier: distillation × quantization, measured.
+//!
+//! Deep Sketches (Kipf et al.) argues learned estimators compress
+//! aggressively with little q-error cost; Ortiz et al. shows capacity vs
+//! accuracy must be measured per workload, not guessed. This module
+//! turns that into a regression surface: starting from a trained f32
+//! teacher, it distills students at a grid of hidden widths, quantizes
+//! each (and the teacher) to int8, and records model bytes next to
+//! q-error for every point. The serialized output —
+//! `COMPACT_baseline.json` — is the artifact CI diffs, so a PR that
+//! silently degrades the compression frontier shows up as a number.
+//!
+//! Every point is evaluated on the *same held-out workload* against the
+//! true cardinalities, and additionally summarized relative to the
+//! teacher's median — the ratio the serving acceptance gate checks
+//! (`int8 median q-error ≤ 1.5× the f32 teacher`).
+
+use lc_core::{distill, Estimator, MscnEstimator, QuantizedMscn, TrainConfig};
+use lc_query::LabeledQuery;
+
+use crate::metrics::{evaluate, QErrorStats};
+
+/// One measured point on the compression frontier.
+#[derive(Clone, Debug)]
+pub struct CompactPoint {
+    /// Hidden width of this model.
+    pub hidden: usize,
+    /// Whether the weights are int8 post-training-quantized.
+    pub quantized: bool,
+    /// Resident model bytes ([`Estimator::model_bytes`]).
+    pub bytes: usize,
+    /// Q-error against true cardinalities on the held-out workload.
+    pub stats: QErrorStats,
+    /// This point's median q-error divided by the teacher's — the
+    /// compression cost in the unit the acceptance gate uses.
+    pub median_vs_teacher: f64,
+}
+
+/// The full distillation × quantization grid for one teacher.
+#[derive(Clone, Debug)]
+pub struct CompactionFrontier {
+    /// The teacher's hidden width.
+    pub teacher_hidden: usize,
+    /// The teacher's resident bytes (f32).
+    pub teacher_bytes: usize,
+    /// The teacher's q-error on the held-out workload.
+    pub teacher: QErrorStats,
+    /// Every (width × precision) point, widths ascending, f32 before
+    /// int8 at each width.
+    pub points: Vec<CompactPoint>,
+    /// Held-out workload size every point was evaluated on.
+    pub total: usize,
+}
+
+impl CompactionFrontier {
+    /// Distill `teacher` to each width in `widths` on `train` (the
+    /// unlabeled stream the students learn the teacher's soft outputs
+    /// from), then evaluate each student — and the teacher itself — in
+    /// both f32 and int8 on `eval`. `config.hidden` is overridden per
+    /// grid point; the rest of `config` (epochs, lr, seed, …) applies to
+    /// every distillation run.
+    ///
+    /// # Panics
+    /// If `train`, `eval`, or `widths` is empty.
+    pub fn measure(
+        teacher: &MscnEstimator,
+        train: &[LabeledQuery],
+        eval: &[LabeledQuery],
+        widths: &[usize],
+        config: TrainConfig,
+    ) -> Self {
+        assert!(!widths.is_empty(), "need at least one student width");
+        assert!(!eval.is_empty(), "need a held-out workload");
+        let teacher_stats = QErrorStats::from_qerrors(&evaluate(teacher, eval));
+        let mut points = Vec::with_capacity(widths.len() * 2 + 1);
+        let mut widths: Vec<usize> = widths.to_vec();
+        widths.sort_unstable();
+        widths.dedup();
+        for &hidden in &widths {
+            // The teacher at its own width needs no distillation run —
+            // quantizing it directly *is* the `serve --quantized`
+            // operating point.
+            let student;
+            let model: &MscnEstimator = if hidden == teacher.model().hidden() {
+                teacher
+            } else {
+                student = distill(teacher, train, TrainConfig { hidden, ..config });
+                &student
+            };
+            for quantized in [false, true] {
+                let (bytes, qerrors) = if quantized {
+                    let q = QuantizedMscn::quantize(model);
+                    (q.model_bytes(), evaluate(&q, eval))
+                } else {
+                    (model.model_bytes(), evaluate(model, eval))
+                };
+                let stats = QErrorStats::from_qerrors(&qerrors);
+                points.push(CompactPoint {
+                    hidden,
+                    quantized,
+                    bytes,
+                    median_vs_teacher: stats.median / teacher_stats.median,
+                    stats,
+                });
+            }
+        }
+        CompactionFrontier {
+            teacher_hidden: teacher.model().hidden(),
+            teacher_bytes: teacher.model_bytes(),
+            teacher: teacher_stats,
+            points,
+            total: eval.len(),
+        }
+    }
+
+    /// The grid point at (`hidden`, `quantized`), if measured.
+    pub fn point(&self, hidden: usize, quantized: bool) -> Option<&CompactPoint> {
+        self.points.iter().find(|p| p.hidden == hidden && p.quantized == quantized)
+    }
+
+    /// Serialize as a JSON object (no external dependencies), the
+    /// `COMPACT_baseline.json` artifact format.
+    pub fn to_json(&self) -> String {
+        fn stats_json(s: &QErrorStats) -> String {
+            format!(
+                "{{\"median\":{},\"p90\":{},\"p95\":{},\"p99\":{},\"max\":{},\"mean\":{}}}",
+                s.median, s.p90, s.p95, s.p99, s.max, s.mean
+            )
+        }
+        let points: Vec<String> = self
+            .points
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"hidden\":{},\"precision\":\"{}\",\"bytes\":{},\"median_vs_teacher\":{},\
+                     \"qerror\":{}}}",
+                    p.hidden,
+                    if p.quantized { "int8" } else { "f32" },
+                    p.bytes,
+                    p.median_vs_teacher,
+                    stats_json(&p.stats)
+                )
+            })
+            .collect();
+        format!(
+            "{{\"total\":{},\"teacher\":{{\"hidden\":{},\"bytes\":{},\"qerror\":{}}},\
+             \"points\":[{}]}}",
+            self.total,
+            self.teacher_hidden,
+            self.teacher_bytes,
+            stats_json(&self.teacher),
+            points.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lc_core::{train, FeatureMode};
+    use lc_engine::SampleSet;
+    use lc_imdb::{generate, ImdbConfig};
+    use lc_query::workloads;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn frontier_covers_the_grid_and_shrinks_bytes() {
+        let db = generate(&ImdbConfig::tiny());
+        let mut rng = SmallRng::seed_from_u64(5);
+        let samples = SampleSet::draw(&db, 24, &mut rng);
+        let train_q = workloads::synthetic(&db, &samples, 300, 2, 61).queries;
+        let eval_q = workloads::synthetic(&db, &samples, 120, 2, 62).queries;
+        let cfg = TrainConfig {
+            epochs: 4,
+            hidden: 16,
+            mode: FeatureMode::SampleCounts,
+            ..TrainConfig::default()
+        };
+        let teacher = train(&db, 24, &train_q, cfg).estimator;
+        let frontier = CompactionFrontier::measure(&teacher, &train_q, &eval_q, &[8, 16], cfg);
+        assert_eq!(frontier.teacher_hidden, 16);
+        assert_eq!(frontier.total, eval_q.len());
+        // 2 widths × 2 precisions, ascending, f32 before int8.
+        assert_eq!(frontier.points.len(), 4);
+        let shape: Vec<(usize, bool)> =
+            frontier.points.iter().map(|p| (p.hidden, p.quantized)).collect();
+        assert_eq!(shape, vec![(8, false), (8, true), (16, false), (16, true)]);
+        // The teacher-width f32 point IS the teacher.
+        let t = frontier.point(16, false).unwrap();
+        assert_eq!(t.bytes, frontier.teacher_bytes);
+        assert_eq!(t.stats.median, frontier.teacher.median);
+        assert_eq!(t.median_vs_teacher, 1.0);
+        // Quantization shrinks every width; distillation shrinks across
+        // widths.
+        for &w in &[8, 16] {
+            let f = frontier.point(w, false).unwrap();
+            let q = frontier.point(w, true).unwrap();
+            assert!(q.bytes * 2 <= f.bytes, "int8 {w}: {} vs f32 {}", q.bytes, f.bytes);
+        }
+        assert!(frontier.point(8, false).unwrap().bytes < frontier.teacher_bytes);
+        // The JSON artifact round-trips the grid shape.
+        let json = frontier.to_json();
+        assert_eq!(json.matches("\"precision\":\"int8\"").count(), 2);
+        assert_eq!(json.matches("\"precision\":\"f32\"").count(), 2);
+        assert!(json.contains("\"teacher\":{\"hidden\":16"));
+    }
+}

@@ -20,10 +20,12 @@
 //! | §4.7 (model costs) | [`experiments::costs`] |
 //! | §4.8 (objective ablation) | [`experiments::objectives`] |
 
+pub mod compact;
 pub mod experiments;
 pub mod harness;
 pub mod metrics;
 pub mod report;
 
+pub use compact::{CompactPoint, CompactionFrontier};
 pub use harness::{ExperimentConfig, Harness};
 pub use metrics::{qerror, signed_error, QErrorStats, TierBreakdown, TierStats};

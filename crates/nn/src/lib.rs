@@ -12,6 +12,12 @@
 //!   product: AVX2+FMA inner loops with runtime dispatch (steered by
 //!   [`RuntimeConfig`]) and a bitwise-identical `f32::mul_add` scalar
 //!   fallback;
+//! * [`qmatrix`] — the int8 post-training-quantization path:
+//!   per-output-channel symmetric weight scales, per-row dynamic u8
+//!   activation quantization (row-local, so batching stays transparent),
+//!   and `maddubs/madd`-style integer micro-kernels (AVX2 +
+//!   bitwise-identical scalar fallback) behind the same
+//!   [`kernels::Kernel`] dispatch contract;
 //! * [`RuntimeConfig`] — the one place runtime knobs live: kernel
 //!   choice, train/infer worker counts, core pinning. `from_env()`
 //!   parses the `LC_*` variables exactly once; binaries can `install()`
@@ -45,6 +51,7 @@ mod loss;
 mod matrix;
 mod mlp;
 pub mod pool;
+pub mod qmatrix;
 pub mod runtime;
 mod scratch;
 mod sparse;
@@ -56,6 +63,7 @@ pub use loss::LossKind;
 pub use matrix::Matrix;
 pub use mlp::{FinalActivation, Mlp, MlpCache, MlpGrads};
 pub use pool::{pin_thread_to_core, threads_spawned, DisjointSliceMut, WorkerPool};
+pub use qmatrix::{QActs, QLinear, QMatrix, QMlp, QMlpCache};
 pub use runtime::{KernelChoice, RuntimeConfig};
 pub use scratch::Scratch;
 pub use sparse::SparseRows;

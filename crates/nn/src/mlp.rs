@@ -101,6 +101,12 @@ impl Mlp {
         self.l1.num_params() + self.l2.num_params()
     }
 
+    /// The activation applied after the second layer (quantization
+    /// mirrors it into the int8 module).
+    pub fn final_activation(&self) -> FinalActivation {
+        self.final_act
+    }
+
     /// Forward a batch `x: [n × input]`, returning the output and the cache
     /// for [`Mlp::backward`].
     pub fn forward(&self, x: &Matrix) -> MlpCache {

@@ -51,6 +51,14 @@ impl SparseRows {
         self.indices.len()
     }
 
+    /// All stored values as one flat slice, row-concatenated in `indptr`
+    /// order — the buffer the int8 path quantizes row by row (see
+    /// [`crate::qmatrix::quantize_csr`]).
+    #[inline]
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
     /// Row `i` as parallel `(indices, values)` slices.
     ///
     /// # Panics

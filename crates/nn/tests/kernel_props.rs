@@ -10,7 +10,8 @@ use lc_nn::kernels::{
     matmul_accumulate_with, matmul_transa_accumulate_with, matmul_with, sparse_matmul_bias_with,
     sparse_transa_accumulate_with,
 };
-use lc_nn::{avx2_available, Kernel, Matrix, SparseRows};
+use lc_nn::qmatrix::{qmatmul_dequant_bias_with, qsparse_matmul_dequant_bias_with, quantize_csr};
+use lc_nn::{avx2_available, Kernel, Matrix, QActs, QMatrix, SparseRows};
 use proptest::prelude::*;
 
 /// Naive ijk reference.
@@ -227,6 +228,106 @@ proptest! {
             prop_assert_eq!(
                 dense_t.data(), sparse_t.data(),
                 "{:?}: sparse transa must match the dense transa bitwise", kernel
+            );
+        }
+    }
+
+    /// Weight quantization invariants on arbitrary matrices: every
+    /// quantized weight is in the symmetric int8 range, dequantization
+    /// error is within half a step for weights inside the (possibly
+    /// MSE-clipped) representable range, and the per-channel MSE never
+    /// exceeds naive max-abs scaling.
+    #[test]
+    fn weight_quantization_error_is_per_channel_bounded(
+        (k, c) in (1usize..120, 1usize..40),
+        vals in proptest::collection::vec(-200i32..200, 8..32),
+        mask in proptest::collection::vec(0u8..2, 4..16),
+    ) {
+        let w = matrix_from(k, c, &vals, &mask);
+        let q = QMatrix::quantize(&w);
+        prop_assert!(q.weights().iter().all(|&v| (-127..=127).contains(&(v as i32))));
+        let back = q.dequantize();
+        for j in 0..c {
+            let scale = q.scales()[j];
+            prop_assert!(scale > 0.0);
+            let half_step = scale * 0.5 + 1e-6;
+            let clip_limit = scale * 126.5;
+            for i in 0..k {
+                let err = (back.get(i, j) - w.get(i, j)).abs();
+                if w.get(i, j).abs() <= clip_limit {
+                    prop_assert!(
+                        err <= half_step,
+                        "channel {} weight {}: err {} > half step {}", j, i, err, half_step
+                    );
+                }
+            }
+        }
+    }
+
+    /// The int8 dense and sparse kernels agree bitwise across dispatch
+    /// tiers and with each other on arbitrary non-negative activations —
+    /// the quantized twin of `sparse_paths_match_dense_bitwise`.
+    #[test]
+    fn quantized_paths_match_bitwise(
+        (r, k, c) in (1usize..40, 1usize..150, 1usize..40),
+        vals in proptest::collection::vec(-200i32..200, 8..32),
+        mask in proptest::collection::vec(0u8..2, 4..16),
+    ) {
+        // Non-negative activations (the u8 scheme's precondition).
+        let x = {
+            let m = matrix_from(r, k, &vals, &mask);
+            let data = m.data().iter().map(|v| v.abs()).collect();
+            Matrix::from_vec(r, k, data)
+        };
+        let w = matrix_from(k, c, &vals, &[1]);
+        let bias: Vec<f32> = (0..c).map(|j| vals[j % vals.len()] as f32 / 200.0).collect();
+        let qw = QMatrix::quantize(&w);
+        let mut qa = QActs::new();
+        qa.quantize_from(&x);
+
+        let mut scalar = Matrix::zeros(0, 0);
+        qmatmul_dequant_bias_with(Kernel::Scalar, &qa, &qw, &bias, &mut scalar);
+        if avx2_available() {
+            let mut avx2 = Matrix::zeros(0, 0);
+            qmatmul_dequant_bias_with(Kernel::Avx2, &qa, &qw, &bias, &mut avx2);
+            prop_assert_eq!(
+                scalar.data(), avx2.data(),
+                "int8 dense dispatch paths must match bitwise"
+            );
+        }
+
+        // Sparse path on the CSR view: same scales, same bits.
+        let sp = SparseRows::from_dense(&x);
+        let mut q = Vec::new();
+        let mut scales = Vec::new();
+        quantize_csr(&sp, &mut q, &mut scales);
+        prop_assert_eq!(&scales[..], qa.scales(), "zeros cannot change a row max");
+        let mut sparse = Matrix::zeros(0, 0);
+        qsparse_matmul_dequant_bias_with(Kernel::Scalar, &sp, &q, &scales, &qw, &bias, &mut sparse);
+        prop_assert_eq!(
+            scalar.data(), sparse.data(),
+            "int8 sparse path must match the dense path bitwise"
+        );
+        if avx2_available() {
+            // AVX2 sparse without the companion layout (densify / narrow
+            // walk) and with it (pair-event strips): same bits again.
+            let mut sparse_avx2 = Matrix::zeros(0, 0);
+            qsparse_matmul_dequant_bias_with(
+                Kernel::Avx2, &sp, &q, &scales, &qw, &bias, &mut sparse_avx2,
+            );
+            prop_assert_eq!(
+                scalar.data(), sparse_avx2.data(),
+                "int8 sparse AVX2 tier must match the scalar tier bitwise"
+            );
+            let mut qw_pm = qw.clone();
+            qw_pm.build_pair_major();
+            let mut sparse_pm = Matrix::zeros(0, 0);
+            qsparse_matmul_dequant_bias_with(
+                Kernel::Avx2, &sp, &q, &scales, &qw_pm, &bias, &mut sparse_pm,
+            );
+            prop_assert_eq!(
+                scalar.data(), sparse_pm.data(),
+                "pair-interleaved sparse fast path must match the scalar tier bitwise"
             );
         }
     }

@@ -469,6 +469,9 @@ define_catalog! {
         SHARD6_INFLIGHT => "serve.shard6.inflight",
         SHARD7_CONNECTIONS => "serve.shard7.connections",
         SHARD7_INFLIGHT => "serve.shard7.inflight",
+        MODEL_BYTES => "model.bytes",
+        MODEL_RESIDENT_COUNT => "model.resident_count",
+        MODEL_QUANTIZED => "model.quantized",
     }
     histograms {
         SERVE_HANDLE_NS => "serve.handle_ns",

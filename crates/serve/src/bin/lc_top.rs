@@ -254,6 +254,16 @@ fn render(
         lc_obs::MAX_SHARDS,
         wakeups as f64 / interval_s,
     )?;
+    // Resident models: how much memory the registry's serving pipelines
+    // pin, and whether the active one is the int8 quantized artifact.
+    writeln!(
+        out,
+        "models   resident {}   {} bytes   active v{} ({})",
+        sample.scalar("model.resident_count"),
+        sample.scalar("model.bytes"),
+        sample.scalar("registry.active_version"),
+        if sample.scalar("model.quantized") != 0 { "int8" } else { "f32" },
+    )?;
     writeln!(out)?;
     writeln!(out, "  stage        count      p50 µs      p95 µs      p99 µs      max µs")?;
     for (label, metric) in STAGES {
@@ -437,6 +447,9 @@ mod tests {
             "registry.publishes",
             "registry.active_version",
             "pool.workers",
+            "model.bytes",
+            "model.resident_count",
+            "model.quantized",
             "tier.primary.hits",
             "tier.gbm.hits",
             "tier.fallback.hits",

@@ -49,6 +49,17 @@
 //!   1 = single model, saturation-only trust; ignored with `--model`)
 //! * `--tier-gbm-rounds N` GBM boosting rounds, 0 disables the middle
 //!   tier                                   (default 200)
+//! * `--quantized`         serve int8 post-training-quantized weights:
+//!   the registry's pipeline builder quantizes the trained base model at
+//!   startup and again on every self-healing republish, so the resident
+//!   footprint stays ~4x smaller across retrains. Incompatible with
+//!   `--tiered` (the tiered pipeline routes through f32 ensemble
+//!   members).
+//! * `--student-width N`   distill the bootstrap/loaded teacher into an
+//!   N-wide student before serving (0 = off). Combined with
+//!   `--quantized` this is the full compaction path: distill, then
+//!   quantize the student. Re-runs on every republish so drift
+//!   retraining keeps producing compact models.
 //!
 //! Runtime tuning (`LC_KERNEL`, `LC_TRAIN_THREADS`, `LC_INFER_THREADS`,
 //! `LC_PIN_WORKERS`) is read once at startup via
@@ -59,7 +70,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use lc_baselines::{FullJoinSizes, GbmConfig, GbmEstimator, OwnedIbjsEstimator};
-use lc_core::{train, DeepEnsemble, Estimator, FeatureMode, MscnEstimator, TrainConfig};
+use lc_core::{
+    distill, train, DeepEnsemble, Estimator, FeatureMode, MscnEstimator, QuantizedMscn, TrainConfig,
+};
 use lc_engine::{JoinIndexes, SampleSet};
 use lc_imdb::ImdbConfig;
 use lc_query::workloads;
@@ -97,9 +110,10 @@ const FLAGS: &[&str] = &[
     "tier-max-log-std",
     "tier-ensemble",
     "tier-gbm-rounds",
+    "student-width",
 ];
 
-const SWITCHES: &[&str] = &["tiered"];
+const SWITCHES: &[&str] = &["tiered", "quantized"];
 
 fn main() {
     if let Err(message) = run() {
@@ -136,6 +150,14 @@ fn run() -> Result<(), String> {
     let drift_min_corpus: usize = get(&flags, "drift-min-corpus", drift_defaults.min_corpus)?;
     let retrain_epochs: usize = get(&flags, "retrain-epochs", drift_defaults.retrain.epochs)?;
     let tiered = get(&flags, "tiered", false)?;
+    let quantized = get(&flags, "quantized", false)?;
+    let student_width: usize = get(&flags, "student-width", 0)?;
+    if tiered && (quantized || student_width > 0) {
+        // The tiered pipeline routes through f32 deep-ensemble members
+        // and per-query uncertainty; mixing precisions inside it would
+        // silently serve two different numerics behind one flag.
+        return Err("--quantized/--student-width cannot be combined with --tiered".into());
+    }
     let tier_defaults = TierConfig::default();
     let tier = TierConfig {
         max_log_std: get(&flags, "tier-max-log-std", tier_defaults.max_log_std)?,
@@ -158,7 +180,11 @@ fn run() -> Result<(), String> {
 
     // The synthetic bootstrap corpus trains the primary (unless --model
     // supplied the weights) and, when tiered, the GBM middle tier.
-    let need_corpus = !flags.contains_key("model") || (tiered && tier.gbm_rounds > 0);
+    // Distillation also needs the corpus: the student learns from the
+    // teacher's soft labels over these queries (including when the
+    // teacher itself came from --model).
+    let need_corpus =
+        !flags.contains_key("model") || (tiered && tier.gbm_rounds > 0) || student_width > 0;
     let data = if need_corpus {
         workloads::synthetic(&db, &samples, queries, 2, 7).queries
     } else {
@@ -250,6 +276,41 @@ fn run() -> Result<(), String> {
                 Arc::new(pipeline)
             }),
         ))
+    } else if quantized || student_width > 0 {
+        // The compaction pipeline runs inside the registry's builder so
+        // every publish — the bootstrap model now and each drift-driven
+        // retrain later — goes through the same distill/quantize steps
+        // before it serves traffic.
+        if student_width > 0 {
+            eprintln!("serve: distilling {student_width}-wide student ...");
+        }
+        if quantized {
+            eprintln!("serve: quantizing weights to int8 ...");
+        }
+        let distill_corpus = data.clone();
+        let distill_cfg = TrainConfig {
+            epochs: epochs.max(6),
+            hidden: student_width,
+            mode: FeatureMode::Bitmaps,
+            ..TrainConfig::default()
+        };
+        Arc::new(ModelRegistry::with_pipeline(
+            estimator,
+            Box::new(move |base| {
+                let student;
+                let model = if student_width > 0 {
+                    student = distill(base, &distill_corpus, distill_cfg);
+                    &student
+                } else {
+                    base
+                };
+                if quantized {
+                    Arc::new(QuantizedMscn::quantize(model)) as Arc<dyn Estimator + Send + Sync>
+                } else {
+                    Arc::new(model.clone())
+                }
+            }),
+        ))
     } else {
         Arc::new(ModelRegistry::new(estimator))
     };
@@ -280,16 +341,22 @@ fn run() -> Result<(), String> {
     // resolved to — the first thing to check when serving latency looks
     // off on new hardware.
     println!(
-        "lc-serve listening on {} ({} v{}, {} params, {} kernels, {} shard{}, cache {}, max \
-         batch {}, inflight budget {}, drift threshold {} over {}-obs windows)",
+        "lc-serve listening on {} ({} v{}, {} params, {} resident bytes, {} kernels, {} shard{}, \
+         cache {}, max batch {}, inflight budget {}, drift threshold {} over {}-obs windows)",
         handle.local_addr(),
         if tiered {
             format!("tiered model (max log-std {})", tier.max_log_std)
         } else {
-            "model".to_string()
+            let mut desc = String::new();
+            if student_width > 0 {
+                desc.push_str(&format!("{student_width}-wide student "));
+            }
+            desc.push_str(if quantized { "int8 model" } else { "model" });
+            desc
         },
         registry.active_version(),
         params,
+        registry.resident_bytes(),
         lc_nn::kernel_name(),
         handle.shard_count(),
         if handle.shard_count() == 1 { "" } else { "s" },

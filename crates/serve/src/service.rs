@@ -619,6 +619,38 @@ mod tests {
         svc.shutdown();
     }
 
+    /// Regression guard for the `--quantized` deployment: a hot-swap
+    /// must never serve an answer computed by the previous version's
+    /// weights out of the cache. The quantized pipeline makes this
+    /// observable — int8 and f32 answers differ slightly for the same
+    /// base weights, so a stale entry would leak the wrong numerics,
+    /// not just a stale version number.
+    #[test]
+    fn quantized_hot_swap_never_serves_stale_cache_answers() {
+        let (db, samples, a, b, data) = fixture();
+        let q = &data[3].query;
+        let expect_v1 = lc_core::QuantizedMscn::quantize(&a).estimate(&data[3]);
+        let expect_v2 = lc_core::QuantizedMscn::quantize(&b).estimate(&data[3]);
+        let registry = Arc::new(ModelRegistry::with_pipeline(
+            a,
+            Box::new(|base| Arc::new(lc_core::QuantizedMscn::quantize(base))),
+        ));
+        let svc =
+            EstimationService::new(db, samples, Arc::clone(&registry), ServeConfig::default());
+        // First answer is the int8 path, and it gets cached under v1.
+        let first = svc.estimate(q).unwrap();
+        assert_eq!(first.cardinality, expect_v1);
+        assert!(svc.estimate(q).unwrap().cache_hit);
+        // Publish re-quantizes the new base; the v1 cache entry must
+        // not answer for v2.
+        registry.publish(b);
+        let after_swap = svc.estimate(q).unwrap();
+        assert!(!after_swap.cache_hit, "stale quantized cache entry served across a hot-swap");
+        assert_eq!(after_swap.model_version, 2);
+        assert_eq!(after_swap.cardinality, expect_v2);
+        svc.shutdown();
+    }
+
     #[test]
     fn estimate_after_shutdown_reports_shutdown() {
         let (svc, _, data) = service(1);

@@ -49,7 +49,10 @@ fn serialized_model_reproduces_estimates_across_processes() {
 
 /// Train the shared reference model and serialize weights + a slice of
 /// estimates — the fingerprint the cross-kernel test compares across
-/// subprocesses.
+/// subprocesses. Covers both precisions: the f32 pipeline AND the int8
+/// quantized artifact with its estimates, so the integer `maddubs`-style
+/// kernels are held to the same cross-dispatch bitwise contract as the
+/// f32 FMA kernels.
 fn kernel_fingerprint() -> Vec<u8> {
     let db = lc_imdb::generate(&ImdbConfig::tiny());
     let mut rng = SmallRng::seed_from_u64(80);
@@ -61,6 +64,12 @@ fn kernel_fingerprint() -> Vec<u8> {
     // Estimates ride along so the check covers the inference path too,
     // not just the training trajectory.
     for est in trained.estimator.estimate_cards(&data[..20]) {
+        bytes.extend_from_slice(&est.to_le_bytes());
+    }
+    // The quantized twin: publish-time conversion plus int8 inference.
+    let quantized = lc_core::QuantizedMscn::quantize(&trained.estimator);
+    bytes.extend_from_slice(&quantized.to_bytes());
+    for est in quantized.estimate_cards(&data[..20]) {
         bytes.extend_from_slice(&est.to_le_bytes());
     }
     bytes
